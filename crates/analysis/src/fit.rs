@@ -1,0 +1,254 @@
+//! Asymptotic model fitting: turning measured `(n, rounds)` points into the
+//! paper's growth claims.
+//!
+//! Two complementary tools:
+//!
+//! * **Scale fits** against the paper's candidate forms (`n`, `n log n`,
+//!   `n log² n`, `n²`, `n² log n`): fit the single constant `c` in
+//!   `T ≈ c · f(n)` and score models by log-space residuals (scale-free, so
+//!   a model can't win by overshooting small `n`).
+//! * **Log-log regression**: the empirical growth exponent
+//!   `slope = d ln T / d ln n`, model-free.
+
+/// Candidate asymptotic forms from the paper's theorems.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GrowthModel {
+    /// `f(n) = n`
+    Linear,
+    /// `f(n) = n ln n`
+    NLogN,
+    /// `f(n) = n ln² n`
+    NLog2N,
+    /// `f(n) = n²`
+    Quadratic,
+    /// `f(n) = n² ln n`
+    N2LogN,
+}
+
+impl GrowthModel {
+    /// All candidates, in increasing asymptotic order.
+    pub const ALL: [GrowthModel; 5] = [
+        GrowthModel::Linear,
+        GrowthModel::NLogN,
+        GrowthModel::NLog2N,
+        GrowthModel::Quadratic,
+        GrowthModel::N2LogN,
+    ];
+
+    /// Evaluates `f(n)`.
+    pub fn eval(self, n: f64) -> f64 {
+        let ln = n.ln().max(1e-9);
+        match self {
+            GrowthModel::Linear => n,
+            GrowthModel::NLogN => n * ln,
+            GrowthModel::NLog2N => n * ln * ln,
+            GrowthModel::Quadratic => n * n,
+            GrowthModel::N2LogN => n * n * ln,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            GrowthModel::Linear => "n",
+            GrowthModel::NLogN => "n log n",
+            GrowthModel::NLog2N => "n log^2 n",
+            GrowthModel::Quadratic => "n^2",
+            GrowthModel::N2LogN => "n^2 log n",
+        }
+    }
+}
+
+/// A fitted `T ≈ c · f(n)` model with its quality scores.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelFit {
+    /// The form that was fit.
+    pub model: GrowthModel,
+    /// Fitted scale constant `c`.
+    pub c: f64,
+    /// Mean squared residual in log space (lower is better).
+    pub log_mse: f64,
+    /// Maximum absolute ratio deviation `max |T_i / (c f(n_i)) - 1|`.
+    pub max_ratio_dev: f64,
+}
+
+/// Fits the scale constant of `model` to `(n, t)` points.
+///
+/// The constant is the log-space least-squares solution
+/// `ln c = mean(ln t - ln f(n))`, i.e. the geometric mean of the ratios —
+/// robust to the order-of-magnitude spread convergence sweeps produce.
+///
+/// # Panics
+/// Panics if fewer than 2 points or any nonpositive value.
+pub fn fit_model(ns: &[f64], ts: &[f64], model: GrowthModel) -> ModelFit {
+    assert_eq!(ns.len(), ts.len(), "length mismatch");
+    assert!(ns.len() >= 2, "need at least 2 points");
+    assert!(
+        ns.iter().chain(ts.iter()).all(|&v| v > 0.0),
+        "values must be positive"
+    );
+    let log_ratios: Vec<f64> = ns
+        .iter()
+        .zip(ts)
+        .map(|(&n, &t)| (t / model.eval(n)).ln())
+        .collect();
+    let ln_c = log_ratios.iter().sum::<f64>() / log_ratios.len() as f64;
+    let c = ln_c.exp();
+    let log_mse = log_ratios
+        .iter()
+        .map(|&r| (r - ln_c) * (r - ln_c))
+        .sum::<f64>()
+        / log_ratios.len() as f64;
+    let max_ratio_dev = ns
+        .iter()
+        .zip(ts)
+        .map(|(&n, &t)| (t / (c * model.eval(n)) - 1.0).abs())
+        .fold(0.0, f64::max);
+    ModelFit {
+        model,
+        c,
+        log_mse,
+        max_ratio_dev,
+    }
+}
+
+/// Fits every candidate and returns them sorted best-first by log-space MSE.
+///
+/// ```
+/// use gossip_analysis::{rank_models, GrowthModel};
+/// let ns = [64.0, 128.0, 256.0, 512.0];
+/// let ts: Vec<f64> = ns.iter().map(|&n| 0.5 * n * n).collect();
+/// assert_eq!(rank_models(&ns, &ts)[0].model, GrowthModel::Quadratic);
+/// ```
+pub fn rank_models(ns: &[f64], ts: &[f64]) -> Vec<ModelFit> {
+    let mut fits: Vec<ModelFit> = GrowthModel::ALL
+        .iter()
+        .map(|&m| fit_model(ns, ts, m))
+        .collect();
+    fits.sort_by(|a, b| a.log_mse.partial_cmp(&b.log_mse).unwrap());
+    fits
+}
+
+/// Ordinary least squares `y = intercept + slope * x` with `r²`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OlsFit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Ordinary least squares.
+///
+/// # Panics
+/// Panics if fewer than 2 points or zero x-variance.
+pub fn ols(xs: &[f64], ys: &[f64]) -> OlsFit {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least 2 points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|&x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum();
+    let syy: f64 = ys.iter().map(|&y| (y - my) * (y - my)).sum();
+    assert!(sxx > 0.0, "x values are constant");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    OlsFit { slope, intercept, r2 }
+}
+
+/// Empirical growth exponent: the slope of `ln t` against `ln n`.
+/// An `n log² n` law shows an exponent drifting in ~(1.0, 1.35] over
+/// practical ranges; `n²` sits at 2.
+pub fn loglog_exponent(ns: &[f64], ts: &[f64]) -> OlsFit {
+    let lx: Vec<f64> = ns.iter().map(|&v| v.ln()).collect();
+    let ly: Vec<f64> = ts.iter().map(|&v| v.ln()).collect();
+    ols(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(model: GrowthModel, c: f64, noise: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let ns: Vec<f64> = [32.0, 64.0, 128.0, 256.0, 512.0, 1024.0].to_vec();
+        let ts: Vec<f64> = ns
+            .iter()
+            .zip(noise.iter().cycle())
+            .map(|(&n, &eps)| c * model.eval(n) * (1.0 + eps))
+            .collect();
+        (ns, ts)
+    }
+
+    #[test]
+    fn recovers_exact_constant() {
+        let (ns, ts) = synth(GrowthModel::NLog2N, 0.7, &[0.0]);
+        let fit = fit_model(&ns, &ts, GrowthModel::NLog2N);
+        assert!((fit.c - 0.7).abs() < 1e-9);
+        assert!(fit.log_mse < 1e-18);
+        assert!(fit.max_ratio_dev < 1e-9);
+    }
+
+    #[test]
+    fn ranks_true_model_first() {
+        for true_model in GrowthModel::ALL {
+            let (ns, ts) = synth(true_model, 2.0, &[0.02, -0.015, 0.01]);
+            let ranked = rank_models(&ns, &ts);
+            assert_eq!(
+                ranked[0].model, true_model,
+                "true {true_model:?} ranked {:?}",
+                ranked.iter().map(|f| f.model).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn ols_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let fit = ols(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ols_r2_degrades_with_noise() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x + ((x * 7.7).sin() * 5.0)).collect();
+        let fit = ols(&xs, &ys);
+        assert!(fit.r2 < 1.0 && fit.r2 > 0.5);
+    }
+
+    #[test]
+    fn loglog_exponent_of_quadratic() {
+        let ns = [16.0, 32.0, 64.0, 128.0];
+        let ts: Vec<f64> = ns.iter().map(|&n| 3.0 * n * n).collect();
+        let fit = loglog_exponent(&ns, &ts);
+        assert!((fit.slope - 2.0).abs() < 1e-9, "slope {}", fit.slope);
+        assert!((fit.r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_exponent_of_nlog2n_is_superlinear_subquadratic() {
+        let ns = [64.0, 128.0, 256.0, 512.0, 1024.0];
+        let ts: Vec<f64> = ns.iter().map(|&n| GrowthModel::NLog2N.eval(n)).collect();
+        let fit = loglog_exponent(&ns, &ts);
+        assert!(fit.slope > 1.1 && fit.slope < 1.5, "slope {}", fit.slope);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn fit_rejects_nonpositive() {
+        let _ = fit_model(&[1.0, 2.0], &[0.0, 1.0], GrowthModel::Linear);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant")]
+    fn ols_rejects_constant_x() {
+        let _ = ols(&[1.0, 1.0], &[2.0, 3.0]);
+    }
+}

@@ -1,0 +1,94 @@
+//! The common harness interface for discovery baselines.
+
+use crate::knowledge::Knowledge;
+
+/// Per-round message accounting. `bits` assume each address costs
+/// `id_bits = ceil(log2 n)` bits, the paper's `O(log n)` unit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundIO {
+    /// Messages sent this round.
+    pub messages: u64,
+    /// Total bits across all messages.
+    pub bits: u64,
+    /// Largest single message, in bits.
+    pub max_message_bits: u64,
+    /// Addresses newly learned this round (progress measure).
+    pub learned: u64,
+}
+
+/// Aggregate outcome of running an algorithm to completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiscoveryOutcome {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Whether full discovery was reached within the budget.
+    pub complete: bool,
+    /// Total bits sent over the whole run.
+    pub total_bits: u64,
+    /// Largest single message observed, in bits.
+    pub max_message_bits: u64,
+    /// Total messages sent.
+    pub total_messages: u64,
+}
+
+/// A synchronous-round discovery algorithm over a [`Knowledge`] state.
+pub trait DiscoveryAlgorithm {
+    /// Executes one synchronous round.
+    fn step(&mut self) -> RoundIO;
+
+    /// Current knowledge state.
+    fn knowledge(&self) -> &Knowledge;
+
+    /// Rounds executed so far.
+    fn round(&self) -> u64;
+
+    /// Algorithm name for result tables.
+    fn name(&self) -> &'static str;
+
+    /// Whether discovery is complete.
+    fn is_complete(&self) -> bool {
+        self.knowledge().is_complete()
+    }
+
+    /// Runs until complete or `max_rounds`, accumulating message accounting.
+    fn run_to_completion(&mut self, max_rounds: u64) -> DiscoveryOutcome {
+        let mut total_bits = 0;
+        let mut total_messages = 0;
+        let mut max_message = 0;
+        let start = self.round();
+        while !self.is_complete() && self.round() - start < max_rounds {
+            let io = self.step();
+            total_bits += io.bits;
+            total_messages += io.messages;
+            max_message = max_message.max(io.max_message_bits);
+        }
+        DiscoveryOutcome {
+            rounds: self.round() - start,
+            complete: self.is_complete(),
+            total_bits,
+            max_message_bits: max_message,
+            total_messages,
+        }
+    }
+}
+
+/// Bits needed to name one node among `n`: `ceil(log2 n)`, minimum 1.
+pub fn id_bits(n: usize) -> u64 {
+    (usize::BITS - n.saturating_sub(1).leading_zeros()).max(1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_bits_values() {
+        assert_eq!(id_bits(1), 1);
+        assert_eq!(id_bits(2), 1);
+        assert_eq!(id_bits(3), 2);
+        assert_eq!(id_bits(4), 2);
+        assert_eq!(id_bits(5), 3);
+        assert_eq!(id_bits(1024), 10);
+        assert_eq!(id_bits(1025), 11);
+    }
+}

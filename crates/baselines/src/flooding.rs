@@ -1,0 +1,107 @@
+//! Deterministic flooding: every node sends everything it knows to *all* of
+//! its **original** neighbors each round. Completes in `diameter(G_0)`
+//! rounds — the round-complexity lower envelope for any local algorithm —
+//! at the maximum possible bandwidth. Used as the reference point in the
+//! baseline comparison table.
+
+use crate::algorithm::{id_bits, DiscoveryAlgorithm, RoundIO};
+use crate::knowledge::Knowledge;
+use gossip_graph::{NodeId, UndirectedGraph};
+
+/// Flooding state. Floods along the fixed initial topology (flooding over
+/// the growing knowledge graph would trivially finish in O(1) rounds while
+/// sending Θ(n²) messages — not a meaningful baseline).
+#[derive(Clone, Debug)]
+pub struct Flooding {
+    knowledge: Knowledge,
+    topology: UndirectedGraph,
+    round: u64,
+    id_bits: u64,
+}
+
+impl Flooding {
+    /// Floods over `g0`, starting from its adjacency as initial knowledge.
+    pub fn new(g0: &UndirectedGraph) -> Self {
+        Flooding {
+            knowledge: Knowledge::from_undirected(g0),
+            topology: g0.clone(),
+            round: 0,
+            id_bits: id_bits(g0.n()),
+        }
+    }
+}
+
+impl DiscoveryAlgorithm for Flooding {
+    fn step(&mut self) -> RoundIO {
+        let n = self.knowledge.n();
+        let snapshots: Vec<_> = (0..n)
+            .map(|u| self.knowledge.contacts(NodeId::new(u)).membership().clone())
+            .collect();
+        let mut io = RoundIO::default();
+        #[allow(clippy::needless_range_loop)] // u is simultaneously a NodeId
+        for u in 0..n {
+            let payload = &snapshots[u];
+            let msg_bits = (payload.count() as u64 + 1) * self.id_bits;
+            for v in self.topology.neighbors(NodeId::new(u)).iter() {
+                io.messages += 1;
+                io.bits += msg_bits;
+                io.max_message_bits = io.max_message_bits.max(msg_bits);
+                io.learned += self.knowledge.absorb(v, NodeId::new(u), payload);
+            }
+        }
+        self.round += 1;
+        io
+    }
+
+    fn knowledge(&self) -> &Knowledge {
+        &self.knowledge
+    }
+
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn name(&self) -> &'static str {
+        "flooding"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::generators;
+    use gossip_graph::traversal::diameter;
+
+    #[test]
+    fn completes_in_diameter_minus_one_rounds() {
+        // After round t, u knows everything within distance t+1 of u
+        // (initial knowledge already covers distance 1).
+        for g in [generators::path(17), generators::cycle(16), generators::binary_tree(31)] {
+            let d = diameter(&g).unwrap() as u64;
+            let mut f = Flooding::new(&g);
+            let out = f.run_to_completion(10_000);
+            assert!(out.complete);
+            assert_eq!(out.rounds, d.saturating_sub(1), "diameter {d}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_needs_zero_rounds() {
+        let g = generators::complete(8);
+        let mut f = Flooding::new(&g);
+        let out = f.run_to_completion(10);
+        assert!(out.complete);
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn floods_only_along_initial_edges() {
+        let g = generators::path(5);
+        let mut f = Flooding::new(&g);
+        f.step();
+        // Node 0 learns distance-2 node but cannot have received anything
+        // from beyond its single neighbor's reach.
+        assert!(f.knowledge().knows(NodeId(0), NodeId(2)));
+        assert!(!f.knowledge().knows(NodeId(0), NodeId(4)));
+    }
+}

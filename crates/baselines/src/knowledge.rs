@@ -1,0 +1,213 @@
+//! The knowledge graph: who knows whose address.
+//!
+//! Resource-discovery baselines operate on *directed knowledge*: `u` knowing
+//! `v`'s address does not imply the converse (the paper's processes keep
+//! knowledge symmetric; Name Dropper and Random Pointer Jump do not). Rows
+//! reuse [`AdjSet`] so senders can sample uniform contacts in O(1) and
+//! merges run word-parallel over the membership bitmaps.
+
+use gossip_graph::{AdjSet, BitSet, DirectedGraph, NodeId, UndirectedGraph};
+use rand::Rng;
+
+/// Directed "who-knows-whom" state for `n` nodes.
+///
+/// ```
+/// use gossip_baselines::Knowledge;
+/// use gossip_graph::{generators, NodeId};
+/// let k = Knowledge::from_undirected(&generators::path(3));
+/// assert!(k.knows(NodeId(0), NodeId(1)));
+/// assert!(!k.knows(NodeId(0), NodeId(2)));
+/// assert_eq!(k.known_pairs(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Knowledge {
+    contacts: Vec<AdjSet>,
+    pairs: u64,
+}
+
+impl Knowledge {
+    /// Empty knowledge (nobody knows anybody) over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Knowledge {
+            contacts: (0..n).map(|_| AdjSet::new(n)).collect(),
+            pairs: 0,
+        }
+    }
+
+    /// Initializes from an undirected graph: knowledge is symmetric.
+    pub fn from_undirected(g: &UndirectedGraph) -> Self {
+        let mut k = Knowledge::new(g.n());
+        for e in g.edges() {
+            k.learn(e.a, e.b);
+            k.learn(e.b, e.a);
+        }
+        k
+    }
+
+    /// Initializes from a digraph: `u -> v` means `u` knows `v`.
+    pub fn from_directed(g: &DirectedGraph) -> Self {
+        let mut k = Knowledge::new(g.n());
+        for a in g.arcs() {
+            k.learn(a.from, a.to);
+        }
+        k
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.contacts.len()
+    }
+
+    /// `u` learns `v`'s address. Returns `true` if it was news.
+    /// Learning one's own address is a no-op.
+    #[inline]
+    pub fn learn(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        if self.contacts[u.index()].insert(v) {
+            self.pairs += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `u` knows `v`.
+    #[inline]
+    pub fn knows(&self, u: NodeId, v: NodeId) -> bool {
+        self.contacts[u.index()].contains(v)
+    }
+
+    /// `u`'s contact list.
+    #[inline]
+    pub fn contacts(&self, u: NodeId) -> &AdjSet {
+        &self.contacts[u.index()]
+    }
+
+    /// Number of contacts `u` knows.
+    #[inline]
+    pub fn count(&self, u: NodeId) -> usize {
+        self.contacts[u.index()].len()
+    }
+
+    /// Uniformly random contact of `u`.
+    #[inline]
+    pub fn random_contact<R: Rng + ?Sized>(&self, u: NodeId, rng: &mut R) -> Option<NodeId> {
+        self.contacts[u.index()].sample(rng)
+    }
+
+    /// Total ordered known pairs (target: `n * (n-1)`).
+    #[inline]
+    pub fn known_pairs(&self) -> u64 {
+        self.pairs
+    }
+
+    /// Whether every node knows every other node.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        let n = self.n() as u64;
+        self.pairs == n * n.saturating_sub(1)
+    }
+
+    /// Merges an entire contact set (given as a bitmap) plus the sender's own
+    /// address into `dst`'s knowledge. Returns how many addresses were new.
+    pub fn absorb(&mut self, dst: NodeId, sender: NodeId, addresses: &BitSet) -> u64 {
+        let mut gained = 0;
+        // Learning proceeds bit-by-bit because the AdjSet's sampling vector
+        // must stay in sync with its bitmap; the scan is still word-driven.
+        for v in addresses.iter() {
+            gained += self.learn(dst, NodeId::new(v)) as u64;
+        }
+        gained += self.learn(dst, sender) as u64;
+        gained
+    }
+
+    /// Structural check for tests: pair counter consistent with rows.
+    pub fn validate(&self) -> Result<(), String> {
+        let total: u64 = self.contacts.iter().map(|c| c.len() as u64).sum();
+        if total != self.pairs {
+            return Err(format!("pair counter {} != row total {total}", self.pairs));
+        }
+        for (u, c) in self.contacts.iter().enumerate() {
+            if c.contains(NodeId::new(u)) {
+                return Err(format!("node {u} knows itself"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::generators;
+
+    #[test]
+    fn from_undirected_is_symmetric() {
+        let g = generators::path(4);
+        let k = Knowledge::from_undirected(&g);
+        assert!(k.knows(NodeId(0), NodeId(1)));
+        assert!(k.knows(NodeId(1), NodeId(0)));
+        assert_eq!(k.known_pairs(), 6);
+        k.validate().unwrap();
+    }
+
+    #[test]
+    fn from_directed_is_asymmetric() {
+        let g = generators::directed_path(3);
+        let k = Knowledge::from_directed(&g);
+        assert!(k.knows(NodeId(0), NodeId(1)));
+        assert!(!k.knows(NodeId(1), NodeId(0)));
+        assert_eq!(k.known_pairs(), 2);
+    }
+
+    #[test]
+    fn learn_dedup_and_self() {
+        let mut k = Knowledge::new(3);
+        assert!(k.learn(NodeId(0), NodeId(1)));
+        assert!(!k.learn(NodeId(0), NodeId(1)));
+        assert!(!k.learn(NodeId(0), NodeId(0)));
+        assert_eq!(k.known_pairs(), 1);
+    }
+
+    #[test]
+    fn completeness() {
+        let g = generators::complete(4);
+        let k = Knowledge::from_undirected(&g);
+        assert!(k.is_complete());
+        let p = Knowledge::from_undirected(&generators::path(4));
+        assert!(!p.is_complete());
+    }
+
+    #[test]
+    fn absorb_merges_and_counts() {
+        let mut k = Knowledge::new(5);
+        k.learn(NodeId(1), NodeId(2));
+        k.learn(NodeId(1), NodeId(3));
+        // Node 0 absorbs node 1's contacts {2, 3} + sender 1 itself.
+        let bits = k.contacts(NodeId(1)).membership().clone();
+        let gained = k.absorb(NodeId(0), NodeId(1), &bits);
+        assert_eq!(gained, 3);
+        assert!(k.knows(NodeId(0), NodeId(1)));
+        assert!(k.knows(NodeId(0), NodeId(2)));
+        assert!(k.knows(NodeId(0), NodeId(3)));
+        // Absorbing again gains nothing.
+        let bits = k.contacts(NodeId(1)).membership().clone();
+        assert_eq!(k.absorb(NodeId(0), NodeId(1), &bits), 0);
+        k.validate().unwrap();
+    }
+
+    #[test]
+    fn absorb_skips_own_address() {
+        let mut k = Knowledge::new(3);
+        k.learn(NodeId(1), NodeId(0)); // sender knows the destination
+        let bits = k.contacts(NodeId(1)).membership().clone();
+        let gained = k.absorb(NodeId(0), NodeId(1), &bits);
+        // 0 must not "learn" 0; only the sender 1 is news.
+        assert_eq!(gained, 1);
+        assert!(!k.knows(NodeId(0), NodeId(0)));
+        k.validate().unwrap();
+    }
+}

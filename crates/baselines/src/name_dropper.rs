@@ -1,0 +1,149 @@
+//! The Name Dropper algorithm of Harchol-Balter, Leighton, and Lewin
+//! (PODC 1999) — the paper's primary point of comparison (reference \[16\]).
+//!
+//! "In each round, each node chooses a random neighbor and sends all the IP
+//! addresses it knows." Convergence is polylogarithmic (`O(log² n)` rounds)
+//! but a single message can carry `Θ(n)` addresses — exactly the bandwidth
+//! cost the gossip processes avoid.
+
+use crate::algorithm::{id_bits, DiscoveryAlgorithm, RoundIO};
+use crate::knowledge::Knowledge;
+use gossip_core::rng::stream_rng;
+use gossip_graph::NodeId;
+
+/// Name Dropper state.
+#[derive(Clone, Debug)]
+pub struct NameDropper {
+    knowledge: Knowledge,
+    seed: u64,
+    round: u64,
+    id_bits: u64,
+    /// Buffered (sender, receiver) picks for the synchronous round.
+    picks: Vec<Option<NodeId>>,
+}
+
+impl NameDropper {
+    /// Starts from the given knowledge state.
+    pub fn new(knowledge: Knowledge, seed: u64) -> Self {
+        let n = knowledge.n();
+        NameDropper {
+            knowledge,
+            seed,
+            round: 0,
+            id_bits: id_bits(n),
+            picks: vec![None; n],
+        }
+    }
+}
+
+impl DiscoveryAlgorithm for NameDropper {
+    fn step(&mut self) -> RoundIO {
+        let n = self.knowledge.n();
+        // Phase 1: every node picks its receiver against round-start state.
+        for u in 0..n {
+            let mut rng = stream_rng(self.seed, self.round, u as u64);
+            self.picks[u] = self.knowledge.random_contact(NodeId::new(u), &mut rng);
+        }
+        // Phase 2: deliver. Contents are the round-start contact lists, so
+        // we snapshot each sender's bitmap before merging (synchronous
+        // semantics: nobody forwards addresses learned this same round).
+        let snapshots: Vec<_> = (0..n)
+            .map(|u| self.knowledge.contacts(NodeId::new(u)).membership().clone())
+            .collect();
+        let mut io = RoundIO::default();
+        #[allow(clippy::needless_range_loop)] // u is simultaneously a NodeId
+        for u in 0..n {
+            if let Some(v) = self.picks[u] {
+                let payload = &snapshots[u];
+                // The message carries the sender's whole list plus itself.
+                let msg_bits = (payload.count() as u64 + 1) * self.id_bits;
+                io.messages += 1;
+                io.bits += msg_bits;
+                io.max_message_bits = io.max_message_bits.max(msg_bits);
+                io.learned += self.knowledge.absorb(v, NodeId::new(u), payload);
+            }
+        }
+        self.round += 1;
+        io
+    }
+
+    fn knowledge(&self) -> &Knowledge {
+        &self.knowledge
+    }
+
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn name(&self) -> &'static str {
+        "name-dropper"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::DiscoveryAlgorithm;
+    use gossip_graph::generators;
+
+    #[test]
+    fn completes_star_quickly() {
+        let g = generators::star(32);
+        let mut nd = NameDropper::new(Knowledge::from_undirected(&g), 1);
+        let out = nd.run_to_completion(10_000);
+        assert!(out.complete);
+        // Polylog: a 32-node star should complete in well under 60 rounds.
+        assert!(out.rounds < 60, "rounds = {}", out.rounds);
+        nd.knowledge().validate().unwrap();
+    }
+
+    #[test]
+    fn completes_path() {
+        let g = generators::path(24);
+        let mut nd = NameDropper::new(Knowledge::from_undirected(&g), 3);
+        let out = nd.run_to_completion(10_000);
+        assert!(out.complete);
+        assert!(out.rounds < 200, "rounds = {}", out.rounds);
+    }
+
+    #[test]
+    fn messages_grow_to_linear_size() {
+        let n = 64;
+        let g = generators::tree_plus_random_edges(n, 128, &mut gossip_core::rng::stream_rng(7, 0, 0));
+        let mut nd = NameDropper::new(Knowledge::from_undirected(&g), 7);
+        let out = nd.run_to_completion(10_000);
+        assert!(out.complete);
+        // Near the end someone ships (almost) the full directory: Θ(n log n) bits.
+        let full_list_bits = (n as u64) * id_bits(n);
+        assert!(
+            out.max_message_bits >= full_list_bits / 2,
+            "max message {} bits, full list {} bits",
+            out.max_message_bits,
+            full_list_bits
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::cycle(20);
+        let k = Knowledge::from_undirected(&g);
+        let out1 = NameDropper::new(k.clone(), 11).run_to_completion(10_000);
+        let out2 = NameDropper::new(k, 11).run_to_completion(10_000);
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn synchronous_no_same_round_forwarding() {
+        // Directed-knowledge chain 0->1: after one round, 1 might learn 0
+        // (if 0 sends to 1... but 0 only knows 1, so 0 sends {0,1} to 1 ->
+        // 1 learns 0). 2 can't learn anything about 0 in the same round.
+        let mut k = Knowledge::new(3);
+        k.learn(NodeId(0), NodeId(1));
+        k.learn(NodeId(1), NodeId(2));
+        let mut nd = NameDropper::new(k, 5);
+        nd.step();
+        // Whatever happened, node 2 cannot know node 0 after one round:
+        // the only path 0 -> 1 -> 2 needs two rounds.
+        assert!(!nd.knowledge().knows(NodeId(2), NodeId(0)));
+    }
+}

@@ -1,0 +1,129 @@
+//! The Random Pointer Jump algorithm — the pull-flavored baseline the paper
+//! cites from reference \[16\]: "each node gets to know all the neighbors of a random
+//! neighbor in each step."
+
+use crate::algorithm::{id_bits, DiscoveryAlgorithm, RoundIO};
+use crate::knowledge::Knowledge;
+use gossip_core::rng::stream_rng;
+use gossip_graph::NodeId;
+
+/// Random Pointer Jump state.
+#[derive(Clone, Debug)]
+pub struct PointerJump {
+    knowledge: Knowledge,
+    seed: u64,
+    round: u64,
+    id_bits: u64,
+}
+
+impl PointerJump {
+    /// Starts from the given knowledge state.
+    pub fn new(knowledge: Knowledge, seed: u64) -> Self {
+        let n = knowledge.n();
+        PointerJump {
+            knowledge,
+            seed,
+            round: 0,
+            id_bits: id_bits(n),
+        }
+    }
+}
+
+impl DiscoveryAlgorithm for PointerJump {
+    fn step(&mut self) -> RoundIO {
+        let n = self.knowledge.n();
+        // Phase 1: pick the contact to pull from; snapshot payloads.
+        let mut pulls: Vec<Option<NodeId>> = vec![None; n];
+        #[allow(clippy::needless_range_loop)] // u is simultaneously a NodeId
+        for u in 0..n {
+            let mut rng = stream_rng(self.seed, self.round, u as u64);
+            pulls[u] = self.knowledge.random_contact(NodeId::new(u), &mut rng);
+        }
+        let snapshots: Vec<_> = (0..n)
+            .map(|u| self.knowledge.contacts(NodeId::new(u)).membership().clone())
+            .collect();
+        // Phase 2: each u absorbs its target's round-start list. A pull
+        // costs one request message (one id) plus the reply.
+        let mut io = RoundIO::default();
+        #[allow(clippy::needless_range_loop)] // u is simultaneously a NodeId
+        for u in 0..n {
+            if let Some(v) = pulls[u] {
+                let payload = &snapshots[v.index()];
+                let reply_bits = (payload.count() as u64 + 1) * self.id_bits;
+                let request_bits = self.id_bits;
+                io.messages += 2;
+                io.bits += request_bits + reply_bits;
+                io.max_message_bits = io.max_message_bits.max(reply_bits);
+                io.learned += self.knowledge.absorb(NodeId::new(u), v, payload);
+            }
+        }
+        self.round += 1;
+        io
+    }
+
+    fn knowledge(&self) -> &Knowledge {
+        &self.knowledge
+    }
+
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn name(&self) -> &'static str {
+        "pointer-jump"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::generators;
+
+    #[test]
+    fn completes_connected_graphs() {
+        for (g, budget) in [
+            (generators::star(24), 2_000u64),
+            (generators::path(24), 5_000),
+            (generators::cycle(24), 5_000),
+        ] {
+            let mut pj = PointerJump::new(Knowledge::from_undirected(&g), 2);
+            let out = pj.run_to_completion(budget);
+            assert!(out.complete, "{} rounds insufficient", budget);
+            pj.knowledge().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn pull_direction_is_correct() {
+        // Knowledge 0 -> 1 only. Node 0 pulls 1's (empty) list and learns
+        // nothing new beyond 1 (already known). Node 1 knows nobody, pulls
+        // nothing. After one round: 1 still ignorant of 0 (pull, not push).
+        let mut k = Knowledge::new(2);
+        k.learn(NodeId(0), NodeId(1));
+        let mut pj = PointerJump::new(k, 9);
+        pj.step();
+        assert!(!pj.knowledge().knows(NodeId(1), NodeId(0)));
+        assert!(pj.knowledge().knows(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::cycle(16);
+        let k = Knowledge::from_undirected(&g);
+        let a = PointerJump::new(k.clone(), 4).run_to_completion(10_000);
+        let b = PointerJump::new(k, 4).run_to_completion(10_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reply_messages_account_bits() {
+        let g = generators::complete(8);
+        let mut pj = PointerJump::new(Knowledge::from_undirected(&g), 1);
+        let io = pj.step();
+        // Complete: every node pulls; 16 messages (8 requests + 8 replies).
+        assert_eq!(io.messages, 16);
+        // Each reply carries 7 contacts + sender = 8 ids of 3 bits.
+        assert_eq!(io.max_message_bits, 8 * 3);
+        assert_eq!(io.learned, 0); // everyone already knows everyone
+    }
+}

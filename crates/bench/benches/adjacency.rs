@@ -1,0 +1,89 @@
+//! The substrate ablation from DESIGN.md: AdjSet (vec + bitset) against the
+//! std HashSet alternative on the three hot operations. Sampling is the one
+//! a HashSet fundamentally can't do in O(1), which is why AdjSet exists.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gossip_graph::{AdjSet, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::time::Duration;
+
+const N: usize = 4096;
+
+fn filled_adjset(k: usize) -> AdjSet {
+    let mut s = AdjSet::new(N);
+    let mut rng = SmallRng::seed_from_u64(1);
+    while s.len() < k {
+        s.insert(NodeId(rng.random_range(0..N as u32)));
+    }
+    s
+}
+
+fn bench_adjacency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adjacency");
+    group
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+
+    // Insert 1k ids.
+    group.bench_function("insert_1k/adjset", |b| {
+        b.iter_batched(
+            || AdjSet::new(N),
+            |mut s| {
+                for i in 0..1000u32 {
+                    s.insert(NodeId((i * 37) % N as u32));
+                }
+                s.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("insert_1k/hashset", |b| {
+        b.iter_batched(
+            HashSet::<u32>::new,
+            |mut s| {
+                for i in 0..1000u32 {
+                    s.insert((i * 37) % N as u32);
+                }
+                s.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Membership.
+    let adj = filled_adjset(1024);
+    let hash: HashSet<u32> = adj.iter().map(|v| v.0).collect();
+    group.bench_function("contains/adjset", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 761) % N as u32;
+            std::hint::black_box(adj.contains(NodeId(i)))
+        })
+    });
+    group.bench_function("contains/hashset", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 761) % N as u32;
+            std::hint::black_box(hash.contains(&i))
+        })
+    });
+
+    // Uniform sampling: AdjSet O(1); a HashSet needs an O(len) walk.
+    let mut rng = SmallRng::seed_from_u64(9);
+    group.bench_function("sample/adjset", |b| {
+        b.iter(|| std::hint::black_box(adj.sample(&mut rng)))
+    });
+    group.bench_function("sample/hashset_nth_walk", |b| {
+        b.iter(|| {
+            let k = rng.random_range(0..hash.len());
+            std::hint::black_box(hash.iter().nth(k))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adjacency);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Cost of baseline rounds: Name Dropper moves Θ(known) addresses per node
+//! per round, so its round cost grows as knowledge accumulates — the
+//! bandwidth story of E10, seen from the CPU side.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use gossip_baselines::{DiscoveryAlgorithm, Knowledge, NameDropper, PointerJump};
+use gossip_graph::generators;
+use std::time::Duration;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_round");
+    group
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(15);
+
+    for n in [256usize, 1024] {
+        let mut rng = gossip_core::rng::stream_rng(3, 0, n as u64);
+        let g = generators::tree_plus_random_edges(n, 2 * n as u64, &mut rng);
+        let sparse = Knowledge::from_undirected(&g);
+        let dense = Knowledge::from_undirected(&generators::complete(n));
+
+        group.bench_with_input(BenchmarkId::new("nd_sparse", n), &sparse, |b, k| {
+            b.iter_batched(
+                || NameDropper::new(k.clone(), 5),
+                |mut nd| std::hint::black_box(nd.step()),
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("nd_dense", n), &dense, |b, k| {
+            b.iter_batched(
+                || NameDropper::new(k.clone(), 5),
+                |mut nd| std::hint::black_box(nd.step()),
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("pointer_jump_sparse", n), &sparse, |b, k| {
+            b.iter_batched(
+                || PointerJump::new(k.clone(), 5),
+                |mut pj| std::hint::black_box(pj.step()),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+
+    // End-to-end: Name Dropper full completion (the O(log² n) round story).
+    let mut group = c.benchmark_group("baseline_full");
+    group
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    let mut rng = gossip_core::rng::stream_rng(4, 0, 0);
+    let g = generators::tree_plus_random_edges(256, 512, &mut rng);
+    let k0 = Knowledge::from_undirected(&g);
+    group.bench_function("nd_complete_256", |b| {
+        b.iter_batched(
+            || NameDropper::new(k0.clone(), 9),
+            |mut nd| {
+                let out = nd.run_to_completion(100_000);
+                assert!(out.complete);
+                out.rounds
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

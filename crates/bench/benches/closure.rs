@@ -1,0 +1,35 @@
+//! Transitive-closure cost: the directed experiments recompute closures per
+//! trial graph, so the bitset-BFS implementation must stay cheap at sweep
+//! sizes. Word-parallel rows give O(n·m/64)-ish behavior.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_graph::closure::Closure;
+use gossip_graph::generators;
+use std::time::Duration;
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure");
+    group
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(15);
+    for n in [128usize, 512] {
+        let thm15 = generators::theorem15_graph(n);
+        group.bench_with_input(BenchmarkId::new("thm15", n), &thm15, |b, g| {
+            b.iter(|| std::hint::black_box(Closure::of(g).pair_count()))
+        });
+        let cycle = generators::directed_cycle(n);
+        group.bench_with_input(BenchmarkId::new("cycle", n), &cycle, |b, g| {
+            b.iter(|| std::hint::black_box(Closure::of(g).pair_count()))
+        });
+        let mut rng = gossip_core::rng::stream_rng(6, 0, n as u64);
+        let gnp = generators::directed_gnp_strong(n, (8.0 / n as f64).min(0.5), &mut rng);
+        group.bench_with_input(BenchmarkId::new("gnp", n), &gnp, |b, g| {
+            b.iter(|| std::hint::black_box(Closure::of(g).pair_count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closure);
+criterion_main!(benches);

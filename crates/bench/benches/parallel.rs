@@ -1,0 +1,70 @@
+//! The parallelism ablations from DESIGN.md:
+//!
+//! 1. within-round rayon vs sequential proposal generation (pays off only
+//!    for large `n` — this bench shows where the crossover sits), and
+//! 2. trial-level parallelism, the workhorse of every experiment sweep.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use gossip_core::{
+    convergence_rounds, ComponentwiseComplete, Engine, Parallelism, Push, TrialConfig,
+};
+use gossip_graph::generators;
+use std::time::Duration;
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_parallelism");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(15);
+    for n in [4096usize, 65536] {
+        let mut rng = gossip_core::rng::stream_rng(5, 0, n as u64);
+        let g = generators::tree_plus_random_edges(n, 4 * n as u64, &mut rng);
+        for (label, par) in [
+            ("seq", Parallelism::Sequential),
+            ("rayon", Parallelism::Parallel),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &g, |b, g| {
+                b.iter_batched(
+                    || Engine::new(g.clone(), Push, 7).with_parallelism(par),
+                    |mut engine| {
+                        for _ in 0..4 {
+                            std::hint::black_box(engine.step());
+                        }
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("trial_parallelism");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    let g = generators::star(128);
+    for (label, parallel) in [("seq", false), ("rayon", true)] {
+        group.bench_function(BenchmarkId::new(label, "16_trials_star128"), |b| {
+            b.iter(|| {
+                let cfg = TrialConfig {
+                    trials: 16,
+                    base_seed: 1,
+                    max_rounds: 100_000_000,
+                    parallel,
+                };
+                std::hint::black_box(convergence_rounds(
+                    &g,
+                    Push,
+                    ComponentwiseComplete::for_graph,
+                    &cfg,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

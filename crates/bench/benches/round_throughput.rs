@@ -1,0 +1,72 @@
+//! Per-round cost of the processes — the number that decides how large an
+//! `n` the experiment battery can sweep. One round is Θ(n) proposals plus
+//! Θ(n) O(1) insertions, so rounds/sec should scale as 1/n.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use gossip_core::{Engine, Parallelism, Pull, Push};
+use gossip_graph::generators;
+use std::time::Duration;
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    for n in [1024usize, 4096, 16384] {
+        let mut rng = gossip_core::rng::stream_rng(1, 0, n as u64);
+        let g = generators::tree_plus_random_edges(n, 4 * n as u64, &mut rng);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("push", n), &g, |b, g| {
+            b.iter_batched(
+                || Engine::new(g.clone(), Push, 7).with_parallelism(Parallelism::Sequential),
+                |mut engine| {
+                    for _ in 0..8 {
+                        std::hint::black_box(engine.step());
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("pull", n), &g, |b, g| {
+            b.iter_batched(
+                || Engine::new(g.clone(), Pull, 7).with_parallelism(Parallelism::Sequential),
+                |mut engine| {
+                    for _ in 0..8 {
+                        std::hint::black_box(engine.step());
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+
+    // Full convergence at a small n: end-to-end sanity number.
+    let mut group = c.benchmark_group("full_convergence");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    let g = generators::star(256);
+    group.bench_function("push_star_256", |b| {
+        b.iter_batched(
+            || {
+                (
+                    gossip_core::ComponentwiseComplete::for_graph(&g),
+                    Engine::new(g.clone(), Push, 11),
+                )
+            },
+            |(mut check, mut engine)| {
+                let out = engine.run_until(&mut check, 100_000_000);
+                assert!(out.converged);
+                out.rounds
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

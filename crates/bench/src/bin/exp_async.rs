@@ -1,0 +1,5 @@
+//! Experiment binary: see `gossip_bench::experiments::asynchrony`.
+fn main() {
+    let args = gossip_bench::parse_args();
+    gossip_bench::experiments::asynchrony::run(&args).finish(&args);
+}

@@ -1,0 +1,5 @@
+//! Experiment binary: see `gossip_bench::experiments::directed`.
+fn main() {
+    let args = gossip_bench::parse_args();
+    gossip_bench::experiments::directed::run(&args).finish(&args);
+}

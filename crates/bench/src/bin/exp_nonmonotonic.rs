@@ -1,0 +1,5 @@
+//! Experiment binary: see `gossip_bench::experiments::nonmonotone`.
+fn main() {
+    let args = gossip_bench::parse_args();
+    gossip_bench::experiments::nonmonotone::run(&args).finish(&args);
+}

@@ -1,0 +1,39 @@
+//! Runs the full experiment battery (E1–E12) and writes every report to the
+//! results directory. `--quick` keeps the whole thing under a couple of
+//! minutes; the full run is sized for a coffee break.
+
+use gossip_bench::experiments as exp;
+use gossip_bench::{parse_args, Args, Report};
+use std::time::Instant;
+
+fn main() {
+    let args = parse_args();
+    #[allow(clippy::type_complexity)] // dispatch table
+    let battery: Vec<(&str, fn(&Args) -> Report)> = vec![
+        ("E1", exp::scaling::run_push),
+        ("E2/E4", exp::dense::run),
+        ("E3", exp::scaling::run_pull),
+        ("E5/E6", exp::directed::run),
+        ("E7", exp::nonmonotone::run),
+        ("E8", exp::mindegree::run),
+        ("E9", exp::subset::run),
+        ("E10", exp::baselines::run),
+        ("E11", exp::robustness::run),
+        ("E12", exp::netsim::run),
+        ("E13", exp::evolution::run),
+        ("E14", exp::asynchrony::run),
+    ];
+    let total = Instant::now();
+    for (id, run) in battery {
+        let t = Instant::now();
+        eprintln!("[run_all] starting {id} ...");
+        let report = run(&args);
+        report.finish(&args);
+        eprintln!("[run_all] {id} done in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    eprintln!(
+        "[run_all] battery complete in {:.1}s (quick = {})",
+        total.elapsed().as_secs_f64(),
+        args.quick
+    );
+}

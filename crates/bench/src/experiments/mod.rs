@@ -1,0 +1,27 @@
+//! One module per paper artifact. Each exposes `run(&Args) -> Report`.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`scaling`] | Theorems 8 & 12 (E1, E3): O(n log² n) undirected upper bounds |
+//! | [`dense`] | Theorems 9 & 13 (E2, E4): Ω(n log k) dense lower bounds |
+//! | [`directed`] | Theorems 14 & 15 (E5, E6): directed upper/lower bounds |
+//! | [`nonmonotone`] | Figure 1(c) (E7): exact non-monotonicity |
+//! | [`mindegree`] | Lemmas 5–7, 10–11 (E8): min-degree growth + tie structure |
+//! | [`subset`] | §1 (E9): subgroup discovery scales with k, not host n |
+//! | [`baselines`] | §1 (E10): rounds-vs-bandwidth against Name Dropper et al. |
+//! | [`robustness`] | §6 (E11): connection failures, partial participation |
+//! | [`netsim`] | §1 (E12): byte-accurate wire validation, loss + churn |
+//! | [`evolution`] | §1 (E13): structural evolution + brokerage under push |
+//! | [`asynchrony`] | model extension (E14): synchronous vs Poisson-clock timing |
+
+pub mod asynchrony;
+pub mod baselines;
+pub mod dense;
+pub mod evolution;
+pub mod directed;
+pub mod mindegree;
+pub mod netsim;
+pub mod nonmonotone;
+pub mod robustness;
+pub mod scaling;
+pub mod subset;

@@ -1,0 +1,215 @@
+//! Shared experiment plumbing: CLI parsing, result persistence, progress.
+
+use gossip_analysis::Table;
+use serde::Serialize;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Common experiment options.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Shrink sweeps for a fast smoke run.
+    pub quick: bool,
+    /// Base seed for all randomness.
+    pub seed: u64,
+    /// Trials per configuration (0 = experiment default).
+    pub trials: usize,
+    /// Output directory for CSV/JSON artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            quick: false,
+            seed: 0xD15C0,
+            trials: 0,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+/// Parses `--quick`, `--seed N`, `--trials N`, `--out DIR` from argv.
+/// Unknown flags abort with usage — silent typos in experiment flags have
+/// burned too many lab notebooks.
+pub fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"))
+            }
+            "--trials" => {
+                args.trials = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--trials needs an integer"))
+            }
+            "--out" => {
+                args.out_dir = it.next().map(PathBuf::from).unwrap_or_else(|| usage("--out needs a path"))
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: exp_* [--quick] [--seed N] [--trials N] [--out DIR]");
+    std::process::exit(2);
+}
+
+/// A named experiment result: rendered tables plus raw rows for JSON.
+#[derive(Debug)]
+pub struct Report {
+    /// Experiment id, e.g. "E1-push-scaling".
+    pub id: String,
+    /// Free-form headline findings (one per line).
+    pub notes: Vec<String>,
+    /// Named tables (section title, table).
+    pub tables: Vec<(String, Table)>,
+}
+
+/// Serializable summary row for the JSON artifact.
+#[derive(Serialize)]
+struct JsonReport<'a> {
+    id: &'a str,
+    notes: &'a [String],
+    tables: Vec<JsonTable<'a>>,
+}
+
+#[derive(Serialize)]
+struct JsonTable<'a> {
+    title: &'a str,
+    csv: String,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>) -> Self {
+        Report {
+            id: id.into(),
+            notes: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Adds a headline note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Adds a titled table.
+    pub fn table(&mut self, title: impl Into<String>, t: Table) {
+        self.tables.push((title.into(), t));
+    }
+
+    /// Prints the report to stdout as markdown.
+    pub fn print(&self) {
+        println!("\n## {}\n", self.id);
+        for n in &self.notes {
+            println!("* {n}");
+        }
+        for (title, t) in &self.tables {
+            println!("\n### {title}\n");
+            print!("{}", t.to_markdown());
+        }
+    }
+
+    /// Writes `<out>/<id>.md`, `<out>/<id>.csv` (tables concatenated), and
+    /// `<out>/<id>.json`.
+    pub fn save(&self, out_dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(out_dir)?;
+        let base = out_dir.join(&self.id);
+        // Markdown
+        let mut md = std::fs::File::create(base.with_extension("md"))?;
+        writeln!(md, "## {}\n", self.id)?;
+        for n in &self.notes {
+            writeln!(md, "* {n}")?;
+        }
+        for (title, t) in &self.tables {
+            writeln!(md, "\n### {title}\n")?;
+            write!(md, "{}", t.to_markdown())?;
+        }
+        // CSV (sections separated by comment lines)
+        let mut csv = std::fs::File::create(base.with_extension("csv"))?;
+        for (title, t) in &self.tables {
+            writeln!(csv, "# {title}")?;
+            write!(csv, "{}", t.to_csv())?;
+        }
+        // JSON
+        let json = JsonReport {
+            id: &self.id,
+            notes: &self.notes,
+            tables: self
+                .tables
+                .iter()
+                .map(|(title, t)| JsonTable { title, csv: t.to_csv() })
+                .collect(),
+        };
+        std::fs::write(
+            base.with_extension("json"),
+            serde_json::to_string_pretty(&json).expect("report serialization"),
+        )?;
+        Ok(())
+    }
+
+    /// Print and save in one call (the standard bin epilogue).
+    pub fn finish(&self, args: &Args) {
+        self.print();
+        if let Err(e) = self.save(&args.out_dir) {
+            eprintln!("warning: could not save results: {e}");
+        } else {
+            println!("\n[saved to {}/{}.{{md,csv,json}}]", args.out_dir.display(), self.id);
+        }
+    }
+}
+
+/// Geometric sweep of problem sizes: `base * 2^i` for `i < steps`.
+pub fn geometric_sizes(base: usize, steps: usize) -> Vec<usize> {
+    (0..steps).map(|i| base << i).collect()
+}
+
+/// Mean of integer round counts.
+pub fn mean(rounds: &[u64]) -> f64 {
+    rounds.iter().sum::<u64>() as f64 / rounds.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_sizes_doubles() {
+        assert_eq!(geometric_sizes(32, 4), vec![32, 64, 128, 256]);
+        assert_eq!(geometric_sizes(10, 1), vec![10]);
+    }
+
+    #[test]
+    fn report_roundtrip_to_disk() {
+        let dir = std::env::temp_dir().join(format!("gossip-bench-test-{}", std::process::id()));
+        let mut r = Report::new("T0-selftest");
+        r.note("hello");
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["1", "2"]);
+        r.table("numbers", t);
+        r.save(&dir).unwrap();
+        let md = std::fs::read_to_string(dir.join("T0-selftest.md")).unwrap();
+        assert!(md.contains("hello"));
+        assert!(md.contains("| a"));
+        let json = std::fs::read_to_string(dir.join("T0-selftest.json")).unwrap();
+        assert!(json.contains("T0-selftest"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mean_of_rounds() {
+        assert_eq!(mean(&[1, 2, 3]), 2.0);
+    }
+}

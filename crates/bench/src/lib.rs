@@ -1,0 +1,22 @@
+//! # gossip-bench
+//!
+//! The experiment harness: one module per paper artifact (theorem/figure),
+//! each regenerating its table from scratch. Binaries under `src/bin/` are
+//! thin wrappers so `cargo run -p gossip-bench --release --bin exp_*` works;
+//! `run_all` executes the full battery and writes `results/`.
+//!
+//! Conventions:
+//! * `--quick` shrinks sweeps for CI-speed runs; the full battery is sized
+//!   for minutes, not hours, on a laptop.
+//! * Every experiment prints a markdown table (for EXPERIMENTS.md) and
+//!   writes the same data as CSV + JSON under `results/`.
+//! * All randomness flows from `--seed` through the deterministic stream
+//!   machinery, so reruns reproduce bit-identical tables.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{parse_args, Args, Report};

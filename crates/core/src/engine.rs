@@ -1,0 +1,330 @@
+//! The synchronous-round execution engine.
+//!
+//! One round is two phases:
+//!
+//! 1. **Propose** — every node evaluates the rule against the *immutable*
+//!    round-start graph `G_t`, drawing from its own counter-based RNG stream.
+//!    This phase is embarrassingly parallel and runs under rayon when the
+//!    graph is large enough to amortize fork/join.
+//! 2. **Apply** — proposals are applied in node order. Order never changes
+//!    the resulting edge *set* (set union), but fixing it also fixes
+//!    adjacency-list insertion order, which makes sequential and parallel
+//!    execution **bit-identical** for all future sampling.
+
+use crate::convergence::ConvergenceCheck;
+use crate::process::{GossipGraph, ProposalRule, ProposalSet, RoundStats};
+use crate::recorder::RoundObserver;
+use crate::rng::stream_rng;
+use rayon::prelude::*;
+
+/// When to parallelize the propose phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Always sequential.
+    Sequential,
+    /// Rayon-parallel propose phase when `n >= threshold`.
+    Auto {
+        /// Minimum node count at which rayon is engaged.
+        threshold: usize,
+    },
+    /// Always parallel.
+    Parallel,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        // Per-node propose work is tens of nanoseconds; rayon's fork/join
+        // overhead only pays off for graphs in the tens of thousands.
+        Parallelism::Auto { threshold: 16_384 }
+    }
+}
+
+/// Outcome of [`Engine::run_until`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Rounds executed (== the convergence round when `converged`).
+    pub rounds: u64,
+    /// Whether the convergence check fired within the budget.
+    pub converged: bool,
+    /// Edge/arc count at the end.
+    pub final_edges: u64,
+}
+
+/// Drives a [`ProposalRule`] over a [`GossipGraph`] in synchronous rounds.
+#[derive(Clone, Debug)]
+pub struct Engine<G, R> {
+    graph: G,
+    rule: R,
+    seed: u64,
+    round: u64,
+    parallelism: Parallelism,
+    proposals: Vec<ProposalSet>,
+}
+
+impl<G: GossipGraph, R: ProposalRule<G>> Engine<G, R> {
+    /// Creates an engine over `graph` with the given rule and experiment seed.
+    pub fn new(graph: G, rule: R, seed: u64) -> Self {
+        let n = graph.node_count();
+        Engine {
+            graph,
+            rule,
+            seed,
+            round: 0,
+            parallelism: Parallelism::default(),
+            proposals: vec![ProposalSet::empty(); n],
+        }
+    }
+
+    /// Sets the parallelism policy (builder style).
+    pub fn with_parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = p;
+        self
+    }
+
+    /// The current graph `G_t`.
+    #[inline]
+    pub fn graph(&self) -> &G {
+        &self.graph
+    }
+
+    /// Consumes the engine, returning the final graph.
+    pub fn into_graph(self) -> G {
+        self.graph
+    }
+
+    /// Rounds executed so far (`t`).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The rule's name.
+    pub fn rule_name(&self) -> &'static str {
+        self.rule.name()
+    }
+
+    fn use_parallel(&self) -> bool {
+        match self.parallelism {
+            Parallelism::Sequential => false,
+            Parallelism::Parallel => true,
+            Parallelism::Auto { threshold } => self.graph.node_count() >= threshold,
+        }
+    }
+
+    /// Executes one synchronous round; returns what happened.
+    pub fn step(&mut self) -> RoundStats {
+        self.step_attributed(|_, _, _, _| {})
+    }
+
+    /// One round, invoking `on_edge(round, introducer, a, b)` for every edge
+    /// that is actually new. The no-op instantiation compiles down to
+    /// [`Engine::step`]; the provenance API in [`crate::trace`] builds on it.
+    pub(crate) fn step_attributed<F>(&mut self, mut on_edge: F) -> RoundStats
+    where
+        F: FnMut(u64, gossip_graph::NodeId, gossip_graph::NodeId, gossip_graph::NodeId),
+    {
+        let n = self.graph.node_count();
+        let (seed, round) = (self.seed, self.round);
+        debug_assert_eq!(self.proposals.len(), n);
+
+        // Phase 1: propose against the immutable G_t.
+        if self.use_parallel() {
+            let graph = &self.graph;
+            let rule = &self.rule;
+            self.proposals
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(u, slot)| {
+                    let mut rng = stream_rng(seed, round, u as u64);
+                    *slot = rule.propose(graph, gossip_graph::NodeId::new(u), &mut rng);
+                });
+        } else {
+            for u in 0..n {
+                let mut rng = stream_rng(seed, round, u as u64);
+                self.proposals[u] =
+                    self.rule.propose(&self.graph, gossip_graph::NodeId::new(u), &mut rng);
+            }
+        }
+
+        // Phase 2: apply in node order.
+        let mut stats = RoundStats::default();
+        self.round += 1;
+        for (u, slot) in self.proposals.iter().enumerate() {
+            for &(a, b) in slot.as_slice() {
+                stats.proposed += 1;
+                if self.graph.apply_edge(a, b) {
+                    stats.added += 1;
+                    on_edge(self.round, gossip_graph::NodeId::new(u), a, b);
+                }
+            }
+        }
+        stats
+    }
+
+    /// Runs until `check` fires or `max_rounds` is reached.
+    pub fn run_until<C: ConvergenceCheck<G>>(
+        &mut self,
+        check: &mut C,
+        max_rounds: u64,
+    ) -> RunOutcome {
+        self.run_observed(check, max_rounds, &mut crate::recorder::NullObserver)
+    }
+
+    /// Runs like [`Engine::run_until`], feeding every round to `observer`.
+    pub fn run_observed<C, O>(&mut self, check: &mut C, max_rounds: u64, observer: &mut O) -> RunOutcome
+    where
+        C: ConvergenceCheck<G>,
+        O: RoundObserver<G>,
+    {
+        // The start graph may already satisfy the target.
+        if check.is_converged(&self.graph) {
+            return RunOutcome {
+                rounds: self.round,
+                converged: true,
+                final_edges: self.graph.edge_count(),
+            };
+        }
+        let start = self.round;
+        while self.round - start < max_rounds {
+            let stats = self.step();
+            observer.observe(self.round, &self.graph, &stats);
+            if check.is_converged(&self.graph) {
+                return RunOutcome {
+                    rounds: self.round,
+                    converged: true,
+                    final_edges: self.graph.edge_count(),
+                };
+            }
+        }
+        RunOutcome {
+            rounds: self.round,
+            converged: false,
+            final_edges: self.graph.edge_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::{ComponentwiseComplete, Never};
+    use crate::rules::{Pull, Push};
+    use gossip_graph::{generators, UndirectedGraph};
+
+    #[test]
+    fn push_completes_a_path() {
+        let g = generators::path(12);
+        let mut check = ComponentwiseComplete::for_graph(&g);
+        let mut engine = Engine::new(g, Push, 0xBEEF);
+        let out = engine.run_until(&mut check, 1_000_000);
+        assert!(out.converged);
+        assert!(engine.graph().is_complete());
+        assert_eq!(out.final_edges, 66);
+        assert_eq!(out.rounds, engine.round());
+    }
+
+    #[test]
+    fn pull_completes_a_star() {
+        let g = generators::star(10);
+        let mut check = ComponentwiseComplete::for_graph(&g);
+        let mut engine = Engine::new(g, Pull, 7);
+        let out = engine.run_until(&mut check, 1_000_000);
+        assert!(out.converged);
+        assert!(engine.graph().is_complete());
+    }
+
+    #[test]
+    fn already_complete_converges_in_zero_rounds() {
+        let g = generators::complete(6);
+        let mut check = ComponentwiseComplete::for_graph(&g);
+        let mut engine = Engine::new(g, Push, 1);
+        let out = engine.run_until(&mut check, 10);
+        assert!(out.converged);
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn horizon_is_respected() {
+        let g = generators::path(64);
+        let mut engine = Engine::new(g, Push, 3);
+        let out = engine.run_until(&mut Never, 5);
+        assert!(!out.converged);
+        assert_eq!(out.rounds, 5);
+    }
+
+    #[test]
+    fn edges_only_grow_monotonically() {
+        let g = generators::cycle(20);
+        let mut engine = Engine::new(g, Push, 5);
+        let mut last = engine.graph().m();
+        for _ in 0..200 {
+            let stats = engine.step();
+            let m = engine.graph().m();
+            assert_eq!(m, last + stats.added);
+            assert!(m >= last);
+            last = m;
+        }
+        engine.graph().validate().unwrap();
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_exactly() {
+        for seed in [1u64, 99, 12345] {
+            let g = generators::tree_plus_random_edges(200, 400, &mut crate::rng::stream_rng(seed, 0, 0));
+            let mut seq = Engine::new(g.clone(), Push, seed)
+                .with_parallelism(Parallelism::Sequential);
+            let mut par = Engine::new(g, Push, seed).with_parallelism(Parallelism::Parallel);
+            for _ in 0..50 {
+                let s1 = seq.step();
+                let s2 = par.step();
+                assert_eq!(s1, s2);
+            }
+            // Not just counts — identical edge sets AND identical adjacency
+            // list order (guaranteed by ordered application).
+            let a: &UndirectedGraph = seq.graph();
+            let b: &UndirectedGraph = par.graph();
+            assert!(a.same_edges(b));
+            for u in a.nodes() {
+                assert_eq!(a.neighbors(u).as_slice(), b.neighbors(u).as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let g = generators::random_tree(40, &mut crate::rng::stream_rng(8, 0, 0));
+        let mut e1 = Engine::new(g.clone(), Pull, 555);
+        let mut e2 = Engine::new(g, Pull, 555);
+        for _ in 0..100 {
+            assert_eq!(e1.step(), e2.step());
+        }
+        assert!(e1.graph().same_edges(e2.graph()));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let g = generators::cycle(30);
+        let mut e1 = Engine::new(g.clone(), Push, 1);
+        let mut e2 = Engine::new(g, Push, 2);
+        let mut diverged = false;
+        for _ in 0..20 {
+            if e1.step() != e2.step() {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(diverged || !e1.graph().same_edges(e2.graph()));
+    }
+
+    #[test]
+    fn directed_engine_reaches_closure() {
+        use crate::convergence::ClosureReached;
+        use crate::rules::DirectedPull;
+        let g = generators::directed_cycle(8);
+        let mut check = ClosureReached::for_graph(&g);
+        let mut engine = Engine::new(g, DirectedPull, 11);
+        let out = engine.run_until(&mut check, 1_000_000);
+        assert!(out.converged);
+        assert_eq!(out.final_edges, 8 * 7);
+    }
+}

@@ -1,0 +1,175 @@
+//! Core abstractions: what a gossip round *is*.
+//!
+//! The paper's processes share one synchronous-round skeleton: every node
+//! inspects the round-start graph `G_t`, proposes edges from local random
+//! choices, and all proposals are applied together to form `G_{t+1}`. A
+//! [`ProposalRule`] captures the per-node choice; [`GossipGraph`] abstracts
+//! the two graph types so one engine serves the undirected and directed
+//! processes.
+
+use gossip_graph::{DirectedGraph, NodeId, UndirectedGraph};
+use rand::rngs::SmallRng;
+
+/// Up to two proposed edges, inline (no allocation on the per-node hot path).
+///
+/// One slot suffices for push/pull; the hybrid variant proposes both a push
+/// and a pull edge in the same round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProposalSet {
+    edges: [(NodeId, NodeId); 2],
+    len: u8,
+}
+
+impl ProposalSet {
+    /// No proposal this round.
+    #[inline]
+    pub fn empty() -> Self {
+        ProposalSet::default()
+    }
+
+    /// A single proposed edge.
+    #[inline]
+    pub fn one(a: NodeId, b: NodeId) -> Self {
+        ProposalSet {
+            edges: [(a, b), (NodeId(0), NodeId(0))],
+            len: 1,
+        }
+    }
+
+    /// Two proposed edges.
+    #[inline]
+    pub fn two(e1: (NodeId, NodeId), e2: (NodeId, NodeId)) -> Self {
+        ProposalSet { edges: [e1, e2], len: 2 }
+    }
+
+    /// Appends an edge.
+    ///
+    /// # Panics
+    /// Panics if already holding two edges.
+    #[inline]
+    pub fn push(&mut self, e: (NodeId, NodeId)) {
+        assert!(self.len < 2, "ProposalSet overflow");
+        self.edges[self.len as usize] = e;
+        self.len += 1;
+    }
+
+    /// Number of proposed edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no edge is proposed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The proposed edges.
+    #[inline]
+    pub fn as_slice(&self) -> &[(NodeId, NodeId)] {
+        &self.edges[..self.len as usize]
+    }
+}
+
+/// A graph the engine can run on: node enumeration + edge application.
+pub trait GossipGraph: Clone + Send + Sync {
+    /// Number of nodes.
+    fn node_count(&self) -> usize;
+    /// Applies a proposed edge; returns `true` if the graph changed.
+    /// Degenerate proposals (`a == b`) must be no-ops.
+    fn apply_edge(&mut self, a: NodeId, b: NodeId) -> bool;
+    /// Current edge/arc count.
+    fn edge_count(&self) -> u64;
+}
+
+impl GossipGraph for UndirectedGraph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.n()
+    }
+    #[inline]
+    fn apply_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.add_edge(a, b)
+    }
+    #[inline]
+    fn edge_count(&self) -> u64 {
+        self.m()
+    }
+}
+
+impl GossipGraph for DirectedGraph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.n()
+    }
+    #[inline]
+    fn apply_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.add_arc(a, b)
+    }
+    #[inline]
+    fn edge_count(&self) -> u64 {
+        self.arc_count()
+    }
+}
+
+/// The per-node random choice of a gossip process.
+///
+/// Implementations must be pure given `(g, u, rng)`: all engine guarantees
+/// (determinism, seq/par equivalence) follow from that purity.
+pub trait ProposalRule<G: GossipGraph>: Send + Sync {
+    /// Edges node `u` proposes while observing the round-start graph `g`.
+    fn propose(&self, g: &G, u: NodeId, rng: &mut SmallRng) -> ProposalSet;
+
+    /// Human-readable rule name for logs and result tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Statistics for one applied round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Number of edges proposed (including duplicates and no-ops).
+    pub proposed: u64,
+    /// Number of edges that were actually new.
+    pub added: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposal_set_push_and_iter() {
+        let mut p = ProposalSet::empty();
+        assert!(p.is_empty());
+        p.push((NodeId(1), NodeId(2)));
+        p.push((NodeId(3), NodeId(4)));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.as_slice(), &[(NodeId(1), NodeId(2)), (NodeId(3), NodeId(4))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn proposal_set_overflow() {
+        let mut p = ProposalSet::two((NodeId(0), NodeId(1)), (NodeId(1), NodeId(2)));
+        p.push((NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn gossip_graph_undirected_apply() {
+        let mut g = UndirectedGraph::new(3);
+        assert!(g.apply_edge(NodeId(0), NodeId(1)));
+        assert!(!g.apply_edge(NodeId(1), NodeId(0)));
+        assert!(!g.apply_edge(NodeId(2), NodeId(2)));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn gossip_graph_directed_apply() {
+        let mut g = DirectedGraph::new(3);
+        assert!(g.apply_edge(NodeId(0), NodeId(1)));
+        assert!(g.apply_edge(NodeId(1), NodeId(0)));
+        assert!(!g.apply_edge(NodeId(1), NodeId(1)));
+        assert_eq!(g.edge_count(), 2);
+    }
+}

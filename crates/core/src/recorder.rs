@@ -1,0 +1,191 @@
+//! Round observers: time-series capture without slowing the hot loop.
+
+use crate::process::{GossipGraph, RoundStats};
+use gossip_graph::UndirectedGraph;
+
+/// Receives each executed round. The engine calls this after applying
+/// proposals, with the post-round graph `G_{t+1}` and the round's stats.
+pub trait RoundObserver<G: GossipGraph> {
+    /// Observes round `round` (1-based: the value of `Engine::round()` after
+    /// the step).
+    fn observe(&mut self, round: u64, g: &G, stats: &RoundStats);
+}
+
+/// Observer that records nothing (the default for timing-sensitive runs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl<G: GossipGraph> RoundObserver<G> for NullObserver {
+    #[inline]
+    fn observe(&mut self, _round: u64, _g: &G, _stats: &RoundStats) {}
+}
+
+/// One sampled row of an undirected run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesRow {
+    /// Round index.
+    pub round: u64,
+    /// Edge count after the round.
+    pub m: u64,
+    /// Minimum degree after the round.
+    pub min_degree: usize,
+    /// Maximum degree after the round.
+    pub max_degree: usize,
+    /// Edges added in this round.
+    pub added: u64,
+}
+
+/// Samples an undirected run every `stride` rounds (and on round 1).
+///
+/// Degree scans are O(n); at stride `s` the recorder costs O(n/s) per round
+/// amortized. Pick `stride >= n / 64` for long runs.
+#[derive(Clone, Debug)]
+pub struct SeriesRecorder {
+    stride: u64,
+    rows: Vec<SeriesRow>,
+}
+
+impl SeriesRecorder {
+    /// Creates a recorder sampling every `stride` rounds (`stride >= 1`).
+    pub fn every(stride: u64) -> Self {
+        assert!(stride >= 1, "stride must be >= 1");
+        SeriesRecorder { stride, rows: Vec::new() }
+    }
+
+    /// The captured rows.
+    pub fn rows(&self) -> &[SeriesRow] {
+        &self.rows
+    }
+
+    /// Consumes the recorder, returning its rows.
+    pub fn into_rows(self) -> Vec<SeriesRow> {
+        self.rows
+    }
+}
+
+impl RoundObserver<UndirectedGraph> for SeriesRecorder {
+    fn observe(&mut self, round: u64, g: &UndirectedGraph, stats: &RoundStats) {
+        if round == 1 || round.is_multiple_of(self.stride) {
+            self.rows.push(SeriesRow {
+                round,
+                m: g.m(),
+                min_degree: g.min_degree(),
+                max_degree: g.max_degree(),
+                added: stats.added,
+            });
+        }
+    }
+}
+
+/// Records the first round at which the minimum degree reached each power of
+/// `growth_factor` times the starting minimum degree — the direct empirical
+/// analogue of the paper's "δ grows by a constant factor every O(n log n)
+/// rounds" progress measure.
+#[derive(Clone, Debug)]
+pub struct MinDegreeMilestones {
+    delta0: usize,
+    factor: f64,
+    next_target: f64,
+    /// `(round, min_degree)` at each milestone crossing.
+    milestones: Vec<(u64, usize)>,
+}
+
+impl MinDegreeMilestones {
+    /// Tracks milestones `delta0 * factor^i` for the run.
+    pub fn new(delta0: usize, factor: f64) -> Self {
+        assert!(factor > 1.0, "growth factor must exceed 1");
+        assert!(delta0 >= 1, "delta0 must be >= 1");
+        MinDegreeMilestones {
+            delta0,
+            factor,
+            next_target: delta0 as f64 * factor,
+            milestones: Vec::new(),
+        }
+    }
+
+    /// `(round, min_degree)` pairs at which successive factor targets were hit.
+    pub fn milestones(&self) -> &[(u64, usize)] {
+        &self.milestones
+    }
+
+    /// The starting minimum degree.
+    pub fn delta0(&self) -> usize {
+        self.delta0
+    }
+}
+
+impl RoundObserver<UndirectedGraph> for MinDegreeMilestones {
+    fn observe(&mut self, round: u64, g: &UndirectedGraph, _stats: &RoundStats) {
+        let delta = g.min_degree();
+        let cap = g.n() - 1;
+        while delta as f64 >= self.next_target || delta >= cap {
+            self.milestones.push((round, delta));
+            self.next_target *= self.factor;
+            if delta >= cap {
+                return; // degree can't grow further; stop emitting
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::ComponentwiseComplete;
+    use crate::engine::Engine;
+    use crate::rules::Push;
+    use gossip_graph::generators;
+
+    #[test]
+    fn series_recorder_strides() {
+        let g = generators::path(16);
+        let mut check = ComponentwiseComplete::for_graph(&g);
+        let mut rec = SeriesRecorder::every(5);
+        let mut engine = Engine::new(g, Push, 42);
+        let out = engine.run_observed(&mut check, 100_000, &mut rec);
+        assert!(out.converged);
+        let rows = rec.rows();
+        assert!(!rows.is_empty());
+        assert_eq!(rows[0].round, 1);
+        // Strided rows (after the first) land on multiples of 5.
+        for row in &rows[1..] {
+            assert_eq!(row.round % 5, 0);
+        }
+        // m is nondecreasing across rows.
+        for w in rows.windows(2) {
+            assert!(w[1].m >= w[0].m);
+        }
+    }
+
+    #[test]
+    fn milestones_capture_growth() {
+        let g = generators::cycle(32); // delta0 = 2
+        let mut check = ComponentwiseComplete::for_graph(&g);
+        let mut ms = MinDegreeMilestones::new(2, 1.5);
+        let mut engine = Engine::new(g, Push, 9);
+        let out = engine.run_observed(&mut check, 1_000_000, &mut ms);
+        assert!(out.converged);
+        let milestones = ms.milestones();
+        assert!(
+            milestones.len() >= 3,
+            "expected several milestones, got {milestones:?}"
+        );
+        // Rounds are nondecreasing, degrees increase toward n-1.
+        for w in milestones.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert_eq!(milestones.last().unwrap().1, 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn recorder_rejects_zero_stride() {
+        let _ = SeriesRecorder::every(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "growth factor")]
+    fn milestones_reject_bad_factor() {
+        let _ = MinDegreeMilestones::new(2, 1.0);
+    }
+}

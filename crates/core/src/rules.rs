@@ -1,0 +1,217 @@
+//! The paper's two discovery processes, verbatim.
+
+use crate::process::{ProposalRule, ProposalSet};
+use gossip_graph::{DirectedGraph, NodeId, UndirectedGraph};
+use rand::rngs::SmallRng;
+
+/// **Push discovery (triangulation)** — Section 3.
+///
+/// Each round, node `u` draws `v, w` i.i.d. uniformly from `N(u)` and
+/// proposes the edge `(v, w)`. Draws are *with replacement* (the paper's
+/// Lemma 3 computes a `1/d(w)²` probability for an ordered pair), so `v = w`
+/// is possible and then nothing happens. `u` needs no two-hop knowledge: it
+/// introduces two of its own neighbors to each other.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Push;
+
+impl ProposalRule<UndirectedGraph> for Push {
+    #[inline]
+    fn propose(&self, g: &UndirectedGraph, u: NodeId, rng: &mut SmallRng) -> ProposalSet {
+        match g.random_neighbor_pair(u, rng) {
+            Some((v, w)) if v != w => ProposalSet::one(v, w),
+            _ => ProposalSet::empty(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "push"
+    }
+}
+
+/// **Pull discovery (two-hop walk)** — Section 4.
+///
+/// Each round, node `u` draws `v` uniformly from `N(u)`, then `w` uniformly
+/// from `N(v)`, and proposes the edge `(u, w)`. The walk may step back onto
+/// `u` itself (`u ∈ N(v)`), in which case nothing happens.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Pull;
+
+impl ProposalRule<UndirectedGraph> for Pull {
+    #[inline]
+    fn propose(&self, g: &UndirectedGraph, u: NodeId, rng: &mut SmallRng) -> ProposalSet {
+        let Some(v) = g.random_neighbor(u, rng) else {
+            return ProposalSet::empty();
+        };
+        let Some(w) = g.random_neighbor(v, rng) else {
+            return ProposalSet::empty();
+        };
+        if w == u {
+            ProposalSet::empty()
+        } else {
+            ProposalSet::one(u, w)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "pull"
+    }
+}
+
+/// **Directed two-hop walk** — Section 5.
+///
+/// Node `u` takes a two-hop directed random walk `u -> v -> w` along
+/// out-edges and proposes the arc `(u, w)`. Nodes whose first hop lands on a
+/// sink (no out-edges) do nothing that round, as do walks returning to `u`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DirectedPull;
+
+impl ProposalRule<DirectedGraph> for DirectedPull {
+    #[inline]
+    fn propose(&self, g: &DirectedGraph, u: NodeId, rng: &mut SmallRng) -> ProposalSet {
+        let Some(v) = g.random_out_neighbor(u, rng) else {
+            return ProposalSet::empty();
+        };
+        let Some(w) = g.random_out_neighbor(v, rng) else {
+            return ProposalSet::empty();
+        };
+        if w == u {
+            ProposalSet::empty()
+        } else {
+            ProposalSet::one(u, w)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "directed-pull"
+    }
+}
+
+/// **Hybrid push + pull**: each node performs both a triangulation step and
+/// a two-hop-walk step every round. Not analyzed in the paper (its §6 asks
+/// about variants); included as the natural "best of both" ablation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HybridPushPull;
+
+impl ProposalRule<UndirectedGraph> for HybridPushPull {
+    #[inline]
+    fn propose(&self, g: &UndirectedGraph, u: NodeId, rng: &mut SmallRng) -> ProposalSet {
+        let mut out = ProposalSet::empty();
+        if let Some((v, w)) = g.random_neighbor_pair(u, rng) {
+            if v != w {
+                out.push((v, w));
+            }
+        }
+        if let Some(v) = g.random_neighbor(u, rng) {
+            if let Some(w) = g.random_neighbor(v, rng) {
+                if w != u {
+                    out.push((u, w));
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream_rng;
+    use gossip_graph::generators;
+
+    #[test]
+    fn push_proposes_edges_between_own_neighbors() {
+        let g = generators::star(6); // center 0
+        let mut hits = 0;
+        for node_stream in 0..200 {
+            let mut rng = stream_rng(1, node_stream, 0);
+            let p = Push.propose(&g, NodeId(0), &mut rng);
+            for &(a, b) in p.as_slice() {
+                assert!(g.has_edge(NodeId(0), a) && g.has_edge(NodeId(0), b));
+                assert_ne!(a, b);
+                hits += 1;
+            }
+        }
+        // 5 leaves -> P(v != w) = 4/5; expect ~160 proposals out of 200.
+        assert!(hits > 120, "push almost never proposed: {hits}");
+    }
+
+    #[test]
+    fn push_from_leaf_is_noop() {
+        let g = generators::star(6);
+        // A leaf has one neighbor: the pair draw is always (c, c).
+        for s in 0..50 {
+            let mut rng = stream_rng(2, s, 1);
+            assert!(Push.propose(&g, NodeId(1), &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn pull_reaches_two_hop_only() {
+        let g = generators::path(5); // 0-1-2-3-4
+        for s in 0..300 {
+            let mut rng = stream_rng(3, s, 0);
+            let p = Pull.propose(&g, NodeId(0), &mut rng);
+            for &(a, b) in p.as_slice() {
+                assert_eq!(a, NodeId(0));
+                // From 0 the walk goes 0->1->{0,2}; only 2 survives.
+                assert_eq!(b, NodeId(2));
+            }
+        }
+    }
+
+    #[test]
+    fn pull_on_isolated_node_is_noop() {
+        let g = UndirectedGraph::new(3);
+        let mut rng = stream_rng(4, 0, 0);
+        assert!(Pull.propose(&g, NodeId(0), &mut rng).is_empty());
+        assert!(Push.propose(&g, NodeId(0), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn directed_pull_respects_arcs() {
+        let g = generators::directed_cycle(4);
+        for s in 0..100 {
+            let mut rng = stream_rng(5, s, 0);
+            let p = DirectedPull.propose(&g, NodeId(0), &mut rng);
+            for &(a, b) in p.as_slice() {
+                assert_eq!(a, NodeId(0));
+                assert_eq!(b, NodeId(2)); // only 0->1->2 exists
+            }
+        }
+    }
+
+    #[test]
+    fn directed_pull_sink_first_hop() {
+        // 0 -> 1, 1 has no out-edges: walk dies at v.
+        let g = DirectedGraph::from_arcs(2, [(0, 1)]);
+        for s in 0..20 {
+            let mut rng = stream_rng(6, s, 0);
+            assert!(DirectedPull.propose(&g, NodeId(0), &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn hybrid_proposes_up_to_two() {
+        let g = generators::complete(5);
+        let mut total = 0;
+        for s in 0..100 {
+            let mut rng = stream_rng(7, s, 2);
+            let p = HybridPushPull.propose(&g, NodeId(2), &mut rng);
+            assert!(p.len() <= 2);
+            total += p.len();
+        }
+        assert!(total > 100, "hybrid should usually propose edges: {total}");
+    }
+
+    #[test]
+    fn rule_names() {
+        assert_eq!(ProposalRule::<UndirectedGraph>::name(&Push), "push");
+        assert_eq!(ProposalRule::<UndirectedGraph>::name(&Pull), "pull");
+        assert_eq!(ProposalRule::<DirectedGraph>::name(&DirectedPull), "directed-pull");
+        assert_eq!(ProposalRule::<UndirectedGraph>::name(&HybridPushPull), "hybrid");
+    }
+}

@@ -1,0 +1,161 @@
+//! Monte Carlo trial batches.
+//!
+//! Convergence-time distributions are what every experiment reports, so the
+//! crate ships one well-tested way to run `T` independent trials of the same
+//! configuration: trial `t` gets seed `trial_seed(base_seed, t)`, its own
+//! clone of the initial graph, and runs to convergence. Trials are
+//! independent, so they parallelize across rayon with zero coordination;
+//! within a trial the engine stays sequential (per-round work is O(n)).
+
+use crate::convergence::ConvergenceCheck;
+use crate::engine::{Engine, Parallelism, RunOutcome};
+use crate::process::{GossipGraph, ProposalRule};
+use crate::rng::trial_seed;
+use rayon::prelude::*;
+
+/// Configuration for a batch of independent trials.
+#[derive(Clone, Copy, Debug)]
+pub struct TrialConfig {
+    /// Number of independent runs.
+    pub trials: usize,
+    /// Base seed; trial `t` derives its own seed from it.
+    pub base_seed: u64,
+    /// Per-trial round budget.
+    pub max_rounds: u64,
+    /// Run trials across rayon worker threads.
+    pub parallel: bool,
+}
+
+impl Default for TrialConfig {
+    fn default() -> Self {
+        TrialConfig {
+            trials: 16,
+            base_seed: 0x6055_1734,
+            max_rounds: 100_000_000,
+            parallel: true,
+        }
+    }
+}
+
+/// Runs `cfg.trials` independent trials of `rule` on clones of `g0`.
+///
+/// `make_check` builds a fresh convergence check per trial (checks may hold
+/// state). Results are returned in trial order regardless of scheduling.
+pub fn run_trials<G, R, C>(
+    g0: &G,
+    rule: R,
+    make_check: impl Fn(&G) -> C + Sync,
+    cfg: &TrialConfig,
+) -> Vec<RunOutcome>
+where
+    G: GossipGraph,
+    R: ProposalRule<G> + Clone,
+    C: ConvergenceCheck<G>,
+{
+    let run_one = |t: usize| -> RunOutcome {
+        let seed = trial_seed(cfg.base_seed, t);
+        let mut check = make_check(g0);
+        let mut engine = Engine::new(g0.clone(), rule.clone(), seed)
+            .with_parallelism(Parallelism::Sequential);
+        engine.run_until(&mut check, cfg.max_rounds)
+    };
+
+    if cfg.parallel {
+        (0..cfg.trials).into_par_iter().map(run_one).collect()
+    } else {
+        (0..cfg.trials).map(run_one).collect()
+    }
+}
+
+/// Convergence rounds of each trial; panics if any trial failed to converge
+/// (use [`run_trials`] directly to handle censored runs).
+pub fn convergence_rounds<G, R, C>(
+    g0: &G,
+    rule: R,
+    make_check: impl Fn(&G) -> C + Sync,
+    cfg: &TrialConfig,
+) -> Vec<u64>
+where
+    G: GossipGraph,
+    R: ProposalRule<G> + Clone,
+    C: ConvergenceCheck<G>,
+{
+    run_trials(g0, rule, make_check, cfg)
+        .into_iter()
+        .enumerate()
+        .map(|(t, o)| {
+            assert!(
+                o.converged,
+                "trial {t} did not converge within {} rounds (final edges {})",
+                cfg.max_rounds, o.final_edges
+            );
+            o.rounds
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::ComponentwiseComplete;
+    use crate::rules::{Pull, Push};
+    use gossip_graph::generators;
+
+    #[test]
+    fn trials_are_deterministic_in_base_seed() {
+        let g = generators::star(12);
+        let cfg = TrialConfig {
+            trials: 8,
+            base_seed: 77,
+            max_rounds: 1_000_000,
+            parallel: false,
+        };
+        let a = convergence_rounds(&g, Push, ComponentwiseComplete::for_graph, &cfg);
+        let b = convergence_rounds(&g, Push, ComponentwiseComplete::for_graph, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_and_sequential_batches_agree() {
+        let g = generators::cycle(10);
+        let mut cfg = TrialConfig {
+            trials: 6,
+            base_seed: 5,
+            max_rounds: 1_000_000,
+            parallel: false,
+        };
+        let seq = convergence_rounds(&g, Pull, ComponentwiseComplete::for_graph, &cfg);
+        cfg.parallel = true;
+        let par = convergence_rounds(&g, Pull, ComponentwiseComplete::for_graph, &cfg);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn trials_vary_across_index() {
+        let g = generators::star(16);
+        let cfg = TrialConfig {
+            trials: 10,
+            base_seed: 1,
+            max_rounds: 1_000_000,
+            parallel: true,
+        };
+        let rounds = convergence_rounds(&g, Push, ComponentwiseComplete::for_graph, &cfg);
+        // Convergence time is random: 10 trials on a 16-star should not all
+        // coincide.
+        assert!(rounds.iter().any(|&r| r != rounds[0]), "{rounds:?}");
+    }
+
+    #[test]
+    fn censored_runs_reported_not_panicking() {
+        let g = generators::path(40);
+        let cfg = TrialConfig {
+            trials: 3,
+            base_seed: 2,
+            max_rounds: 1, // way too small
+            parallel: false,
+        };
+        let out = run_trials(&g, Push, ComponentwiseComplete::for_graph, &cfg);
+        assert!(out.iter().all(|o| !o.converged));
+        assert!(out.iter().all(|o| o.rounds == 1));
+    }
+}

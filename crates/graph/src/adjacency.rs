@@ -1,0 +1,244 @@
+//! The adjacency set: the hot data structure of every gossip round.
+//!
+//! Each node holds an [`AdjSet`]: a dense `Vec<NodeId>` for O(1) uniform
+//! sampling plus a [`BitSet`] for O(1) membership. This pairing is the core
+//! performance decision of the library (see DESIGN.md): the processes sample
+//! random neighbors every round on every node, and insert edges that must be
+//! deduplicated. A hash set would sample in O(capacity) or need auxiliary
+//! state; a sorted vec would insert in O(deg). Here both hot operations are
+//! constant-time, and memory is `deg * 4` bytes + `n/8` bytes per node — the
+//! same order as the complete graph the processes converge to.
+
+use crate::bitset::BitSet;
+use crate::node::NodeId;
+use rand::Rng;
+
+/// A set of neighbors supporting O(1) insert, membership, and uniform sampling.
+///
+/// ```
+/// use gossip_graph::{AdjSet, NodeId};
+/// use rand::SeedableRng;
+/// let mut s = AdjSet::new(8);
+/// s.insert(NodeId(3));
+/// s.insert(NodeId(5));
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let v = s.sample(&mut rng).unwrap();
+/// assert!(s.contains(v));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AdjSet {
+    /// Dense list of members, in insertion order; the sampling surface.
+    list: Vec<NodeId>,
+    /// Membership bitmap over all node ids of the graph.
+    member: BitSet,
+}
+
+impl AdjSet {
+    /// Creates an empty set able to hold nodes in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        AdjSet {
+            list: Vec::new(),
+            member: BitSet::new(capacity),
+        }
+    }
+
+    /// Number of neighbors (the node's degree).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.member.contains(v.index())
+    }
+
+    /// Inserts `v`; returns `true` if it was new.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        if self.member.insert(v.index()) {
+            self.list.push(v);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    ///
+    /// O(deg) — removal only happens under churn (node departure), which is
+    /// rare relative to sampling, so we do not pay for a position index.
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        if !self.member.remove(v.index()) {
+            return false;
+        }
+        let pos = self
+            .list
+            .iter()
+            .position(|&x| x == v)
+            .expect("bitset and list out of sync");
+        self.list.swap_remove(pos);
+        true
+    }
+
+    /// Uniformly random member, or `None` if empty.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        if self.list.is_empty() {
+            None
+        } else {
+            Some(self.list[rng.random_range(0..self.list.len())])
+        }
+    }
+
+    /// Two members sampled independently and uniformly **with replacement**
+    /// (the paper's push process draws neighbors i.i.d.; `v == w` is allowed
+    /// and then the round is a no-op for this node).
+    #[inline]
+    pub fn sample_pair<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<(NodeId, NodeId)> {
+        if self.list.is_empty() {
+            None
+        } else {
+            let i = rng.random_range(0..self.list.len());
+            let j = rng.random_range(0..self.list.len());
+            Some((self.list[i], self.list[j]))
+        }
+    }
+
+    /// The members as a slice (insertion order; not sorted).
+    #[inline]
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.list
+    }
+
+    /// Iterates over members in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.list.iter().copied()
+    }
+
+    /// Read-only view of the membership bitmap.
+    #[inline]
+    pub fn membership(&self) -> &BitSet {
+        &self.member
+    }
+
+    /// Grows the membership bitmap to accommodate ids in `0..new_capacity`
+    /// (used when nodes join under churn).
+    pub fn grow(&mut self, new_capacity: usize) {
+        self.member.grow(new_capacity);
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        self.list.clear();
+        self.member.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a AdjSet {
+    type Item = NodeId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, NodeId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.list.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_contains_len() {
+        let mut s = AdjSet::new(16);
+        assert!(s.is_empty());
+        assert!(s.insert(NodeId(3)));
+        assert!(!s.insert(NodeId(3)));
+        assert!(s.insert(NodeId(7)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(NodeId(3)));
+        assert!(!s.contains(NodeId(4)));
+    }
+
+    #[test]
+    fn remove_keeps_consistency() {
+        let mut s = AdjSet::new(16);
+        for i in 0..10 {
+            s.insert(NodeId(i));
+        }
+        assert!(s.remove(NodeId(4)));
+        assert!(!s.remove(NodeId(4)));
+        assert_eq!(s.len(), 9);
+        assert!(!s.contains(NodeId(4)));
+        // list and bitset agree
+        let from_list: BTreeSet<_> = s.iter().collect();
+        let from_bits: BTreeSet<_> = s.membership().iter().map(NodeId::new).collect();
+        assert_eq!(from_list, from_bits);
+    }
+
+    #[test]
+    fn sample_none_when_empty() {
+        let s = AdjSet::new(4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(s.sample(&mut rng).is_none());
+        assert!(s.sample_pair(&mut rng).is_none());
+    }
+
+    #[test]
+    fn sample_uniformity_smoke() {
+        // Chi-squared-free sanity: each of 4 members should get roughly 1/4
+        // of 40k draws (within 10%).
+        let mut s = AdjSet::new(8);
+        for i in 0..4 {
+            s.insert(NodeId(i));
+        }
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[s.sample(&mut rng).unwrap().index()] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..=11_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn sample_pair_with_replacement() {
+        // With one member the pair must be (x, x): replacement semantics.
+        let mut s = AdjSet::new(4);
+        s.insert(NodeId(2));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (a, b) = s.sample_pair(&mut rng).unwrap();
+        assert_eq!(a, NodeId(2));
+        assert_eq!(b, NodeId(2));
+    }
+
+    #[test]
+    fn grow_allows_new_ids() {
+        let mut s = AdjSet::new(2);
+        s.insert(NodeId(1));
+        s.grow(100);
+        assert!(s.insert(NodeId(99)));
+        assert!(s.contains(NodeId(1)));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = AdjSet::new(8);
+        s.insert(NodeId(1));
+        s.insert(NodeId(2));
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(NodeId(1)));
+    }
+}

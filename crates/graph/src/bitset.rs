@@ -1,0 +1,333 @@
+//! A fixed-capacity bitset over `u64` words.
+//!
+//! This is the membership structure behind adjacency sets and the row type of
+//! transitive-closure computations. Compared to `HashSet<u32>` it is ~8x
+//! denser, branch-free to query, and unions whole rows at memory bandwidth —
+//! which is what makes closure computation and Name-Dropper simulation cheap
+//! even when graphs approach completeness.
+
+/// A fixed-capacity set of small integers backed by packed `u64` words.
+///
+/// ```
+/// use gossip_graph::BitSet;
+/// let mut s = BitSet::new(128);
+/// assert!(s.insert(64));
+/// assert!(!s.insert(64));
+/// assert!(s.contains(64));
+/// assert_eq!(s.count(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitSet {
+    /// Creates an empty bitset able to hold values in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(WORD_BITS)],
+            capacity,
+        }
+    }
+
+    /// Capacity (one past the largest storable value).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `v`. Returns `true` if it was not already present.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `v >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, v: usize) -> bool {
+        debug_assert!(v < self.capacity, "bit {v} out of capacity {}", self.capacity);
+        let (w, b) = (v / WORD_BITS, v % WORD_BITS);
+        let mask = 1u64 << b;
+        let had = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        !had
+    }
+
+    /// Removes `v`. Returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: usize) -> bool {
+        debug_assert!(v < self.capacity);
+        let (w, b) = (v / WORD_BITS, v % WORD_BITS);
+        let mask = 1u64 << b;
+        let had = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: usize) -> bool {
+        if v >= self.capacity {
+            return false;
+        }
+        let (w, b) = (v / WORD_BITS, v % WORD_BITS);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Number of elements present.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no element is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// In-place union; returns the number of *new* elements gained.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) -> usize {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        let mut gained = 0;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a |= b;
+            gained += (*a ^ before).count_ones() as usize;
+        }
+        gained
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place set difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Size of the intersection without materializing it.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `self` is a subset of `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words.iter().zip(&other.words).all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// Iterates over elements in increasing order.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Raw word access (read-only), for word-parallel algorithms.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Grows capacity to at least `new_capacity`, preserving contents.
+    pub fn grow(&mut self, new_capacity: usize) {
+        if new_capacity > self.capacity {
+            self.words.resize(new_capacity.div_ceil(WORD_BITS), 0);
+            self.capacity = new_capacity;
+        }
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects values into a bitset sized to the maximum element + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let vals: Vec<usize> = iter.into_iter().collect();
+        let cap = vals.iter().max().map_or(0, |&m| m + 1);
+        let mut s = BitSet::new(cap);
+        for v in vals {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+/// Iterator over set bits, ascending.
+pub struct BitIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(200);
+        assert!(!s.contains(63));
+        assert!(s.insert(63));
+        assert!(!s.insert(63));
+        assert!(s.contains(63));
+        assert!(s.insert(64));
+        assert!(s.insert(199));
+        assert_eq!(s.count(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(10_000));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = BitSet::new(300);
+        for v in [0, 1, 63, 64, 65, 128, 299] {
+            s.insert(v);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 1, 63, 64, 65, 128, 299]);
+    }
+
+    #[test]
+    fn union_counts_gained() {
+        let mut a = BitSet::new(128);
+        let mut b = BitSet::new(128);
+        a.insert(1);
+        a.insert(2);
+        b.insert(2);
+        b.insert(3);
+        b.insert(100);
+        let gained = a.union_with(&b);
+        assert_eq!(gained, 2);
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn subset_and_intersection() {
+        let mut a = BitSet::new(64);
+        let mut b = BitSet::new(64);
+        a.insert(5);
+        b.insert(5);
+        b.insert(9);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert_eq!(a.intersection_count(&b), 1);
+        let mut c = b.clone();
+        c.intersect_with(&a);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![5]);
+        let mut d = b.clone();
+        d.difference_with(&a);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn grow_preserves() {
+        let mut s = BitSet::new(10);
+        s.insert(7);
+        s.grow(1000);
+        assert!(s.contains(7));
+        s.insert(999);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.capacity(), 1000);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: BitSet = [3usize, 10, 3].into_iter().collect();
+        assert_eq!(s.count(), 2);
+        assert!(s.contains(10));
+        assert_eq!(s.capacity(), 11);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        let s2 = BitSet::new(100);
+        assert!(s2.is_empty());
+        assert_eq!(s2.count(), 0);
+    }
+
+    proptest! {
+        /// The bitset behaves exactly like a reference BTreeSet under a
+        /// random operation sequence.
+        #[test]
+        fn matches_btreeset_model(ops in proptest::collection::vec((0usize..256, 0u8..3), 0..400)) {
+            let mut s = BitSet::new(256);
+            let mut model = BTreeSet::new();
+            for (v, op) in ops {
+                match op {
+                    0 => prop_assert_eq!(s.insert(v), model.insert(v)),
+                    1 => prop_assert_eq!(s.remove(v), model.remove(&v)),
+                    _ => prop_assert_eq!(s.contains(v), model.contains(&v)),
+                }
+            }
+            prop_assert_eq!(s.count(), model.len());
+            prop_assert_eq!(s.iter().collect::<Vec<_>>(), model.into_iter().collect::<Vec<_>>());
+        }
+
+        /// Union gained-count equals |b \ a| and result is the set union.
+        #[test]
+        fn union_model(av in proptest::collection::btree_set(0usize..200, 0..80),
+                       bv in proptest::collection::btree_set(0usize..200, 0..80)) {
+            let mut a = BitSet::new(200);
+            let mut b = BitSet::new(200);
+            for &v in &av { a.insert(v); }
+            for &v in &bv { b.insert(v); }
+            let gained = a.union_with(&b);
+            prop_assert_eq!(gained, bv.difference(&av).count());
+            let expect: Vec<usize> = av.union(&bv).copied().collect();
+            prop_assert_eq!(a.iter().collect::<Vec<_>>(), expect);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Immutable CSR (compressed sparse row) snapshots.
+//!
+//! The mutable graphs optimize for sampling and insertion; analysis passes
+//! (all-pairs BFS for diameters, repeated traversals over a frozen `G_t`)
+//! want sequential memory instead. A [`Csr`] packs the adjacency into two
+//! flat arrays — one cache line often holds a whole neighbor list — and
+//! serves the same [`Adjacency`] interface, so every traversal in
+//! [`crate::traversal`] runs on snapshots unchanged.
+
+use crate::directed::DirectedGraph;
+use crate::node::NodeId;
+use crate::traversal::Adjacency;
+use crate::undirected::UndirectedGraph;
+
+/// A frozen adjacency structure: `offsets[u]..offsets[u+1]` indexes into
+/// `targets`.
+///
+/// ```
+/// use gossip_graph::{generators, Csr, NodeId};
+/// use gossip_graph::traversal::diameter;
+/// let g = generators::cycle(8);
+/// let snapshot = Csr::from(&g);
+/// assert_eq!(snapshot.degree(NodeId(0)), 2);
+/// assert_eq!(diameter(&snapshot), Some(4));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Snapshots any adjacency view (mutable graph, another CSR, ...).
+    pub fn from_adjacency<G: Adjacency>(g: &G) -> Self {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for u in 0..n {
+            total += g.successors(NodeId::new(u)).len() as u32;
+            offsets.push(total);
+        }
+        let mut targets = Vec::with_capacity(total as usize);
+        for u in 0..n {
+            targets.extend_from_slice(g.successors(NodeId::new(u)));
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total stored adjacency entries (2m for undirected snapshots).
+    #[inline]
+    pub fn entry_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbors (or neighbors) of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let lo = self.offsets[u.index()] as usize;
+        let hi = self.offsets[u.index() + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        (self.offsets[u.index() + 1] - self.offsets[u.index()]) as usize
+    }
+}
+
+impl Adjacency for Csr {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.n()
+    }
+    #[inline]
+    fn successors(&self, u: NodeId) -> &[NodeId] {
+        self.neighbors(u)
+    }
+}
+
+impl From<&UndirectedGraph> for Csr {
+    fn from(g: &UndirectedGraph) -> Self {
+        Csr::from_adjacency(g)
+    }
+}
+
+impl From<&DirectedGraph> for Csr {
+    fn from(g: &DirectedGraph) -> Self {
+        Csr::from_adjacency(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal::{bfs_distances, diameter};
+
+    #[test]
+    fn snapshot_matches_graph() {
+        let g = generators::lollipop(5, 4);
+        let csr = Csr::from(&g);
+        assert_eq!(csr.n(), g.n());
+        assert_eq!(csr.entry_count() as u64, 2 * g.m());
+        for u in g.nodes() {
+            assert_eq!(csr.degree(u), g.degree(u));
+            assert_eq!(csr.neighbors(u), g.neighbors(u).as_slice());
+        }
+    }
+
+    #[test]
+    fn traversal_agrees_with_mutable_graph() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        let g = generators::random_tree(64, &mut rng);
+        let csr = Csr::from(&g);
+        for u in [0usize, 13, 63] {
+            assert_eq!(
+                bfs_distances(&g, NodeId::new(u)),
+                bfs_distances(&csr, NodeId::new(u))
+            );
+        }
+        assert_eq!(diameter(&g), diameter(&csr));
+    }
+
+    #[test]
+    fn directed_snapshot_is_directed() {
+        let g = generators::directed_path(4);
+        let csr = Csr::from(&g);
+        assert_eq!(csr.degree(NodeId(0)), 1);
+        assert_eq!(csr.degree(NodeId(3)), 0);
+        assert_eq!(csr.neighbors(NodeId(1)), &[NodeId(2)]);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = UndirectedGraph::new(3);
+        let csr = Csr::from(&g);
+        assert_eq!(csr.n(), 3);
+        assert_eq!(csr.entry_count(), 0);
+        assert!(csr.neighbors(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn double_snapshot_idempotent() {
+        let g = generators::cycle(9);
+        let c1 = Csr::from(&g);
+        let c2 = Csr::from_adjacency(&c1);
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,315 @@
+//! The mutable undirected graph on which the discovery processes run.
+
+use crate::adjacency::AdjSet;
+use crate::node::{Edge, NodeId};
+use rand::Rng;
+
+/// A simple undirected graph over nodes `0..n` with edge-addition as the
+/// primary mutation (the gossip processes only ever add edges; removal exists
+/// for churn scenarios in `gossip-net`).
+#[derive(Clone, Debug)]
+pub struct UndirectedGraph {
+    adj: Vec<AdjSet>,
+    m: u64,
+}
+
+impl UndirectedGraph {
+    /// Creates an empty graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        UndirectedGraph {
+            adj: (0..n).map(|_| AdjSet::new(n)).collect(),
+            m: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// Duplicate edges are ignored; self-loops panic (model never has them).
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut g = UndirectedGraph::new(n);
+        for (a, b) in edges {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> u64 {
+        self.m
+    }
+
+    /// Number of edges in the complete graph on `n` nodes.
+    #[inline]
+    pub fn complete_m(&self) -> u64 {
+        let n = self.n() as u64;
+        n * (n - 1) / 2
+    }
+
+    /// Whether the graph is complete.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.m == self.complete_m()
+    }
+
+    /// Number of edges missing relative to the complete graph.
+    #[inline]
+    pub fn missing_edges(&self) -> u64 {
+        self.complete_m() - self.m
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u.index()].len()
+    }
+
+    /// Neighbor set of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &AdjSet {
+        &self.adj[u.index()]
+    }
+
+    /// Edge membership test.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u.index()].contains(v)
+    }
+
+    /// Adds edge `(u, v)`. Returns `true` if the edge is new.
+    /// Self-loop requests (`u == v`) are no-ops returning `false`, matching
+    /// the paper's processes where degenerate draws do nothing.
+    #[inline]
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        if self.adj[u.index()].insert(v) {
+            let ins = self.adj[v.index()].insert(u);
+            debug_assert!(ins, "asymmetric adjacency");
+            self.m += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes edge `(u, v)`. Returns `true` if it existed. O(deg).
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if self.adj[u.index()].remove(v) {
+            let rem = self.adj[v.index()].remove(u);
+            debug_assert!(rem, "asymmetric adjacency");
+            self.m -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Minimum degree over all nodes (`0` for the empty graph on 0 nodes).
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(AdjSet::len).min().unwrap_or(0)
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(AdjSet::len).max().unwrap_or(0)
+    }
+
+    /// Mean degree (`2m / n`).
+    pub fn mean_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.m as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.adj.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all edges in canonical form, grouped by smaller endpoint.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, set)| {
+            let u = NodeId::new(u);
+            set.iter().filter(move |&v| u < v).map(move |v| Edge::new(u, v))
+        })
+    }
+
+    /// Uniformly random neighbor of `u`, or `None` if `u` is isolated.
+    #[inline]
+    pub fn random_neighbor<R: Rng + ?Sized>(&self, u: NodeId, rng: &mut R) -> Option<NodeId> {
+        self.adj[u.index()].sample(rng)
+    }
+
+    /// Two i.i.d. uniform neighbors of `u` (with replacement).
+    #[inline]
+    pub fn random_neighbor_pair<R: Rng + ?Sized>(
+        &self,
+        u: NodeId,
+        rng: &mut R,
+    ) -> Option<(NodeId, NodeId)> {
+        self.adj[u.index()].sample_pair(rng)
+    }
+
+    /// Extracts the subgraph induced by `nodes`, relabelling nodes to
+    /// `0..nodes.len()` in the order given. Returns the subgraph and the
+    /// mapping from new ids back to original ids.
+    ///
+    /// # Panics
+    /// Panics if `nodes` contains duplicates.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (UndirectedGraph, Vec<NodeId>) {
+        let mut new_id = vec![u32::MAX; self.n()];
+        for (i, &u) in nodes.iter().enumerate() {
+            assert_eq!(new_id[u.index()], u32::MAX, "duplicate node {u:?}");
+            new_id[u.index()] = i as u32;
+        }
+        let mut sub = UndirectedGraph::new(nodes.len());
+        for (i, &u) in nodes.iter().enumerate() {
+            for v in self.adj[u.index()].iter() {
+                let nv = new_id[v.index()];
+                if nv != u32::MAX && nv > i as u32 {
+                    sub.add_edge(NodeId(i as u32), NodeId(nv));
+                }
+            }
+        }
+        (sub, nodes.to_vec())
+    }
+
+    /// Debug-grade structural validation: adjacency symmetry, no self-loops,
+    /// and edge count consistency. Intended for tests and assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut half_edges = 0u64;
+        for u in self.nodes() {
+            for v in self.adj[u.index()].iter() {
+                if u == v {
+                    return Err(format!("self-loop at {u:?}"));
+                }
+                if !self.adj[v.index()].contains(u) {
+                    return Err(format!("asymmetric edge {u:?}->{v:?}"));
+                }
+                half_edges += 1;
+            }
+        }
+        if half_edges != 2 * self.m {
+            return Err(format!(
+                "edge count mismatch: m={} but half-edges={half_edges}",
+                self.m
+            ));
+        }
+        Ok(())
+    }
+
+    /// Returns the degree sequence (unsorted, indexed by node).
+    pub fn degrees(&self) -> Vec<usize> {
+        self.adj.iter().map(AdjSet::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = UndirectedGraph::new(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.min_degree(), 0);
+        assert!(!g.is_complete());
+        assert_eq!(g.missing_edges(), 10);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn add_edges_dedup() {
+        let mut g = UndirectedGraph::new(4);
+        assert!(g.add_edge(NodeId(0), NodeId(1)));
+        assert!(!g.add_edge(NodeId(1), NodeId(0)));
+        assert!(!g.add_edge(NodeId(2), NodeId(2))); // self-loop no-op
+        assert_eq!(g.m(), 1);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn complete_detection() {
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        assert!(!g.is_complete());
+        g.add_edge(NodeId(0), NodeId(2));
+        assert!(g.is_complete());
+        assert_eq!(g.missing_edges(), 0);
+    }
+
+    #[test]
+    fn remove_edge() {
+        let mut g = UndirectedGraph::from_edges(3, [(0, 1), (1, 2)]);
+        assert!(g.remove_edge(NodeId(0), NodeId(1)));
+        assert!(!g.remove_edge(NodeId(0), NodeId(1)));
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(NodeId(1)), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn edges_iterator_canonical() {
+        let g = UndirectedGraph::from_edges(4, [(2, 1), (0, 3), (1, 0)]);
+        let mut es: Vec<(u32, u32)> = g.edges().map(|e| (e.a.0, e.b.0)).collect();
+        es.sort();
+        assert_eq!(es, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn degree_stats() {
+        let g = UndirectedGraph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.min_degree(), 1);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.mean_degree() - 1.5).abs() < 1e-12);
+        assert_eq!(g.degrees(), vec![3, 1, 1, 1]);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        // Path 0-1-2-3; take {1,2,3} -> path on new ids 0-1-2.
+        let g = UndirectedGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let (sub, map) = g.induced_subgraph(&[NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 2);
+        assert!(sub.has_edge(NodeId(0), NodeId(1)));
+        assert!(sub.has_edge(NodeId(1), NodeId(2)));
+        assert!(!sub.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(map, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn induced_subgraph_rejects_duplicates() {
+        let g = UndirectedGraph::new(3);
+        let _ = g.induced_subgraph(&[NodeId(1), NodeId(1)]);
+    }
+
+    #[test]
+    fn random_neighbor_respects_adjacency() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let g = UndirectedGraph::from_edges(5, [(0, 1), (0, 2)]);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let v = g.random_neighbor(NodeId(0), &mut rng).unwrap();
+            assert!(v == NodeId(1) || v == NodeId(2));
+        }
+        assert!(g.random_neighbor(NodeId(4), &mut rng).is_none());
+    }
+}

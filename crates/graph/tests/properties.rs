@@ -1,0 +1,185 @@
+//! Property tests for the graph substrate: structural invariants checked on
+//! random inputs, including Lemma 1 of the paper itself.
+
+use gossip_graph::closure::Closure;
+use gossip_graph::components::{
+    connected_components, is_connected, strongly_connected_components, UnionFind,
+};
+use gossip_graph::csr::Csr;
+use gossip_graph::traversal::{bfs_distances, rings_up_to, UNREACHABLE};
+use gossip_graph::{generators, io, DirectedGraph, NodeId, UndirectedGraph};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph(seed: u64, n: usize, extra: usize) -> UndirectedGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = generators::random_tree(n, &mut rng);
+    for _ in 0..extra {
+        let a = rng.random_range(0..n as u32);
+        let b = rng.random_range(0..n as u32);
+        if a != b {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+    }
+    g
+}
+
+fn random_digraph(seed: u64, n: usize, arcs: usize) -> DirectedGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = DirectedGraph::new(n);
+    for _ in 0..arcs {
+        let a = rng.random_range(0..n as u32);
+        let b = rng.random_range(0..n as u32);
+        if a != b {
+            g.add_arc(NodeId(a), NodeId(b));
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// **Lemma 1 of the paper**: for any node u of a connected graph,
+    /// |N¹(u) ∪ N²(u) ∪ N³(u) ∪ N⁴(u)| >= min(2δ, n − 1).
+    #[test]
+    fn paper_lemma_1_holds(seed in any::<u64>(), n in 3usize..40, extra in 0usize..40) {
+        let g = random_graph(seed, n, extra);
+        prop_assume!(is_connected(&g));
+        let delta = g.min_degree();
+        for u in g.nodes() {
+            let rings = rings_up_to(&g, u, 4);
+            let within4: usize = rings[1..].iter().map(Vec::len).sum();
+            prop_assert!(
+                within4 >= (2 * delta).min(n - 1),
+                "Lemma 1 violated at {u:?}: |N1..4| = {within4}, 2δ = {}, n-1 = {}",
+                2 * delta,
+                n - 1
+            );
+        }
+    }
+
+    /// Closure reachability agrees with per-node BFS on arbitrary digraphs.
+    #[test]
+    fn closure_matches_bfs(seed in any::<u64>(), n in 2usize..24, arcs in 0usize..60) {
+        let g = random_digraph(seed, n, arcs);
+        let c = Closure::of(&g);
+        let mut pairs = 0u64;
+        for u in g.nodes() {
+            let d = bfs_distances(&g, u);
+            for v in g.nodes() {
+                let reachable = u != v && d[v.index()] != UNREACHABLE;
+                prop_assert_eq!(c.reaches(u, v), reachable);
+                pairs += reachable as u64;
+            }
+        }
+        prop_assert_eq!(c.pair_count(), pairs);
+    }
+
+    /// SCC labels: same label iff mutually reachable.
+    #[test]
+    fn scc_labels_mean_mutual_reachability(seed in any::<u64>(), n in 2usize..20, arcs in 0usize..50) {
+        let g = random_digraph(seed, n, arcs);
+        let (labels, _) = strongly_connected_components(&g);
+        let c = Closure::of(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v { continue; }
+                let mutual = c.reaches(u, v) && c.reaches(v, u);
+                prop_assert_eq!(
+                    labels[u.index()] == labels[v.index()],
+                    mutual,
+                    "labels {:?}/{:?} vs mutual {}", u, v, mutual
+                );
+            }
+        }
+    }
+
+    /// CSR snapshots preserve adjacency and BFS semantics exactly.
+    #[test]
+    fn csr_equivalence(seed in any::<u64>(), n in 2usize..40, extra in 0usize..60) {
+        let g = random_graph(seed, n, extra);
+        let csr = Csr::from(&g);
+        prop_assert_eq!(csr.entry_count() as u64, 2 * g.m());
+        for u in g.nodes() {
+            prop_assert_eq!(csr.neighbors(u), g.neighbors(u).as_slice());
+        }
+        let d1 = bfs_distances(&g, NodeId(0));
+        let d2 = bfs_distances(&csr, NodeId(0));
+        prop_assert_eq!(d1, d2);
+    }
+
+    /// Edge-list text roundtrips losslessly.
+    #[test]
+    fn io_roundtrip(seed in any::<u64>(), n in 1usize..30, extra in 0usize..40) {
+        let g = random_graph(seed, n.max(1), extra);
+        let text = io::write_undirected(&g);
+        let back = io::parse_undirected(&text).unwrap();
+        prop_assert!(g.same_edges(&back));
+    }
+
+    /// Union-find connectivity matches BFS connectivity.
+    #[test]
+    fn unionfind_matches_bfs(seed in any::<u64>(), n in 2usize..30, edges in 0usize..40) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = UndirectedGraph::new(n);
+        let mut uf = UnionFind::new(n);
+        for _ in 0..edges {
+            let a = rng.random_range(0..n as u32);
+            let b = rng.random_range(0..n as u32);
+            if a != b {
+                g.add_edge(NodeId(a), NodeId(b));
+                uf.union(a as usize, b as usize);
+            }
+        }
+        let (labels, _) = connected_components(&g);
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(
+                    uf.connected(u, v),
+                    labels[u] == labels[v]
+                );
+            }
+        }
+    }
+
+    /// Generators' structural promises on random parameters.
+    #[test]
+    fn generator_contracts(n in 4usize..50, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Trees have n-1 edges and are connected.
+        let t = generators::random_tree(n, &mut rng);
+        prop_assert_eq!(t.m(), (n - 1) as u64);
+        prop_assert!(is_connected(&t));
+        // tree_plus_random_edges hits the requested m exactly and stays connected.
+        let max_m = (n as u64) * (n as u64 - 1) / 2;
+        let m = (2 * n as u64).min(max_m);
+        let s = generators::tree_plus_random_edges(n, m, &mut rng);
+        prop_assert_eq!(s.m(), m);
+        prop_assert!(is_connected(&s));
+        // BA graphs are connected with hub formation.
+        let ba = generators::barabasi_albert(n, 2, &mut rng);
+        prop_assert!(is_connected(&ba));
+        prop_assert!(ba.min_degree() >= 2);
+    }
+
+    /// Theorem-graph families keep their defining invariants at any size.
+    #[test]
+    fn theorem_graph_contracts(k in 2usize..12) {
+        let n14 = 4 * k;
+        let g14 = generators::theorem14_graph(n14);
+        // DAG: every SCC singleton; closure adds exactly n/4 arcs.
+        let (_, scc) = strongly_connected_components(&g14);
+        prop_assert_eq!(scc, n14);
+        prop_assert_eq!(Closure::of(&g14).pair_count(), g14.arc_count() + (n14 / 4) as u64);
+
+        let n15 = 2 * k;
+        let g15 = generators::theorem15_graph(n15);
+        prop_assert!(gossip_graph::components::is_strongly_connected(&g15));
+        prop_assert_eq!(
+            Closure::of(&g15).pair_count(),
+            (n15 * (n15 - 1)) as u64
+        );
+    }
+}

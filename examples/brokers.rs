@@ -1,0 +1,80 @@
+//! Who brokers the introductions? The LinkedIn story of §1, quantified with
+//! edge-provenance traces: run push discovery on a hub-heavy preferential-
+//! attachment network and report how introduction credit distributes across
+//! nodes as a function of their initial degree.
+//!
+//! ```text
+//! cargo run --release --example brokers [n] [seed]
+//! ```
+
+use discovery_gossip::prelude::*;
+use gossip_core::DiscoveryTrace;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(13);
+
+    let mut rng = gossip_core::rng::stream_rng(seed, 0, 3);
+    let g0 = generators::barabasi_albert(n, 2, &mut rng);
+    let initial_degrees = g0.degrees();
+    println!(
+        "Barabási–Albert network: n = {n}, m = {}, max initial degree = {}",
+        g0.m(),
+        g0.max_degree()
+    );
+
+    let mut check = ComponentwiseComplete::for_graph(&g0);
+    let mut engine = Engine::new(g0, Push, seed);
+    let mut trace = DiscoveryTrace::default();
+    let out = engine.run_traced(&mut check, 100_000_000, &mut trace);
+    assert!(out.converged);
+    println!(
+        "complete after {} rounds; {} introductions recorded\n",
+        out.rounds,
+        trace.len()
+    );
+
+    // Bucket introduction credit by initial degree.
+    let per_node = trace.introductions_per_node(n);
+    let buckets: [(usize, usize); 4] = [(2, 3), (4, 7), (8, 15), (16, usize::MAX)];
+    println!(
+        "{:<22} {:>8} {:>16} {:>18}",
+        "initial degree", "nodes", "introductions", "per node"
+    );
+    for (lo, hi) in buckets {
+        let members: Vec<usize> = (0..n)
+            .filter(|&u| initial_degrees[u] >= lo && initial_degrees[u] <= hi)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let total: u64 = members.iter().map(|&u| per_node[u]).sum();
+        let label = if hi == usize::MAX {
+            format!("{lo}+")
+        } else {
+            format!("{lo}-{hi}")
+        };
+        println!(
+            "{:<22} {:>8} {:>16} {:>18.1}",
+            label,
+            members.len(),
+            total,
+            total as f64 / members.len() as f64
+        );
+    }
+
+    // The first 20 introductions: early brokerage belongs to the hubs.
+    let first_brokers: Vec<u32> = trace.events().iter().take(20).map(|e| e.introducer.0).collect();
+    let hub_like = first_brokers
+        .iter()
+        .filter(|&&b| initial_degrees[b as usize] >= 8)
+        .count();
+    println!(
+        "\nfirst 20 introductions: {hub_like} brokered by initially-high-degree nodes ({first_brokers:?})"
+    );
+    println!(
+        "hubs dominate early brokerage, but per-node credit converges as degrees equalize — \
+         the same homogenization the min-degree lemmas describe."
+    );
+}

@@ -1,0 +1,483 @@
+//! The `gossip` command-line tool: run, trace, generate, and analyze the
+//! discovery processes without writing Rust.
+//!
+//! Implemented as a library module so every subcommand is unit-testable;
+//! `src/bin/gossip.rs` is a three-line shim. See `Command::parse` for the
+//! grammar.
+
+use gossip_analysis::{exact_expected_rounds, ProcessKind, Summary};
+use gossip_core::{
+    convergence_rounds, ClosureReached, ComponentwiseComplete, DirectedPull, DiscoveryTrace,
+    Engine, HybridPushPull, Pull, Push, TrialConfig,
+};
+use gossip_graph::{generators, io as gio, DirectedGraph, UndirectedGraph};
+use std::fmt::Write as _;
+
+/// A parsed invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `gossip generate --family F [--n N] [--seed S] [--param P]`
+    Generate {
+        /// Family name (see [`make_graph`]).
+        family: String,
+        /// Size parameter.
+        n: usize,
+        /// RNG seed for random families.
+        seed: u64,
+        /// Family-specific extra parameter (e.g. BA attachment count).
+        param: Option<u64>,
+    },
+    /// `gossip run --process P (--family F --n N | --graph FILE) [--seed S] [--trace]`
+    Run {
+        /// `push`, `pull`, or `hybrid`.
+        process: String,
+        /// Inline family, if no file given.
+        family: Option<String>,
+        /// Family size.
+        n: usize,
+        /// Edge-list file to load instead of a family.
+        graph_file: Option<String>,
+        /// Seed.
+        seed: u64,
+        /// Emit the full introduction trace as CSV after the summary.
+        trace: bool,
+        /// Family parameter.
+        param: Option<u64>,
+    },
+    /// `gossip trials --process P --family F --n N [--trials T] [--seed S]`
+    Trials {
+        /// `push`, `pull`, or `hybrid`.
+        process: String,
+        /// Family name.
+        family: String,
+        /// Family size.
+        n: usize,
+        /// Number of Monte Carlo trials.
+        trials: usize,
+        /// Seed.
+        seed: u64,
+        /// Family parameter.
+        param: Option<u64>,
+    },
+    /// `gossip exact --process P --edges "0-1,1-2" --n N`
+    Exact {
+        /// `push` or `pull`.
+        process: String,
+        /// Comma-separated `a-b` edges.
+        edges: String,
+        /// Node count.
+        n: usize,
+    },
+    /// `gossip directed --family F --n N [--seed S]`
+    Directed {
+        /// `cycle`, `thm14`, `thm15`, or `gnp`.
+        family: String,
+        /// Size.
+        n: usize,
+        /// Seed.
+        seed: u64,
+    },
+    /// `gossip help`
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+gossip — Discovery through Gossip (SPAA 2012) toolkit
+
+USAGE:
+  gossip generate --family F --n N [--seed S] [--param P]   emit an edge list
+  gossip run --process push|pull|hybrid (--family F --n N | --graph FILE)
+             [--seed S] [--trace] [--param P]               run to completion
+  gossip trials --process P --family F --n N [--trials T] [--seed S]
+                                                            Monte Carlo stats
+  gossip exact --process push|pull --n N --edges \"0-1,1-2\"  exact E[rounds] (n<=5)
+  gossip directed --family cycle|thm14|thm15|gnp --n N [--seed S]
+                                                            directed two-hop walk
+  gossip help
+
+FAMILIES: path cycle star double-star complete binary-tree random-tree
+          sparse (tree + extra edges) ws (watts-strogatz) ba (barabasi-albert)
+          hypercube (n = 2^param) barbell lollipop grid
+";
+
+impl Command {
+    /// Parses an argument vector (without the program name).
+    pub fn parse(args: &[String]) -> Result<Command, String> {
+        let mut it = args.iter();
+        let sub = it.next().map(String::as_str).unwrap_or("help");
+        let mut family: Option<String> = None;
+        let mut process: Option<String> = None;
+        let mut graph_file: Option<String> = None;
+        let mut edges: Option<String> = None;
+        let mut n: Option<usize> = None;
+        let mut seed = 42u64;
+        let mut trials = 16usize;
+        let mut trace = false;
+        let mut param: Option<u64> = None;
+
+        while let Some(flag) = it.next() {
+            let mut take = || -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--family" => family = Some(take()?.clone()),
+                "--process" => process = Some(take()?.clone()),
+                "--graph" => graph_file = Some(take()?.clone()),
+                "--edges" => edges = Some(take()?.clone()),
+                "--n" => n = Some(take()?.parse().map_err(|_| "--n needs an integer")?),
+                "--seed" => seed = take()?.parse().map_err(|_| "--seed needs an integer")?,
+                "--trials" => trials = take()?.parse().map_err(|_| "--trials needs an integer")?,
+                "--param" => param = Some(take()?.parse().map_err(|_| "--param needs an integer")?),
+                "--trace" => trace = true,
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+
+        match sub {
+            "generate" => Ok(Command::Generate {
+                family: family.ok_or("generate needs --family")?,
+                n: n.ok_or("generate needs --n")?,
+                seed,
+                param,
+            }),
+            "run" => {
+                if family.is_none() && graph_file.is_none() {
+                    return Err("run needs --family or --graph".into());
+                }
+                Ok(Command::Run {
+                    process: process.ok_or("run needs --process")?,
+                    family,
+                    n: n.unwrap_or(0),
+                    graph_file,
+                    seed,
+                    trace,
+                    param,
+                })
+            }
+            "trials" => Ok(Command::Trials {
+                process: process.ok_or("trials needs --process")?,
+                family: family.ok_or("trials needs --family")?,
+                n: n.ok_or("trials needs --n")?,
+                trials,
+                seed,
+                param,
+            }),
+            "exact" => Ok(Command::Exact {
+                process: process.ok_or("exact needs --process")?,
+                edges: edges.ok_or("exact needs --edges")?,
+                n: n.ok_or("exact needs --n")?,
+            }),
+            "directed" => Ok(Command::Directed {
+                family: family.ok_or("directed needs --family")?,
+                n: n.ok_or("directed needs --n")?,
+                seed,
+            }),
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            other => Err(format!("unknown subcommand {other}")),
+        }
+    }
+}
+
+/// Builds an undirected graph from a family name.
+pub fn make_graph(family: &str, n: usize, seed: u64, param: Option<u64>) -> Result<UndirectedGraph, String> {
+    let mut rng = gossip_core::rng::stream_rng(seed, 0xC11, 0);
+    Ok(match family {
+        "path" => generators::path(n),
+        "cycle" => generators::cycle(n),
+        "star" => generators::star(n),
+        "double-star" => generators::double_star(n),
+        "complete" => generators::complete(n),
+        "binary-tree" => generators::binary_tree(n),
+        "random-tree" => generators::random_tree(n, &mut rng),
+        "sparse" => {
+            let m = param.unwrap_or(2 * n as u64);
+            generators::tree_plus_random_edges(n, m, &mut rng)
+        }
+        "ws" => generators::watts_strogatz(n, param.unwrap_or(3) as usize, 0.1, &mut rng),
+        "ba" => generators::barabasi_albert(n, param.unwrap_or(2) as usize, &mut rng),
+        "hypercube" => generators::hypercube(param.unwrap_or_else(|| n.ilog2() as u64) as u32),
+        "barbell" => generators::barbell(n / 2),
+        "lollipop" => generators::lollipop(n / 2, n - n / 2),
+        "grid" => {
+            let side = (n as f64).sqrt().round().max(1.0) as usize;
+            generators::grid(side, side)
+        }
+        other => return Err(format!("unknown family {other}")),
+    })
+}
+
+fn make_directed(family: &str, n: usize, seed: u64) -> Result<DirectedGraph, String> {
+    let mut rng = gossip_core::rng::stream_rng(seed, 0xD1C, 0);
+    Ok(match family {
+        "cycle" => generators::directed_cycle(n),
+        "thm14" => generators::theorem14_graph(n.next_multiple_of(4)),
+        "thm15" => generators::theorem15_graph(if n.is_multiple_of(2) { n } else { n + 1 }),
+        "gnp" => generators::directed_gnp_strong(n, (8.0 / n as f64).min(0.9), &mut rng),
+        other => return Err(format!("unknown directed family {other}")),
+    })
+}
+
+fn parse_edges(spec: &str, n: usize) -> Result<UndirectedGraph, String> {
+    let mut g = UndirectedGraph::new(n);
+    for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let (a, b) = part
+            .trim()
+            .split_once('-')
+            .ok_or_else(|| format!("bad edge {part:?}; expected a-b"))?;
+        let a: u32 = a.trim().parse().map_err(|_| format!("bad endpoint in {part:?}"))?;
+        let b: u32 = b.trim().parse().map_err(|_| format!("bad endpoint in {part:?}"))?;
+        if a as usize >= n || b as usize >= n {
+            return Err(format!("edge {part:?} out of range 0..{n}"));
+        }
+        g.add_edge(gossip_graph::NodeId(a), gossip_graph::NodeId(b));
+    }
+    Ok(g)
+}
+
+/// Executes a command, returning its stdout payload.
+pub fn execute(cmd: &Command) -> Result<String, String> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => out.push_str(USAGE),
+
+        Command::Generate { family, n, seed, param } => {
+            let g = make_graph(family, *n, *seed, *param)?;
+            out.push_str(&gio::write_undirected(&g));
+        }
+
+        Command::Run { process, family, n, graph_file, seed, trace, param } => {
+            let g = match graph_file {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+                    gio::parse_undirected(&text).map_err(|e| e.to_string())?
+                }
+                None => make_graph(family.as_ref().unwrap(), *n, *seed, *param)?,
+            };
+            let mut check = ComponentwiseComplete::for_graph(&g);
+            let nf = g.n() as f64;
+            let mut t = DiscoveryTrace::default();
+            let outcome = match process.as_str() {
+                "push" => Engine::new(g, Push, *seed).run_traced(&mut check, u64::MAX, &mut t),
+                "pull" => Engine::new(g, Pull, *seed).run_traced(&mut check, u64::MAX, &mut t),
+                "hybrid" => {
+                    Engine::new(g, HybridPushPull, *seed).run_traced(&mut check, u64::MAX, &mut t)
+                }
+                other => return Err(format!("unknown process {other}")),
+            };
+            let _ = writeln!(
+                out,
+                "process = {process}, rounds = {}, final edges = {}, rounds / n log² n = {:.4}",
+                outcome.rounds,
+                outcome.final_edges,
+                outcome.rounds as f64 / (nf * nf.ln() * nf.ln()).max(1.0),
+            );
+            if *trace {
+                out.push_str(&t.to_csv());
+            }
+        }
+
+        Command::Trials { process, family, n, trials, seed, param } => {
+            let g = make_graph(family, *n, *seed, *param)?;
+            let cfg = TrialConfig {
+                trials: *trials,
+                base_seed: *seed,
+                max_rounds: u64::MAX,
+                parallel: true,
+            };
+            let rounds = match process.as_str() {
+                "push" => convergence_rounds(&g, Push, ComponentwiseComplete::for_graph, &cfg),
+                "pull" => convergence_rounds(&g, Pull, ComponentwiseComplete::for_graph, &cfg),
+                "hybrid" => {
+                    convergence_rounds(&g, HybridPushPull, ComponentwiseComplete::for_graph, &cfg)
+                }
+                other => return Err(format!("unknown process {other}")),
+            };
+            let s = Summary::of_rounds(&rounds);
+            let _ = writeln!(
+                out,
+                "{process} on {family}(n={n}): trials = {}, mean = {:.1} ± {:.1}, \
+                 median = {:.1}, min = {}, max = {}",
+                s.count, s.mean, s.ci95, s.median, s.min, s.max
+            );
+        }
+
+        Command::Exact { process, edges, n } => {
+            let g = parse_edges(edges, *n)?;
+            let kind = match process.as_str() {
+                "push" => ProcessKind::Push,
+                "pull" => ProcessKind::Pull,
+                other => return Err(format!("exact supports push|pull, got {other}")),
+            };
+            if *n > gossip_analysis::markov::MAX_EXACT_N {
+                return Err(format!(
+                    "exact analysis supports n <= {}",
+                    gossip_analysis::markov::MAX_EXACT_N
+                ));
+            }
+            let e = exact_expected_rounds(&g, kind);
+            let _ = writeln!(out, "exact E[rounds to fixed point] = {e:.6}");
+        }
+
+        Command::Directed { family, n, seed } => {
+            let g = make_directed(family, *n, *seed)?;
+            let mut check = ClosureReached::for_graph(&g);
+            let target = check.target_arcs();
+            let n_actual = g.n() as f64;
+            let mut engine = Engine::new(g, DirectedPull, *seed);
+            let outcome = engine.run_until(&mut check, u64::MAX);
+            let _ = writeln!(
+                out,
+                "directed pull on {family}(n={}): rounds = {}, closure arcs = {target}, \
+                 rounds / n² = {:.4}",
+                n_actual as usize,
+                outcome.rounds,
+                outcome.rounds as f64 / (n_actual * n_actual),
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_generate() {
+        let cmd = Command::parse(&argv("generate --family star --n 8 --seed 3")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate { family: "star".into(), n: 8, seed: 3, param: None }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!(Command::parse(&argv("fly --to moon")).is_err());
+        assert!(Command::parse(&argv("run --process push")).is_err()); // no graph
+        assert!(Command::parse(&argv("generate --n 8")).is_err()); // no family
+        assert!(Command::parse(&argv("generate --family star --n eight")).is_err());
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let cmd = Command::parse(&argv("trials --process pull --family cycle --n 10")).unwrap();
+        match cmd {
+            Command::Trials { trials, seed, .. } => {
+                assert_eq!(trials, 16);
+                assert_eq!(seed, 42);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn help_is_default() {
+        assert_eq!(Command::parse(&[]).unwrap(), Command::Help);
+        assert!(execute(&Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_emits_parseable_edge_list() {
+        let out = execute(&Command::Generate {
+            family: "cycle".into(),
+            n: 6,
+            seed: 1,
+            param: None,
+        })
+        .unwrap();
+        let g = gio::parse_undirected(&out).unwrap();
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 6);
+    }
+
+    #[test]
+    fn run_completes_and_traces() {
+        let out = execute(&Command::Run {
+            process: "push".into(),
+            family: Some("star".into()),
+            n: 8,
+            graph_file: None,
+            seed: 5,
+            trace: true,
+            param: None,
+        })
+        .unwrap();
+        assert!(out.contains("process = push"));
+        assert!(out.contains("round,introducer,a,b"));
+        // Star on 8 gains C(7,2) = 21 edges: header + 21 trace lines + summary.
+        assert_eq!(out.lines().count(), 1 + 1 + 21);
+    }
+
+    #[test]
+    fn trials_reports_stats() {
+        let out = execute(&Command::Trials {
+            process: "pull".into(),
+            family: "cycle".into(),
+            n: 12,
+            trials: 4,
+            seed: 9,
+            param: None,
+        })
+        .unwrap();
+        assert!(out.contains("mean ="));
+        assert!(out.contains("trials = 4"));
+    }
+
+    #[test]
+    fn exact_matches_solver() {
+        let out = execute(&Command::Exact {
+            process: "push".into(),
+            edges: "0-1,1-2".into(),
+            n: 3,
+        })
+        .unwrap();
+        assert!(out.contains("2.000000"), "path-3 push is exactly 2 rounds: {out}");
+        // n too large is a clean error, not a panic.
+        let err = execute(&Command::Exact {
+            process: "push".into(),
+            edges: "0-1".into(),
+            n: 9,
+        })
+        .unwrap_err();
+        assert!(err.contains("n <="));
+    }
+
+    #[test]
+    fn exact_rejects_bad_edges() {
+        assert!(parse_edges("0:1", 3).is_err());
+        assert!(parse_edges("0-9", 3).is_err());
+        assert!(parse_edges("x-1", 3).is_err());
+        assert!(parse_edges("0-1,1-2", 3).is_ok());
+    }
+
+    #[test]
+    fn directed_runs() {
+        let out = execute(&Command::Directed {
+            family: "cycle".into(),
+            n: 8,
+            seed: 2,
+        })
+        .unwrap();
+        assert!(out.contains("closure arcs = 56"));
+    }
+
+    #[test]
+    fn all_families_generate() {
+        for fam in [
+            "path", "cycle", "star", "double-star", "complete", "binary-tree", "random-tree",
+            "sparse", "ws", "ba", "barbell", "lollipop", "grid",
+        ] {
+            let g = make_graph(fam, 16, 7, None).unwrap();
+            assert!(g.n() >= 4, "{fam} produced a degenerate graph");
+        }
+        let g = make_graph("hypercube", 16, 7, Some(4)).unwrap();
+        assert_eq!(g.n(), 16);
+        assert!(make_graph("klein-bottle", 16, 7, None).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! # discovery-gossip
+//!
+//! A production-grade Rust reproduction of **“Discovery through Gossip”**
+//! (Haeupler, Pandurangan, Peleg, Rajaraman, Sun — SPAA 2012,
+//! arXiv:1202.2092): randomized gossip-based discovery processes on
+//! self-rewiring networks, with everything needed to re-derive the paper's
+//! results on a laptop.
+//!
+//! This crate is the facade: it re-exports the five member crates and a
+//! [`prelude`]. See the individual crates for the real APIs:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`graph`] (`gossip-graph`) | dynamic graphs with O(1) neighbor sampling, generators incl. the paper's lower-bound constructions, traversal/SCC/closure |
+//! | [`core`] (`gossip-core`) | the push/pull/directed processes, deterministic parallel engine, Monte Carlo trials, robustness variants |
+//! | [`baselines`] (`gossip-baselines`) | Name Dropper, Random Pointer Jump, throttled ND, flooding — with message-bit accounting |
+//! | [`net`] (`gossip-net`) | byte-accurate message-passing simulator: loss, churn, coverage/staleness metrics |
+//! | [`analysis`] (`gossip-analysis`) | exact Markov-chain solver (Figure 1(c)), statistics, asymptotic model fitting |
+//!
+//! ## Ten-line tour
+//!
+//! ```
+//! use discovery_gossip::prelude::*;
+//!
+//! // The push process completes a 32-node star...
+//! let g0 = generators::star(32);
+//! let mut check = ComponentwiseComplete::for_graph(&g0);
+//! let mut engine = Engine::new(g0, Push, 7);
+//! let out = engine.run_until(&mut check, 1_000_000);
+//! assert!(out.converged);
+//! // ...into the complete graph, using O(log n)-bit interactions only.
+//! assert!(engine.graph().is_complete());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use gossip_analysis as analysis;
+pub use gossip_baselines as baselines;
+pub use gossip_core as core;
+pub use gossip_graph as graph;
+pub use gossip_net as net;
+
+/// Most-used items in one import.
+pub mod prelude {
+    pub use gossip_analysis::{
+        align_series, exact_expected_rounds, find_nonmonotone_pairs, fit_model, loglog_exponent,
+        rank_models, GrowthModel, ProcessKind, Summary, Table,
+    };
+    pub use gossip_baselines::{
+        DiscoveryAlgorithm, Flooding, Knowledge, NameDropper, PointerJump, ThrottledNameDropper,
+    };
+    pub use gossip_core::{
+        convergence_rounds, run_trials, ClosureReached, ComponentwiseComplete, ConvergenceCheck,
+        DirectedPull, DiscoveryTrace, Engine, Faulty, HybridPushPull, MinDegreeAtLeast,
+        OnlySubset, Parallelism, Partial, Pull, Push, SubsetComplete, TrialConfig,
+    };
+    pub use gossip_graph::{generators, Csr, DirectedGraph, NodeId, UndirectedGraph};
+    pub use gossip_net::{
+        ChurnModel, HeartbeatPushProtocol, NetConfig, Network,
+        PullProtocol as NetPull, PushProtocol as NetPush,
+    };
+}
