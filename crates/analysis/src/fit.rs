@@ -156,8 +156,16 @@ pub fn ols(xs: &[f64], ys: &[f64]) -> OlsFit {
     assert!(sxx > 0.0, "x values are constant");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    OlsFit { slope, intercept, r2 }
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    OlsFit {
+        slope,
+        intercept,
+        r2,
+    }
 }
 
 /// Empirical growth exponent: the slope of `ln t` against `ln n`.
@@ -198,7 +206,8 @@ mod tests {
             let (ns, ts) = synth(true_model, 2.0, &[0.02, -0.015, 0.01]);
             let ranked = rank_models(&ns, &ts);
             assert_eq!(
-                ranked[0].model, true_model,
+                ranked[0].model,
+                true_model,
                 "true {true_model:?} ranked {:?}",
                 ranked.iter().map(|f| f.model).collect::<Vec<_>>()
             );
@@ -218,7 +227,10 @@ mod tests {
     #[test]
     fn ols_r2_degrades_with_noise() {
         let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x + ((x * 7.7).sin() * 5.0)).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 2.0 * x + ((x * 7.7).sin() * 5.0))
+            .collect();
         let fit = ols(&xs, &ys);
         assert!(fit.r2 < 1.0 && fit.r2 > 0.5);
     }

@@ -354,7 +354,10 @@ mod tests {
         // A path plus an isolated node: converges to K3 + isolated.
         let g2 = UndirectedGraph::from_edges(4, [(0, 1), (1, 2)]);
         let e = exact_expected_rounds(&g2, ProcessKind::Push);
-        assert!((e - 2.0).abs() < 1e-9, "isolated node must not affect E[T]: {e}");
+        assert!(
+            (e - 2.0).abs() < 1e-9,
+            "isolated node must not affect E[T]: {e}"
+        );
     }
 
     #[test]
@@ -389,8 +392,16 @@ mod tests {
         let h_edges: std::collections::BTreeSet<(u32, u32)> =
             h.edges().map(|e| (e.a.0, e.b.0)).collect();
         let found = pairs.iter().any(|p| {
-            p.g_edges.iter().copied().collect::<std::collections::BTreeSet<_>>() == g_edges
-                && p.h_edges.iter().copied().collect::<std::collections::BTreeSet<_>>() == h_edges
+            p.g_edges
+                .iter()
+                .copied()
+                .collect::<std::collections::BTreeSet<_>>()
+                == g_edges
+                && p.h_edges
+                    .iter()
+                    .copied()
+                    .collect::<std::collections::BTreeSet<_>>()
+                    == h_edges
         });
         assert!(found, "diamond/C4 pair not found by exhaustive search");
         // Every reported pair must be a genuine subgraph pair.
@@ -408,9 +419,19 @@ mod tests {
         #[allow(clippy::type_complexity)] // literal fixture table
         let cases: [(&[(u32, u32)], usize, ProcessKind, f64); 6] = [
             // 4-cycle, push.
-            (&[(0, 1), (1, 2), (2, 3), (3, 0)], 4, ProcessKind::Push, 2.0792),
+            (
+                &[(0, 1), (1, 2), (2, 3), (3, 0)],
+                4,
+                ProcessKind::Push,
+                2.0792,
+            ),
             // 4-cycle, pull.
-            (&[(0, 1), (1, 2), (2, 3), (3, 0)], 4, ProcessKind::Pull, 1.7867),
+            (
+                &[(0, 1), (1, 2), (2, 3), (3, 0)],
+                4,
+                ProcessKind::Pull,
+                1.7867,
+            ),
             // Diamond (K4 - e), push — the spanning counterexample's slow side.
             (
                 &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)],

@@ -38,11 +38,7 @@ pub fn align_series(trials: &[Vec<(u64, f64)>], grid_points: usize) -> Vec<Aggre
             "trial series must be sorted by round"
         );
     }
-    let max_round = trials
-        .iter()
-        .map(|t| t.last().unwrap().0)
-        .max()
-        .unwrap();
+    let max_round = trials.iter().map(|t| t.last().unwrap().0).max().unwrap();
     let grid: Vec<u64> = (0..grid_points)
         .map(|i| {
             if grid_points == 1 {
@@ -121,10 +117,7 @@ mod tests {
     #[test]
     fn short_trials_extend_with_final_value() {
         // Trial 1 converged early at value 4; trial 2 runs to 100 ending at 8.
-        let trials = vec![
-            vec![(0u64, 0.0), (10, 4.0)],
-            vec![(0u64, 0.0), (100, 8.0)],
-        ];
+        let trials = vec![vec![(0u64, 0.0), (10, 4.0)], vec![(0u64, 0.0), (100, 8.0)]];
         let agg = align_series(&trials, 2);
         assert_eq!(agg[1].round, 100);
         assert_eq!(agg[1].mean, 6.0); // (4 + 8) / 2

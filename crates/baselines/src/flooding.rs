@@ -76,7 +76,11 @@ mod tests {
     fn completes_in_diameter_minus_one_rounds() {
         // After round t, u knows everything within distance t+1 of u
         // (initial knowledge already covers distance 1).
-        for g in [generators::path(17), generators::cycle(16), generators::binary_tree(31)] {
+        for g in [
+            generators::path(17),
+            generators::cycle(16),
+            generators::binary_tree(31),
+        ] {
             let d = diameter(&g).unwrap() as u64;
             let mut f = Flooding::new(&g);
             let out = f.run_to_completion(10_000);

@@ -109,7 +109,8 @@ mod tests {
     #[test]
     fn messages_grow_to_linear_size() {
         let n = 64;
-        let g = generators::tree_plus_random_edges(n, 128, &mut gossip_core::rng::stream_rng(7, 0, 0));
+        let g =
+            generators::tree_plus_random_edges(n, 128, &mut gossip_core::rng::stream_rng(7, 0, 0));
         let mut nd = NameDropper::new(Knowledge::from_undirected(&g), 7);
         let out = nd.run_to_completion(10_000);
         assert!(out.complete);

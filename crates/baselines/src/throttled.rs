@@ -54,7 +54,9 @@ impl DiscoveryAlgorithm for ThrottledNameDropper {
         }
         // Snapshot senders' round-start list lengths for synchrony: only the
         // prefix that existed at round start may be shipped.
-        let list_lens: Vec<usize> = (0..n).map(|u| self.knowledge.count(NodeId::new(u))).collect();
+        let list_lens: Vec<usize> = (0..n)
+            .map(|u| self.knowledge.count(NodeId::new(u)))
+            .collect();
         let mut io = RoundIO::default();
         for u in 0..n {
             let Some(v) = sends[u] else { continue };

@@ -8,7 +8,11 @@ use gossip_baselines::{
 use gossip_graph::generators;
 use proptest::prelude::*;
 
-fn algos(k: &Knowledge, g: &gossip_graph::UndirectedGraph, seed: u64) -> Vec<Box<dyn DiscoveryAlgorithm>> {
+fn algos(
+    k: &Knowledge,
+    g: &gossip_graph::UndirectedGraph,
+    seed: u64,
+) -> Vec<Box<dyn DiscoveryAlgorithm>> {
     vec![
         Box::new(NameDropper::new(k.clone(), seed)),
         Box::new(PointerJump::new(k.clone(), seed)),

@@ -34,13 +34,17 @@ fn bench_baselines(c: &mut Criterion) {
                 BatchSize::LargeInput,
             )
         });
-        group.bench_with_input(BenchmarkId::new("pointer_jump_sparse", n), &sparse, |b, k| {
-            b.iter_batched(
-                || PointerJump::new(k.clone(), 5),
-                |mut pj| std::hint::black_box(pj.step()),
-                BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pointer_jump_sparse", n),
+            &sparse,
+            |b, k| {
+                b.iter_batched(
+                    || PointerJump::new(k.clone(), 5),
+                    |mut pj| std::hint::black_box(pj.step()),
+                    BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 

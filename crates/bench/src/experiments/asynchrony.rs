@@ -11,9 +11,7 @@
 use crate::harness::{Args, Report};
 use gossip_analysis::{fmt_f64, ks_statistic, ks_threshold_95, Ecdf, Summary, Table};
 use gossip_core::rng::trial_seed;
-use gossip_core::{
-    AsyncEngine, ComponentwiseComplete, Engine, ProposalRule, Pull, Push,
-};
+use gossip_core::{AsyncEngine, ComponentwiseComplete, Engine, ProposalRule, Pull, Push};
 use gossip_graph::{generators, UndirectedGraph};
 use rayon::prelude::*;
 
@@ -63,7 +61,11 @@ pub fn run(args: &Args) -> Report {
     } else {
         64
     };
-    let sizes: Vec<usize> = if args.quick { vec![32, 64] } else { vec![64, 128, 256] };
+    let sizes: Vec<usize> = if args.quick {
+        vec![32, 64]
+    } else {
+        vec![64, 128, 256]
+    };
 
     let mut table = Table::new([
         "process",

@@ -19,12 +19,7 @@ struct Row {
     total_bits: f64,
 }
 
-fn process_row(
-    name: &str,
-    rule_rounds: f64,
-    ids_per_node_round: u64,
-    n: usize,
-) -> Row {
+fn process_row(name: &str, rule_rounds: f64, ids_per_node_round: u64, n: usize) -> Row {
     // Accounting convention for the graph-model processes: push sends two
     // one-id introductions per node-round; pull sends a request + one-id
     // reply + announce (identity carried in headers) — two ids transferred.
@@ -47,7 +42,11 @@ pub fn run(args: &Args) -> Report {
     } else {
         6
     };
-    let sizes: Vec<usize> = if args.quick { vec![64] } else { vec![64, 256, 1024] };
+    let sizes: Vec<usize> = if args.quick {
+        vec![64]
+    } else {
+        vec![64, 256, 1024]
+    };
 
     let mut table = Table::new([
         "n",
@@ -69,9 +68,19 @@ pub fn run(args: &Args) -> Report {
         let mut rows: Vec<Row> = Vec::new();
         // Gossip processes (graph model).
         let push = convergence_rounds(&g, Push, ComponentwiseComplete::for_graph, &cfg);
-        rows.push(process_row("push (this paper)", crate::harness::mean(&push), 2, n));
+        rows.push(process_row(
+            "push (this paper)",
+            crate::harness::mean(&push),
+            2,
+            n,
+        ));
         let pull = convergence_rounds(&g, Pull, ComponentwiseComplete::for_graph, &cfg);
-        rows.push(process_row("pull (this paper)", crate::harness::mean(&pull), 2, n));
+        rows.push(process_row(
+            "pull (this paper)",
+            crate::harness::mean(&pull),
+            2,
+            n,
+        ));
 
         // Knowledge-model baselines, averaged over the same trial count.
         let mut nd_acc = (0.0, 0u64, 0.0);
@@ -81,8 +90,14 @@ pub fn run(args: &Args) -> Report {
             let seed = gossip_core::rng::trial_seed(args.seed ^ n as u64, t);
             let k = Knowledge::from_undirected(&g);
             for (acc, out) in [
-                (&mut nd_acc, NameDropper::new(k.clone(), seed).run_to_completion(1_000_000)),
-                (&mut pj_acc, PointerJump::new(k.clone(), seed).run_to_completion(1_000_000)),
+                (
+                    &mut nd_acc,
+                    NameDropper::new(k.clone(), seed).run_to_completion(1_000_000),
+                ),
+                (
+                    &mut pj_acc,
+                    PointerJump::new(k.clone(), seed).run_to_completion(1_000_000),
+                ),
                 (
                     &mut th_acc,
                     ThrottledNameDropper::new(k.clone(), 1, seed).run_to_completion(10_000_000),

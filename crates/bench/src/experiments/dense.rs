@@ -64,7 +64,13 @@ pub fn run(args: &Args) -> Report {
         ks.extend([512, 1024, 2048].iter().filter(|&&k| k <= max_k));
     }
 
-    let mut table = Table::new(["process", "k missing", "mean rounds", "n ln k", "rounds / n ln k"]);
+    let mut table = Table::new([
+        "process",
+        "k missing",
+        "mean rounds",
+        "n ln k",
+        "rounds / n ln k",
+    ]);
     let (lx_push, ly_push) = sweep(Push, n, &ks, args, &mut table, "push");
     let (lx_pull, ly_pull) = sweep(Pull, n, &ks, args, &mut table, "pull");
 

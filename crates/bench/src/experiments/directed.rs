@@ -19,7 +19,12 @@ fn measure(g: &DirectedGraph, trials: usize, seed: u64) -> f64 {
         max_rounds: 2_000_000_000,
         parallel: true,
     };
-    mean(&convergence_rounds(g, DirectedPull, ClosureReached::for_graph, &cfg))
+    mean(&convergence_rounds(
+        g,
+        DirectedPull,
+        ClosureReached::for_graph,
+        &cfg,
+    ))
 }
 
 /// E5 + E6.
@@ -39,7 +44,13 @@ pub fn run(args: &Args) -> Report {
     };
 
     let mut table = Table::new([
-        "family", "n", "mean rounds", "n²", "n² ln n", "rounds/n²", "rounds/(n² ln n)",
+        "family",
+        "n",
+        "mean rounds",
+        "n²",
+        "n² ln n",
+        "rounds/n²",
+        "rounds/(n² ln n)",
     ]);
     let mut exponents = Table::new(["family", "log-log slope", "r²"]);
 
@@ -50,7 +61,11 @@ pub fn run(args: &Args) -> Report {
             "gnp-strong(8/n)",
             Box::new(move |n| {
                 let p = (8.0 / n as f64).min(0.9);
-                generators::directed_gnp_strong(n, p, &mut gossip_core::rng::stream_rng(7, 0xD1, n as u64))
+                generators::directed_gnp_strong(
+                    n,
+                    p,
+                    &mut gossip_core::rng::stream_rng(7, 0xD1, n as u64),
+                )
             }),
         ),
         ("thm15-strong", Box::new(generators::theorem15_graph)),
@@ -88,13 +103,17 @@ pub fn run(args: &Args) -> Report {
         ]);
     }
 
-    report.note("paper: O(n² log n) upper bound on any digraph; Ω(n² log n) weakly connected \
-                 and Ω(n²) strongly connected lower-bound families (Theorems 14/15).");
-    report.note("expectation: the adversarial families show the quadratic law — thm15 at \
+    report.note(
+        "paper: O(n² log n) upper bound on any digraph; Ω(n² log n) weakly connected \
+                 and Ω(n²) strongly connected lower-bound families (Theorems 14/15).",
+    );
+    report.note(
+        "expectation: the adversarial families show the quadratic law — thm15 at \
                  log-log slope ≈ 2.0 with rounds/n² ≈ 0.8 flat, thm14 at slope ≈ 2.1 \
                  (the extra log shows as a mild upward drift in rounds/n²). Benign strongly \
                  connected digraphs (cycles, dense G(n,p)) converge far below the worst case, \
-                 as the upper bound permits.");
+                 as the upper bound permits.",
+    );
     report.table("directed two-hop walk: rounds to transitive closure", table);
     report.table("empirical growth exponents", exponents);
     report

@@ -23,7 +23,13 @@ pub fn run(args: &Args) -> Report {
     let mut trace = DiscoveryTrace::default();
 
     let mut table = Table::new([
-        "round", "edges", "density", "min deg", "max deg", "diameter", "avg clustering",
+        "round",
+        "edges",
+        "density",
+        "min deg",
+        "max deg",
+        "diameter",
+        "avg clustering",
     ]);
     let snapshot = |t: &mut Table, round: u64, g: &gossip_graph::UndirectedGraph| {
         let s = metrics::summarize(g);

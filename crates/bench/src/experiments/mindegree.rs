@@ -93,12 +93,22 @@ pub fn run(args: &Args) -> Report {
     let mut report = Report::new("E8-mindegree-growth");
 
     let mut table = Table::new([
-        "workload", "n", "δ0", "target δ", "mean rounds", "n ln n", "rounds/(n ln n)",
+        "workload",
+        "n",
+        "δ0",
+        "target δ",
+        "mean rounds",
+        "n ln n",
+        "rounds/(n ln n)",
     ]);
-    let (ns_pd, ts_pd) = degree_growth_sweep(Push, "push dense 9/8", Regime::Dense, args, &mut table);
-    let (ns_qd, ts_qd) = degree_growth_sweep(Pull, "pull dense 9/8", Regime::Dense, args, &mut table);
-    let (ns_ps, ts_ps) = degree_growth_sweep(Push, "push sparse 2x", Regime::Sparse, args, &mut table);
-    let (ns_qs, ts_qs) = degree_growth_sweep(Pull, "pull sparse 2x", Regime::Sparse, args, &mut table);
+    let (ns_pd, ts_pd) =
+        degree_growth_sweep(Push, "push dense 9/8", Regime::Dense, args, &mut table);
+    let (ns_qd, ts_qd) =
+        degree_growth_sweep(Pull, "pull dense 9/8", Regime::Dense, args, &mut table);
+    let (ns_ps, ts_ps) =
+        degree_growth_sweep(Push, "push sparse 2x", Regime::Sparse, args, &mut table);
+    let (ns_qs, ts_qs) =
+        degree_growth_sweep(Pull, "pull sparse 2x", Regime::Sparse, args, &mut table);
     report.note(
         "paper: δ grows by 9/8 within O(n log n) rounds (Lemmas 5–7/10–11). The bound binds in \
          the dense regime (δ0 = Θ(n)); sparse graphs double far faster — the lemma is a worst \
@@ -126,7 +136,12 @@ pub fn run(args: &Args) -> Report {
     let delta0 = g0.min_degree();
     let mut engine = Engine::new(g0, Push, args.seed);
     let mut tie_table = Table::new([
-        "round", "min-deg node", "deg(u)", "|N²(u)|", "strongly tied", "weakly tied",
+        "round",
+        "min-deg node",
+        "deg(u)",
+        "|N²(u)|",
+        "strongly tied",
+        "weakly tied",
     ]);
     let stride = (n as u64 / 2).max(1);
     for snapshot in 0..10u64 {

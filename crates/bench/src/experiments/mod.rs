@@ -17,8 +17,8 @@
 pub mod asynchrony;
 pub mod baselines;
 pub mod dense;
-pub mod evolution;
 pub mod directed;
+pub mod evolution;
 pub mod mindegree;
 pub mod netsim;
 pub mod nonmonotone;

@@ -18,7 +18,14 @@ fn wire_row(
     g: &gossip_graph::UndirectedGraph,
     seed: u64,
 ) {
-    let mut net = Network::from_graph(g, n, NetConfig { drop_prob: 0.0, seed });
+    let mut net = Network::from_graph(
+        g,
+        n,
+        NetConfig {
+            drop_prob: 0.0,
+            seed,
+        },
+    );
     let (rounds, done, t) = net.run_until_coverage(proto, 1.0, 50_000_000);
     assert!(done, "{name} failed to reach full coverage at n={n}");
     table.push_row([
@@ -34,7 +41,11 @@ fn wire_row(
 /// E12.
 pub fn run(args: &Args) -> Report {
     let mut report = Report::new("E12-wire-validation");
-    let sizes: Vec<usize> = if args.quick { vec![32, 64] } else { vec![64, 128, 256] };
+    let sizes: Vec<usize> = if args.quick {
+        vec![32, 64]
+    } else {
+        vec![64, 128, 256]
+    };
 
     // Part 1: byte-accurate bandwidth at zero loss.
     let mut wire = Table::new([
@@ -50,7 +61,14 @@ pub fn run(args: &Args) -> Report {
         let g = generators::tree_plus_random_edges(n, 2 * n as u64, &mut rng);
         wire_row(&mut wire, n, &mut PushProtocol, "push", &g, args.seed);
         wire_row(&mut wire, n, &mut PullProtocol, "pull", &g, args.seed);
-        wire_row(&mut wire, n, &mut NameDropperProtocol, "name-dropper", &g, args.seed);
+        wire_row(
+            &mut wire,
+            n,
+            &mut NameDropperProtocol,
+            "name-dropper",
+            &g,
+            args.seed,
+        );
     }
     report.note(
         "push/pull max message is 5 bytes at every n (one address + tag): the O(log n)-bit \
@@ -66,7 +84,14 @@ pub fn run(args: &Args) -> Report {
     for &p in &[0.0, 0.1, 0.3, 0.5] {
         let mut row = vec![format!("{p}")];
         for proto_name in ["push", "pull"] {
-            let mut net = Network::from_graph(&g, n, NetConfig { drop_prob: p, seed: args.seed });
+            let mut net = Network::from_graph(
+                &g,
+                n,
+                NetConfig {
+                    drop_prob: p,
+                    seed: args.seed,
+                },
+            );
             let (rounds, done) = match proto_name {
                 "push" => {
                     let (r, d, _) = net.run_until_coverage(&mut PushProtocol, 1.0, 50_000_000);
@@ -98,14 +123,26 @@ pub fn run(args: &Args) -> Report {
         seed: args.seed ^ 0xC1,
     };
     let run_timeline = |proto: &mut dyn Protocol| {
-        let mut net = Network::from_graph(&g, capacity, NetConfig { drop_prob: 0.1, seed: args.seed });
+        let mut net = Network::from_graph(
+            &g,
+            capacity,
+            NetConfig {
+                drop_prob: 0.1,
+                seed: args.seed,
+            },
+        );
         let stride = horizon / 6;
         let mut rows = Vec::new();
         for round in 0..horizon {
             churn.apply(&mut net, round);
             net.step(proto);
             if round % stride == stride - 1 {
-                rows.push((round + 1, net.alive_count(), net.coverage(), net.staleness()));
+                rows.push((
+                    round + 1,
+                    net.alive_count(),
+                    net.coverage(),
+                    net.staleness(),
+                ));
             }
         }
         rows

@@ -37,7 +37,12 @@ pub fn run(args: &Args) -> Report {
     // Part 1: the Figure 1(c) pair, exact + Monte Carlo agreement.
     let (g, h) = generators::nonmonotone_pair();
     let mut t = Table::new([
-        "graph", "edges", "process", "exact E[T]", "MC mean", "MC ±95%",
+        "graph",
+        "edges",
+        "process",
+        "exact E[T]",
+        "MC mean",
+        "MC ±95%",
     ]);
     for (name, gr) in [("G = K_1,4", &g), ("H = K_1,3 ⊂ G", &h)] {
         for kind in [ProcessKind::Push, ProcessKind::Pull] {

@@ -43,13 +43,7 @@ pub fn run(args: &Args) -> Report {
         &cfg,
     ));
 
-    let mut fail_table = Table::new([
-        "process",
-        "failure p",
-        "mean rounds",
-        "slowdown",
-        "1/(1-p)",
-    ]);
+    let mut fail_table = Table::new(["process", "failure p", "mean rounds", "slowdown", "1/(1-p)"]);
     for &p in &[0.0, 0.25, 0.5, 0.75, 0.9] {
         let push = mean(&convergence_rounds(
             &g,

@@ -23,13 +23,16 @@ fn family(name: &str, n: usize, seed: u64) -> UndirectedGraph {
     }
 }
 
-const FAMILIES: [&str; 6] = ["path", "cycle", "star", "random-tree", "sparse-2n", "hypercube"];
+const FAMILIES: [&str; 6] = [
+    "path",
+    "cycle",
+    "star",
+    "random-tree",
+    "sparse-2n",
+    "hypercube",
+];
 
-fn run_process<R: ProposalRule<UndirectedGraph> + Clone>(
-    id: &str,
-    rule: R,
-    args: &Args,
-) -> Report {
+fn run_process<R: ProposalRule<UndirectedGraph> + Clone>(id: &str, rule: R, args: &Args) -> Report {
     let mut report = Report::new(id);
     let sizes = if args.quick {
         geometric_sizes(32, 3)
@@ -45,7 +48,12 @@ fn run_process<R: ProposalRule<UndirectedGraph> + Clone>(
     };
 
     let mut table = Table::new([
-        "family", "n", "mean rounds", "ci95", "n log² n", "rounds / n log² n",
+        "family",
+        "n",
+        "mean rounds",
+        "ci95",
+        "n log² n",
+        "rounds / n log² n",
     ]);
     let mut fit_table = Table::new([
         "family",
@@ -67,7 +75,8 @@ fn run_process<R: ProposalRule<UndirectedGraph> + Clone>(
                 max_rounds: 100_000_000,
                 parallel: true,
             };
-            let rounds = convergence_rounds(&g, rule.clone(), ComponentwiseComplete::for_graph, &cfg);
+            let rounds =
+                convergence_rounds(&g, rule.clone(), ComponentwiseComplete::for_graph, &cfg);
             let s = Summary::of_rounds(&rounds);
             let nf = n_actual as f64;
             let bound = nf * nf.ln() * nf.ln();
@@ -100,7 +109,11 @@ fn run_process<R: ProposalRule<UndirectedGraph> + Clone>(
 
     report.note(format!(
         "paper: O(n log² n) w.h.p. for any connected graph (Theorem {}).",
-        if id.starts_with("E1") { "8, push" } else { "12, pull" }
+        if id.starts_with("E1") {
+            "8, push"
+        } else {
+            "12, pull"
+        }
     ));
     report.note(
         "expectation: rounds / n log² n stays bounded (typically drifting down — \

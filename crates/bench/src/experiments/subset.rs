@@ -30,7 +30,11 @@ pub fn run(args: &Args) -> Report {
     } else {
         8
     };
-    let host_sizes: Vec<usize> = if args.quick { vec![256, 1024] } else { vec![512, 4096] };
+    let host_sizes: Vec<usize> = if args.quick {
+        vec![256, 1024]
+    } else {
+        vec![512, 4096]
+    };
     let ks: Vec<usize> = if args.quick {
         vec![16, 32, 64]
     } else {
@@ -38,7 +42,11 @@ pub fn run(args: &Args) -> Report {
     };
 
     let mut table = Table::new([
-        "host n", "k", "mean rounds", "k log² k", "rounds / k log² k",
+        "host n",
+        "k",
+        "mean rounds",
+        "k log² k",
+        "rounds / k log² k",
     ]);
     for &host_n in &host_sizes {
         let mut rng = gossip_core::rng::stream_rng(args.seed, 0x50C, host_n as u64);

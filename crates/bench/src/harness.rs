@@ -51,7 +51,10 @@ pub fn parse_args() -> Args {
                     .unwrap_or_else(|| usage("--trials needs an integer"))
             }
             "--out" => {
-                args.out_dir = it.next().map(PathBuf::from).unwrap_or_else(|| usage("--out needs a path"))
+                args.out_dir = it
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| usage("--out needs a path"))
             }
             other => usage(&format!("unknown flag {other}")),
         }
@@ -150,7 +153,10 @@ impl Report {
             tables: self
                 .tables
                 .iter()
-                .map(|(title, t)| JsonTable { title, csv: t.to_csv() })
+                .map(|(title, t)| JsonTable {
+                    title,
+                    csv: t.to_csv(),
+                })
                 .collect(),
         };
         std::fs::write(
@@ -166,7 +172,11 @@ impl Report {
         if let Err(e) = self.save(&args.out_dir) {
             eprintln!("warning: could not save results: {e}");
         } else {
-            println!("\n[saved to {}/{}.{{md,csv,json}}]", args.out_dir.display(), self.id);
+            println!(
+                "\n[saved to {}/{}.{{md,csv,json}}]",
+                args.out_dir.display(),
+                self.id
+            );
         }
     }
 }

@@ -44,7 +44,9 @@ impl PartialOrd for Time {
 
 impl Ord for Time {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("activation time is NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("activation time is NaN")
     }
 }
 
@@ -137,7 +139,11 @@ impl<G: GossipGraph, R: ProposalRule<G>> AsyncEngine<G, R> {
     }
 
     /// Runs until `check` fires or continuous time exceeds `max_time`.
-    pub fn run_until<C: ConvergenceCheck<G>>(&mut self, check: &mut C, max_time: f64) -> AsyncOutcome {
+    pub fn run_until<C: ConvergenceCheck<G>>(
+        &mut self,
+        check: &mut C,
+        max_time: f64,
+    ) -> AsyncOutcome {
         if check.is_converged(&self.graph) {
             return AsyncOutcome {
                 time: self.now,

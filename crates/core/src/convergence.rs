@@ -128,7 +128,10 @@ impl ConvergenceCheck<UndirectedGraph> for SubsetComplete {
         }
         let mut ordered = 0u64;
         for &u in &self.members {
-            ordered += g.neighbors(u).membership().intersection_count(&self.member_bits) as u64;
+            ordered += g
+                .neighbors(u)
+                .membership()
+                .intersection_count(&self.member_bits) as u64;
         }
         debug_assert!(ordered <= self.target_ordered);
         ordered == self.target_ordered
@@ -251,7 +254,10 @@ mod tests {
     fn min_degree_check_caps_at_n_minus_1() {
         let g = generators::complete(4);
         let mut c = MinDegreeAtLeast::new(100);
-        assert!(c.is_converged(&g), "complete graph satisfies any degree target");
+        assert!(
+            c.is_converged(&g),
+            "complete graph satisfies any degree target"
+        );
         let p = generators::path(4);
         let mut c2 = MinDegreeAtLeast::new(2);
         assert!(!c2.is_converged(&p));

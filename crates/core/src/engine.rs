@@ -142,7 +142,8 @@ impl<G: GossipGraph, R: ProposalRule<G>> Engine<G, R> {
             for u in 0..n {
                 let mut rng = stream_rng(seed, round, u as u64);
                 self.proposals[u] =
-                    self.rule.propose(&self.graph, gossip_graph::NodeId::new(u), &mut rng);
+                    self.rule
+                        .propose(&self.graph, gossip_graph::NodeId::new(u), &mut rng);
             }
         }
 
@@ -171,7 +172,12 @@ impl<G: GossipGraph, R: ProposalRule<G>> Engine<G, R> {
     }
 
     /// Runs like [`Engine::run_until`], feeding every round to `observer`.
-    pub fn run_observed<C, O>(&mut self, check: &mut C, max_rounds: u64, observer: &mut O) -> RunOutcome
+    pub fn run_observed<C, O>(
+        &mut self,
+        check: &mut C,
+        max_rounds: u64,
+        observer: &mut O,
+    ) -> RunOutcome
     where
         C: ConvergenceCheck<G>,
         O: RoundObserver<G>,
@@ -270,9 +276,13 @@ mod tests {
     #[test]
     fn sequential_and_parallel_agree_exactly() {
         for seed in [1u64, 99, 12345] {
-            let g = generators::tree_plus_random_edges(200, 400, &mut crate::rng::stream_rng(seed, 0, 0));
-            let mut seq = Engine::new(g.clone(), Push, seed)
-                .with_parallelism(Parallelism::Sequential);
+            let g = generators::tree_plus_random_edges(
+                200,
+                400,
+                &mut crate::rng::stream_rng(seed, 0, 0),
+            );
+            let mut seq =
+                Engine::new(g.clone(), Push, seed).with_parallelism(Parallelism::Sequential);
             let mut par = Engine::new(g, Push, seed).with_parallelism(Parallelism::Parallel);
             for _ in 0..50 {
                 let s1 = seq.step();

@@ -48,15 +48,15 @@ pub mod trace;
 pub mod trials;
 pub mod variants;
 
+pub use async_engine::{AsyncEngine, AsyncOutcome};
 pub use convergence::{
     ClosureReached, ComponentwiseComplete, ConvergenceCheck, MinDegreeAtLeast, Never,
     SubsetComplete,
 };
-pub use async_engine::{AsyncEngine, AsyncOutcome};
 pub use engine::{Engine, Parallelism, RunOutcome};
 pub use process::{GossipGraph, ProposalRule, ProposalSet, RoundStats};
 pub use recorder::{MinDegreeMilestones, NullObserver, RoundObserver, SeriesRecorder, SeriesRow};
-pub use trace::{DiscoveryTrace, EdgeEvent};
 pub use rules::{DirectedPull, HybridPushPull, Pull, Push};
+pub use trace::{DiscoveryTrace, EdgeEvent};
 pub use trials::{convergence_rounds, run_trials, TrialConfig};
 pub use variants::{Faulty, OnlySubset, Partial};

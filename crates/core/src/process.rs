@@ -39,7 +39,10 @@ impl ProposalSet {
     /// Two proposed edges.
     #[inline]
     pub fn two(e1: (NodeId, NodeId), e2: (NodeId, NodeId)) -> Self {
-        ProposalSet { edges: [e1, e2], len: 2 }
+        ProposalSet {
+            edges: [e1, e2],
+            len: 2,
+        }
     }
 
     /// Appends an edge.
@@ -145,7 +148,10 @@ mod tests {
         p.push((NodeId(1), NodeId(2)));
         p.push((NodeId(3), NodeId(4)));
         assert_eq!(p.len(), 2);
-        assert_eq!(p.as_slice(), &[(NodeId(1), NodeId(2)), (NodeId(3), NodeId(4))]);
+        assert_eq!(
+            p.as_slice(),
+            &[(NodeId(1), NodeId(2)), (NodeId(3), NodeId(4))]
+        );
     }
 
     #[test]

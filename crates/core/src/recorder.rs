@@ -49,7 +49,10 @@ impl SeriesRecorder {
     /// Creates a recorder sampling every `stride` rounds (`stride >= 1`).
     pub fn every(stride: u64) -> Self {
         assert!(stride >= 1, "stride must be >= 1");
-        SeriesRecorder { stride, rows: Vec::new() }
+        SeriesRecorder {
+            stride,
+            rows: Vec::new(),
+        }
     }
 
     /// The captured rows.

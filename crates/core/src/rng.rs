@@ -31,7 +31,10 @@ pub fn splitmix64(mut z: u64) -> u64 {
 /// integers would correlate low bits).
 #[inline]
 pub fn stream_key(seed: u64, round: u64, node: u64) -> u64 {
-    splitmix64(seed ^ splitmix64(round.wrapping_mul(0xA24B_AED4_963E_E407)) ^ splitmix64(node.wrapping_mul(0x9FB2_1C65_1E98_DF25)))
+    splitmix64(
+        seed ^ splitmix64(round.wrapping_mul(0xA24B_AED4_963E_E407))
+            ^ splitmix64(node.wrapping_mul(0x9FB2_1C65_1E98_DF25)),
+    )
 }
 
 /// The per-(round, node) RNG. `SmallRng` (xoshiro-family) seeded from the

@@ -211,7 +211,13 @@ mod tests {
     fn rule_names() {
         assert_eq!(ProposalRule::<UndirectedGraph>::name(&Push), "push");
         assert_eq!(ProposalRule::<UndirectedGraph>::name(&Pull), "pull");
-        assert_eq!(ProposalRule::<DirectedGraph>::name(&DirectedPull), "directed-pull");
-        assert_eq!(ProposalRule::<UndirectedGraph>::name(&HybridPushPull), "hybrid");
+        assert_eq!(
+            ProposalRule::<DirectedGraph>::name(&DirectedPull),
+            "directed-pull"
+        );
+        assert_eq!(
+            ProposalRule::<UndirectedGraph>::name(&HybridPushPull),
+            "hybrid"
+        );
     }
 }

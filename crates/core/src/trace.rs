@@ -90,9 +90,13 @@ impl<G: GossipGraph, R: ProposalRule<G>> Engine<G, R> {
     /// *new* edge to `trace`. Identical random choices and graph evolution
     /// as `step` — tracing is observation only.
     pub fn step_traced(&mut self, trace: &mut DiscoveryTrace) -> crate::process::RoundStats {
-        
         self.step_attributed(|round, introducer, a, b| {
-            trace.events.push(EdgeEvent { round, introducer, a, b });
+            trace.events.push(EdgeEvent {
+                round,
+                introducer,
+                a,
+                b,
+            });
         })
     }
 

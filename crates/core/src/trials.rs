@@ -55,8 +55,8 @@ where
     let run_one = |t: usize| -> RunOutcome {
         let seed = trial_seed(cfg.base_seed, t);
         let mut check = make_check(g0);
-        let mut engine = Engine::new(g0.clone(), rule.clone(), seed)
-            .with_parallelism(Parallelism::Sequential);
+        let mut engine =
+            Engine::new(g0.clone(), rule.clone(), seed).with_parallelism(Parallelism::Sequential);
         engine.run_until(&mut check, cfg.max_rounds)
     };
 

@@ -26,7 +26,10 @@ impl<R> Faulty<R> {
             (0.0..=1.0).contains(&failure_prob),
             "failure_prob must be in [0, 1]"
         );
-        Faulty { inner, failure_prob }
+        Faulty {
+            inner,
+            failure_prob,
+        }
     }
 }
 
@@ -67,7 +70,10 @@ impl<R> Partial<R> {
             (0.0..=1.0).contains(&participation),
             "participation must be in [0, 1]"
         );
-        Partial { inner, participation }
+        Partial {
+            inner,
+            participation,
+        }
     }
 }
 

@@ -45,7 +45,11 @@ impl BitSet {
     /// Panics (in debug builds) if `v >= capacity`.
     #[inline]
     pub fn insert(&mut self, v: usize) -> bool {
-        debug_assert!(v < self.capacity, "bit {v} out of capacity {}", self.capacity);
+        debug_assert!(
+            v < self.capacity,
+            "bit {v} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (v / WORD_BITS, v % WORD_BITS);
         let mask = 1u64 << b;
         let had = self.words[w] & mask != 0;
@@ -135,7 +139,10 @@ impl BitSet {
     /// Whether `self` is a subset of `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch");
-        self.words.iter().zip(&other.words).all(|(&a, &b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & !b == 0)
     }
 
     /// Iterates over elements in increasing order.

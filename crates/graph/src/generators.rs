@@ -166,7 +166,10 @@ pub fn complete_bipartite(a: usize, b: usize) -> UndirectedGraph {
 /// clustering with long range only through bottlenecks (Watts' original
 /// small-world starting point).
 pub fn caveman(cliques: usize, k: usize) -> UndirectedGraph {
-    assert!(cliques >= 2 && k >= 2, "caveman needs >= 2 cliques of size >= 2");
+    assert!(
+        cliques >= 2 && k >= 2,
+        "caveman needs >= 2 cliques of size >= 2"
+    );
     let n = cliques * k;
     let mut g = UndirectedGraph::new(n);
     for c in 0..cliques {
@@ -258,7 +261,10 @@ pub fn gnm_connected<R: Rng + ?Sized>(n: usize, m: u64, rng: &mut R) -> Undirect
 /// G(n, m) | connected (trees are slightly over-represented), which is
 /// irrelevant for the convergence experiments but stated for honesty.
 pub fn tree_plus_random_edges<R: Rng + ?Sized>(n: usize, m: u64, rng: &mut R) -> UndirectedGraph {
-    assert!(m >= n as u64 - 1, "m too small for a spanning tree on {n} nodes");
+    assert!(
+        m >= n as u64 - 1,
+        "m too small for a spanning tree on {n} nodes"
+    );
     let max_m = (n as u64) * (n as u64 - 1) / 2;
     assert!(m <= max_m, "m exceeds complete graph");
     let mut g = random_tree(n, rng);
@@ -295,7 +301,12 @@ pub fn gnp_connected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Undirect
 /// Connected Watts–Strogatz small world: ring lattice with `k` neighbors on
 /// each side, each edge rewired with probability `beta` (resampled until
 /// connected).
-pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> UndirectedGraph {
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut R,
+) -> UndirectedGraph {
     assert!(n > 2 * k, "watts_strogatz needs n > 2k");
     assert!(k >= 1);
     let tries = 1000;
@@ -481,7 +492,10 @@ pub fn directed_gnp_strong<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Di
 /// found through one specific two-hop path whose first and second hops both
 /// fight `Θ(n)`-sized out-neighborhoods.
 pub fn theorem14_graph(n: usize) -> DirectedGraph {
-    assert!(n.is_multiple_of(4) && n >= 8, "theorem14_graph needs n divisible by 4, n >= 8");
+    assert!(
+        n.is_multiple_of(4) && n >= 8,
+        "theorem14_graph needs n divisible by 4, n >= 8"
+    );
     let mut g = DirectedGraph::new(n);
     let q = n / 4;
     for i in 0..q {
@@ -511,7 +525,10 @@ pub fn theorem14_graph(n: usize) -> DirectedGraph {
 /// out-degrees that are at least `n/2`, and the analysis shows cuts advance
 /// one node at a time in expectation.
 pub fn theorem15_graph(n: usize) -> DirectedGraph {
-    assert!(n.is_multiple_of(2) && n >= 4, "theorem15_graph needs even n >= 4");
+    assert!(
+        n.is_multiple_of(2) && n >= 4,
+        "theorem15_graph needs even n >= 4"
+    );
     let half = n / 2;
     let mut g = DirectedGraph::new(n);
     for a in 0..half {
@@ -650,7 +667,10 @@ mod tests {
         assert!(is_connected(&g));
         // Initial K4 (6 edges) + 96 nodes * 3 edges.
         assert_eq!(g.m(), 6 + 96 * 3);
-        assert!(g.max_degree() > 6, "preferential attachment should create hubs");
+        assert!(
+            g.max_degree() > 6,
+            "preferential attachment should create hubs"
+        );
     }
 
     #[test]
@@ -714,7 +734,7 @@ mod tests {
         assert!(is_weakly_connected(&g));
         let (_, scc) = strongly_connected_components(&g);
         assert_eq!(scc, n); // it's a DAG: all SCCs singletons
-        // Closure adds exactly the (3i, 3i+2) arcs: q of them.
+                            // Closure adds exactly the (3i, 3i+2) arcs: q of them.
         let c = Closure::of(&g);
         let q = n / 4;
         assert_eq!(c.pair_count(), g.arc_count() + q as u64);

@@ -80,7 +80,11 @@ fn parse_lines(text: &str) -> Result<(usize, Vec<(u32, u32)>), ParseError> {
         let (a, b) = (parse(a)?, parse(b)?);
         for v in [a, b] {
             if v as usize >= n {
-                return Err(ParseError::NodeOutOfRange { line: lineno, node: v, n });
+                return Err(ParseError::NodeOutOfRange {
+                    line: lineno,
+                    node: v,
+                    n,
+                });
             }
         }
         edges.push((a, b));

@@ -24,7 +24,11 @@ pub struct GraphSummary {
 /// Computes the summary for an undirected graph.
 pub fn summarize(g: &UndirectedGraph) -> GraphSummary {
     let n = g.n();
-    let possible = if n >= 2 { (n as u64) * (n as u64 - 1) / 2 } else { 0 };
+    let possible = if n >= 2 {
+        (n as u64) * (n as u64 - 1) / 2
+    } else {
+        0
+    };
     GraphSummary {
         n,
         m: g.m(),

@@ -155,4 +155,20 @@ mod tests {
         let e3 = Edge::new(NodeId(1), NodeId(2));
         assert!(e1 < e2 && e2 < e3);
     }
+
+    /// Guards the optional `serde` feature: NodeId is a newtype (serializes
+    /// as its inner id), Edge as an object.
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_derives_follow_the_data_model() {
+        use serde::ser::{Serialize as _, Value};
+        assert_eq!(NodeId(7).serialize_value(), Value::Int(7));
+        assert_eq!(
+            Edge::new(NodeId(1), NodeId(2)).serialize_value(),
+            Value::Object(vec![
+                ("a".into(), Value::Int(1)),
+                ("b".into(), Value::Int(2)),
+            ])
+        );
+    }
 }

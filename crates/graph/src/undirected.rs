@@ -140,7 +140,9 @@ impl UndirectedGraph {
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, set)| {
             let u = NodeId::new(u);
-            set.iter().filter(move |&v| u < v).map(move |v| Edge::new(u, v))
+            set.iter()
+                .filter(move |&v| u < v)
+                .map(move |v| Edge::new(u, v))
         })
     }
 

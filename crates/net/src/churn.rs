@@ -35,9 +35,7 @@ impl ChurnModel {
         let mut rng = stream_rng(self.seed, round, u64::MAX - 7);
         let mut joined = None;
         let mut left = None;
-        if self.join_prob > 0.0
-            && rng.random_bool(self.join_prob)
-            && net.peer_count() < usize::MAX
+        if self.join_prob > 0.0 && rng.random_bool(self.join_prob) && net.peer_count() < usize::MAX
         {
             let alive = net.alive_ids();
             if !alive.is_empty() {
@@ -112,7 +110,14 @@ mod tests {
     #[test]
     fn discovery_keeps_up_with_mild_churn() {
         let g = generators::complete(12);
-        let mut net = Network::from_graph(&g, 256, NetConfig { drop_prob: 0.0, seed: 9 });
+        let mut net = Network::from_graph(
+            &g,
+            256,
+            NetConfig {
+                drop_prob: 0.0,
+                seed: 9,
+            },
+        );
         let churn = ChurnModel {
             join_prob: 0.05,
             leave_prob: 0.05,

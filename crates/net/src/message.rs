@@ -134,7 +134,9 @@ mod tests {
     fn roundtrips() {
         roundtrip(Message::Introduce { peer: NodeId(7) });
         roundtrip(Message::PullRequest);
-        roundtrip(Message::PullReply { peer: NodeId(u32::MAX) });
+        roundtrip(Message::PullReply {
+            peer: NodeId(u32::MAX),
+        });
         roundtrip(Message::Announce);
         roundtrip(Message::FullList { peers: vec![] });
         roundtrip(Message::FullList {
@@ -156,8 +158,12 @@ mod tests {
 
     #[test]
     fn full_list_grows_linearly() {
-        let small = Message::FullList { peers: vec![NodeId(0); 10] };
-        let big = Message::FullList { peers: vec![NodeId(0); 1000] };
+        let small = Message::FullList {
+            peers: vec![NodeId(0); 10],
+        };
+        let big = Message::FullList {
+            peers: vec![NodeId(0); 1000],
+        };
         assert_eq!(small.wire_len(), 45);
         assert_eq!(big.wire_len(), 4005);
     }

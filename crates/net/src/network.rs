@@ -66,7 +66,10 @@ pub struct NetConfig {
 
 impl Default for NetConfig {
     fn default() -> Self {
-        NetConfig { drop_prob: 0.0, seed: 0 }
+        NetConfig {
+            drop_prob: 0.0,
+            seed: 0,
+        }
     }
 }
 
@@ -87,7 +90,11 @@ pub struct NodeCtx<'a> {
 impl NodeCtx<'_> {
     /// Sends `msg` to `to` (delivered next round, maybe lost).
     pub fn send(&mut self, to: NodeId, msg: Message) {
-        self.outbox.push(Envelope { from: self.me, to, msg });
+        self.outbox.push(Envelope {
+            from: self.me,
+            to,
+            msg,
+        });
     }
 
     /// Learns a peer's address. Returns `true` if it was new.
@@ -137,7 +144,10 @@ impl Network {
     pub fn from_graph(g: &UndirectedGraph, capacity: usize, cfg: NetConfig) -> Self {
         assert!(capacity >= g.n(), "capacity below initial size");
         let mut peers: Vec<Peer> = (0..g.n())
-            .map(|_| Peer { contacts: AdjSet::new(capacity), alive: true })
+            .map(|_| Peer {
+                contacts: AdjSet::new(capacity),
+                alive: true,
+            })
             .collect();
         for e in g.edges() {
             peers[e.a.index()].contacts.insert(e.b);
@@ -189,7 +199,10 @@ impl Network {
     /// # Panics
     /// Panics if capacity is exhausted.
     pub fn join(&mut self, bootstrap: &[NodeId]) -> NodeId {
-        assert!(self.peers.len() < self.capacity, "network capacity exhausted");
+        assert!(
+            self.peers.len() < self.capacity,
+            "network capacity exhausted"
+        );
         let id = NodeId::new(self.peers.len());
         let mut contacts = AdjSet::new(self.capacity);
         for &b in bootstrap {
@@ -200,7 +213,10 @@ impl Network {
                 }
             }
         }
-        self.peers.push(Peer { contacts, alive: true });
+        self.peers.push(Peer {
+            contacts,
+            alive: true,
+        });
         id
     }
 
@@ -415,7 +431,14 @@ mod tests {
     #[test]
     fn drops_lose_everything_at_p1() {
         let g = generators::complete(4);
-        let mut net = Network::from_graph(&g, 4, NetConfig { drop_prob: 1.0, seed: 3 });
+        let mut net = Network::from_graph(
+            &g,
+            4,
+            NetConfig {
+                drop_prob: 1.0,
+                seed: 3,
+            },
+        );
         let mut p = PingProtocol;
         let t = net.step(&mut p);
         assert_eq!(t.lost, t.messages);

@@ -129,7 +129,10 @@ impl HeartbeatPushProtocol {
     /// # Panics
     /// Panics if `timeout < 2` (a Pong takes two rounds to come back).
     pub fn new(capacity: usize, ping_every: u64, timeout: u64) -> Self {
-        assert!(timeout >= 2, "a round-trip takes 2 rounds; timeout must be >= 2");
+        assert!(
+            timeout >= 2,
+            "a round-trip takes 2 rounds; timeout must be >= 2"
+        );
         assert!(ping_every >= 1);
         HeartbeatPushProtocol {
             ping_every,
@@ -215,9 +218,15 @@ mod tests {
     #[test]
     fn push_protocol_reaches_full_coverage() {
         let g = generators::star(12);
-        let mut net = Network::from_graph(&g, 12, NetConfig { drop_prob: 0.0, seed: 1 });
-        let (rounds, done, traffic) =
-            net.run_until_coverage(&mut PushProtocol, 1.0, 100_000);
+        let mut net = Network::from_graph(
+            &g,
+            12,
+            NetConfig {
+                drop_prob: 0.0,
+                seed: 1,
+            },
+        );
+        let (rounds, done, traffic) = net.run_until_coverage(&mut PushProtocol, 1.0, 100_000);
         assert!(done, "push protocol stalled after {rounds} rounds");
         // Constant-size messages only.
         assert_eq!(traffic.max_message_bytes, 5);
@@ -226,9 +235,15 @@ mod tests {
     #[test]
     fn pull_protocol_reaches_full_coverage() {
         let g = generators::path(10);
-        let mut net = Network::from_graph(&g, 10, NetConfig { drop_prob: 0.0, seed: 2 });
-        let (rounds, done, traffic) =
-            net.run_until_coverage(&mut PullProtocol, 1.0, 100_000);
+        let mut net = Network::from_graph(
+            &g,
+            10,
+            NetConfig {
+                drop_prob: 0.0,
+                seed: 2,
+            },
+        );
+        let (rounds, done, traffic) = net.run_until_coverage(&mut PullProtocol, 1.0, 100_000);
         assert!(done, "pull protocol stalled after {rounds} rounds");
         assert_eq!(traffic.max_message_bytes, 5);
     }
@@ -236,9 +251,15 @@ mod tests {
     #[test]
     fn name_dropper_protocol_fast_but_fat() {
         let g = generators::star(16);
-        let mut net = Network::from_graph(&g, 16, NetConfig { drop_prob: 0.0, seed: 3 });
-        let (rounds, done, traffic) =
-            net.run_until_coverage(&mut NameDropperProtocol, 1.0, 10_000);
+        let mut net = Network::from_graph(
+            &g,
+            16,
+            NetConfig {
+                drop_prob: 0.0,
+                seed: 3,
+            },
+        );
+        let (rounds, done, traffic) = net.run_until_coverage(&mut NameDropperProtocol, 1.0, 10_000);
         assert!(done);
         assert!(rounds < 60, "ND should be fast: {rounds}");
         // Somebody eventually ships a near-full list: >= half the directory.
@@ -248,7 +269,14 @@ mod tests {
     #[test]
     fn push_survives_message_loss() {
         let g = generators::star(10);
-        let mut net = Network::from_graph(&g, 10, NetConfig { drop_prob: 0.3, seed: 4 });
+        let mut net = Network::from_graph(
+            &g,
+            10,
+            NetConfig {
+                drop_prob: 0.3,
+                seed: 4,
+            },
+        );
         let (_, done, traffic) = net.run_until_coverage(&mut PushProtocol, 1.0, 200_000);
         assert!(done, "push under 30% loss must still converge");
         assert!(traffic.lost > 0);
@@ -258,7 +286,14 @@ mod tests {
     fn protocols_are_deterministic() {
         let g = generators::cycle(8);
         let run = |seed| {
-            let mut net = Network::from_graph(&g, 8, NetConfig { drop_prob: 0.1, seed });
+            let mut net = Network::from_graph(
+                &g,
+                8,
+                NetConfig {
+                    drop_prob: 0.1,
+                    seed,
+                },
+            );
             net.run_until_coverage(&mut PullProtocol, 1.0, 100_000)
         };
         let a = run(7);
@@ -272,7 +307,14 @@ mod tests {
     #[test]
     fn heartbeat_still_discovers() {
         let g = generators::star(12);
-        let mut net = Network::from_graph(&g, 12, NetConfig { drop_prob: 0.0, seed: 6 });
+        let mut net = Network::from_graph(
+            &g,
+            12,
+            NetConfig {
+                drop_prob: 0.0,
+                seed: 6,
+            },
+        );
         let mut proto = HeartbeatPushProtocol::new(12, 4, 6);
         let (rounds, done, _) = net.run_until_coverage(&mut proto, 1.0, 100_000);
         assert!(done, "heartbeat-push stalled after {rounds} rounds");
@@ -281,7 +323,14 @@ mod tests {
     #[test]
     fn heartbeat_evicts_dead_contacts() {
         let g = generators::complete(10);
-        let mut net = Network::from_graph(&g, 10, NetConfig { drop_prob: 0.0, seed: 7 });
+        let mut net = Network::from_graph(
+            &g,
+            10,
+            NetConfig {
+                drop_prob: 0.0,
+                seed: 7,
+            },
+        );
         // Kill three peers; everyone still lists them.
         for dead in [2u32, 5, 8] {
             net.kill(gossip_graph::NodeId(dead));
@@ -310,7 +359,14 @@ mod tests {
             seed: 99,
         };
         let run = |mut proto: Box<dyn crate::network::Protocol>| {
-            let mut net = Network::from_graph(&g, 256, NetConfig { drop_prob: 0.0, seed: 8 });
+            let mut net = Network::from_graph(
+                &g,
+                256,
+                NetConfig {
+                    drop_prob: 0.0,
+                    seed: 8,
+                },
+            );
             for round in 0..600 {
                 churn.apply(&mut net, round);
                 net.step(proto.as_mut());

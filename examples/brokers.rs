@@ -65,7 +65,12 @@ fn main() {
     }
 
     // The first 20 introductions: early brokerage belongs to the hubs.
-    let first_brokers: Vec<u32> = trace.events().iter().take(20).map(|e| e.introducer.0).collect();
+    let first_brokers: Vec<u32> = trace
+        .events()
+        .iter()
+        .take(20)
+        .map(|e| e.introducer.0)
+        .collect();
     let hub_like = first_brokers
         .iter()
         .filter(|&&b| initial_degrees[b as usize] >= 8)

@@ -40,7 +40,11 @@ fn main() {
         let n2 = (n * n) as f64;
         println!(
             "{:<28} {:>6} {:>12.0} {:>12} {:>10.3}",
-            "directed cycle", n, r, n * n, r / n2
+            "directed cycle",
+            n,
+            r,
+            n * n,
+            r / n2
         );
     }
     for n in [16usize, 32, 64] {
@@ -49,7 +53,11 @@ fn main() {
         let n2 = (n * n) as f64;
         println!(
             "{:<28} {:>6} {:>12.0} {:>12} {:>10.3}",
-            "Thm 15 (strongly conn.)", n, r, n * n, r / n2
+            "Thm 15 (strongly conn.)",
+            n,
+            r,
+            n * n,
+            r / n2
         );
     }
     for n in [16usize, 32, 64] {
@@ -58,7 +66,11 @@ fn main() {
         let n2ln = (n * n) as f64 * (n as f64).ln();
         println!(
             "{:<28} {:>6} {:>12.0} {:>12.0} {:>10.3}",
-            "Thm 14 (weakly conn.)", n, r, n2ln, r / n2ln
+            "Thm 14 (weakly conn.)",
+            n,
+            r,
+            n2ln,
+            r / n2ln
         );
     }
 

@@ -25,7 +25,14 @@ fn main() {
         "protocol", "rounds", "total MB", "max msg bytes"
     );
     {
-        let mut net = Network::from_graph(&g0, n, NetConfig { drop_prob: 0.0, seed });
+        let mut net = Network::from_graph(
+            &g0,
+            n,
+            NetConfig {
+                drop_prob: 0.0,
+                seed,
+            },
+        );
         let (rounds, done, t) = net.run_until_coverage(&mut NetPush, 1.0, 10_000_000);
         assert!(done);
         println!(
@@ -37,9 +44,15 @@ fn main() {
         );
     }
     {
-        let mut net = Network::from_graph(&g0, n, NetConfig { drop_prob: 0.0, seed });
-        let (rounds, done, t) =
-            net.run_until_coverage(&mut NameDropperProtocol, 1.0, 10_000_000);
+        let mut net = Network::from_graph(
+            &g0,
+            n,
+            NetConfig {
+                drop_prob: 0.0,
+                seed,
+            },
+        );
+        let (rounds, done, t) = net.run_until_coverage(&mut NameDropperProtocol, 1.0, 10_000_000);
         assert!(done);
         println!(
             "{:<22} {:>8} {:>14.2} {:>16}",
@@ -52,7 +65,14 @@ fn main() {
 
     // Part 2: 20% message loss + continuous churn.
     println!("\n== hostile network: 20% loss, churn (join 10%/round, leave 10%/round) ==");
-    let mut net = Network::from_graph(&g0, 4 * n, NetConfig { drop_prob: 0.2, seed });
+    let mut net = Network::from_graph(
+        &g0,
+        4 * n,
+        NetConfig {
+            drop_prob: 0.2,
+            seed,
+        },
+    );
     let churn = ChurnModel {
         join_prob: 0.10,
         leave_prob: 0.10,

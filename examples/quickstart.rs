@@ -17,7 +17,10 @@ fn run<R: ProposalRule<UndirectedGraph>>(g0: &UndirectedGraph, rule: R, seed: u6
     assert!(out.converged && engine.graph().is_complete());
 
     println!("\n== {} discovery ==", engine.rule_name());
-    println!("{:>10} {:>10} {:>8} {:>8}", "round", "edges", "min-deg", "added");
+    println!(
+        "{:>10} {:>10} {:>8} {:>8}",
+        "round", "edges", "min-deg", "added"
+    );
     for row in recorder.rows().iter().take(12) {
         println!(
             "{:>10} {:>10} {:>8} {:>8}",

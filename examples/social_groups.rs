@@ -59,7 +59,15 @@ fn main() {
         let mean = rounds.iter().sum::<u64>() as f64 / rounds.len() as f64;
         let kf = k as f64;
         let bound = kf * kf.ln() * kf.ln();
-        println!("{:>6} {:>10.0} {:>12.0} {:>10.3}", k, mean, bound, mean / bound);
+        println!(
+            "{:>6} {:>10.0} {:>12.0} {:>10.3}",
+            k,
+            mean,
+            bound,
+            mean / bound
+        );
     }
-    println!("\nratio staying flat-ish => rounds scale with the CLUB size, not the host's {host_n}");
+    println!(
+        "\nratio staying flat-ish => rounds scale with the CLUB size, not the host's {host_n}"
+    );
 }

@@ -2,7 +2,9 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match discovery_gossip::cli::Command::parse(&args).and_then(|c| discovery_gossip::cli::execute(&c)) {
+    match discovery_gossip::cli::Command::parse(&args)
+        .and_then(|c| discovery_gossip::cli::execute(&c))
+    {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("error: {e}\n\n{}", discovery_gossip::cli::USAGE);

@@ -180,7 +180,12 @@ impl Command {
 }
 
 /// Builds an undirected graph from a family name.
-pub fn make_graph(family: &str, n: usize, seed: u64, param: Option<u64>) -> Result<UndirectedGraph, String> {
+pub fn make_graph(
+    family: &str,
+    n: usize,
+    seed: u64,
+    param: Option<u64>,
+) -> Result<UndirectedGraph, String> {
     let mut rng = gossip_core::rng::stream_rng(seed, 0xC11, 0);
     Ok(match family {
         "path" => generators::path(n),
@@ -225,8 +230,14 @@ fn parse_edges(spec: &str, n: usize) -> Result<UndirectedGraph, String> {
             .trim()
             .split_once('-')
             .ok_or_else(|| format!("bad edge {part:?}; expected a-b"))?;
-        let a: u32 = a.trim().parse().map_err(|_| format!("bad endpoint in {part:?}"))?;
-        let b: u32 = b.trim().parse().map_err(|_| format!("bad endpoint in {part:?}"))?;
+        let a: u32 = a
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad endpoint in {part:?}"))?;
+        let b: u32 = b
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad endpoint in {part:?}"))?;
         if a as usize >= n || b as usize >= n {
             return Err(format!("edge {part:?} out of range 0..{n}"));
         }
@@ -241,12 +252,25 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
     match cmd {
         Command::Help => out.push_str(USAGE),
 
-        Command::Generate { family, n, seed, param } => {
+        Command::Generate {
+            family,
+            n,
+            seed,
+            param,
+        } => {
             let g = make_graph(family, *n, *seed, *param)?;
             out.push_str(&gio::write_undirected(&g));
         }
 
-        Command::Run { process, family, n, graph_file, seed, trace, param } => {
+        Command::Run {
+            process,
+            family,
+            n,
+            graph_file,
+            seed,
+            trace,
+            param,
+        } => {
             let g = match graph_file {
                 Some(path) => {
                     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
@@ -277,7 +301,14 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             }
         }
 
-        Command::Trials { process, family, n, trials, seed, param } => {
+        Command::Trials {
+            process,
+            family,
+            n,
+            trials,
+            seed,
+            param,
+        } => {
             let g = make_graph(family, *n, *seed, *param)?;
             let cfg = TrialConfig {
                 trials: *trials,
@@ -352,7 +383,12 @@ mod tests {
         let cmd = Command::parse(&argv("generate --family star --n 8 --seed 3")).unwrap();
         assert_eq!(
             cmd,
-            Command::Generate { family: "star".into(), n: 8, seed: 3, param: None }
+            Command::Generate {
+                family: "star".into(),
+                n: 8,
+                seed: 3,
+                param: None
+            }
         );
     }
 
@@ -437,7 +473,10 @@ mod tests {
             n: 3,
         })
         .unwrap();
-        assert!(out.contains("2.000000"), "path-3 push is exactly 2 rounds: {out}");
+        assert!(
+            out.contains("2.000000"),
+            "path-3 push is exactly 2 rounds: {out}"
+        );
         // n too large is a clean error, not a panic.
         let err = execute(&Command::Exact {
             process: "push".into(),
@@ -470,8 +509,19 @@ mod tests {
     #[test]
     fn all_families_generate() {
         for fam in [
-            "path", "cycle", "star", "double-star", "complete", "binary-tree", "random-tree",
-            "sparse", "ws", "ba", "barbell", "lollipop", "grid",
+            "path",
+            "cycle",
+            "star",
+            "double-star",
+            "complete",
+            "binary-tree",
+            "random-tree",
+            "sparse",
+            "ws",
+            "ba",
+            "barbell",
+            "lollipop",
+            "grid",
         ] {
             let g = make_graph(fam, 16, 7, None).unwrap();
             assert!(g.n() >= 4, "{fam} produced a degenerate graph");

@@ -53,12 +53,12 @@ pub mod prelude {
     };
     pub use gossip_core::{
         convergence_rounds, run_trials, ClosureReached, ComponentwiseComplete, ConvergenceCheck,
-        DirectedPull, DiscoveryTrace, Engine, Faulty, HybridPushPull, MinDegreeAtLeast,
-        OnlySubset, Parallelism, Partial, Pull, Push, SubsetComplete, TrialConfig,
+        DirectedPull, DiscoveryTrace, Engine, Faulty, HybridPushPull, MinDegreeAtLeast, OnlySubset,
+        Parallelism, Partial, Pull, Push, SubsetComplete, TrialConfig,
     };
     pub use gossip_graph::{generators, Csr, DirectedGraph, NodeId, UndirectedGraph};
     pub use gossip_net::{
-        ChurnModel, HeartbeatPushProtocol, NetConfig, Network,
-        PullProtocol as NetPull, PushProtocol as NetPush,
+        ChurnModel, HeartbeatPushProtocol, NetConfig, Network, PullProtocol as NetPull,
+        PushProtocol as NetPush,
     };
 }

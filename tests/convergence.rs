@@ -62,7 +62,10 @@ fn hybrid_no_slower_than_push_on_star() {
     let hybrid = convergence_rounds(&g, HybridPushPull, ComponentwiseComplete::for_graph, &cfg);
     let mp = push.iter().sum::<u64>() as f64 / push.len() as f64;
     let mh = hybrid.iter().sum::<u64>() as f64 / hybrid.len() as f64;
-    assert!(mh < mp, "hybrid ({mh}) should beat plain push ({mp}) on a star");
+    assert!(
+        mh < mp,
+        "hybrid ({mh}) should beat plain push ({mp}) on a star"
+    );
 }
 
 #[test]
@@ -153,12 +156,20 @@ fn faulty_converges_slower_but_converges() {
         parallel: true,
     };
     let clean = convergence_rounds(&g, Push, ComponentwiseComplete::for_graph, &cfg);
-    let faulty = convergence_rounds(&g, Faulty::new(Push, 0.5), ComponentwiseComplete::for_graph, &cfg);
+    let faulty = convergence_rounds(
+        &g,
+        Faulty::new(Push, 0.5),
+        ComponentwiseComplete::for_graph,
+        &cfg,
+    );
     let mc = clean.iter().sum::<u64>() as f64 / clean.len() as f64;
     let mf = faulty.iter().sum::<u64>() as f64 / faulty.len() as f64;
     assert!(mf > mc, "50% failure should slow convergence: {mc} vs {mf}");
     // ...roughly by 2x (each proposal survives w.p. 1/2); allow slack.
-    assert!(mf < mc * 5.0, "faulty should not be catastrophically slower");
+    assert!(
+        mf < mc * 5.0,
+        "faulty should not be catastrophically slower"
+    );
 }
 
 #[test]

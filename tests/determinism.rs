@@ -6,7 +6,8 @@ use gossip_net::NameDropperProtocol;
 
 #[test]
 fn engine_parallel_equals_sequential_full_run() {
-    let g = generators::tree_plus_random_edges(128, 256, &mut gossip_core::rng::stream_rng(1, 0, 0));
+    let g =
+        generators::tree_plus_random_edges(128, 256, &mut gossip_core::rng::stream_rng(1, 0, 0));
     let run = |par: Parallelism| {
         let mut check = ComponentwiseComplete::for_graph(&g);
         let mut engine = Engine::new(g.clone(), Push, 1234).with_parallelism(par);
@@ -69,7 +70,14 @@ fn baselines_repeatable() {
 fn network_simulation_repeatable_under_loss_and_churn() {
     let g = generators::complete(10);
     let run = || {
-        let mut net = Network::from_graph(&g, 64, NetConfig { drop_prob: 0.25, seed: 33 });
+        let mut net = Network::from_graph(
+            &g,
+            64,
+            NetConfig {
+                drop_prob: 0.25,
+                seed: 33,
+            },
+        );
         let churn = ChurnModel {
             join_prob: 0.2,
             leave_prob: 0.2,

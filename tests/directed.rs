@@ -12,7 +12,11 @@ fn directed_pull_terminates_on_strongly_connected_graphs() {
             ("thm15", generators::theorem15_graph(n)),
             (
                 "gnp",
-                generators::directed_gnp_strong(n, 0.3, &mut gossip_core::rng::stream_rng(1, 0, n as u64)),
+                generators::directed_gnp_strong(
+                    n,
+                    0.3,
+                    &mut gossip_core::rng::stream_rng(1, 0, n as u64),
+                ),
             ),
         ] {
             let mut check = ClosureReached::for_graph(&g);

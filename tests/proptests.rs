@@ -13,8 +13,12 @@ fn connected_graph(max_n: usize) -> impl Strategy<Value = UndirectedGraph> {
         let mut rng = gossip_core::rng::stream_rng(seed, 0, 0);
         let mut g = generators::random_tree(n, &mut rng);
         for _ in 0..extra {
-            let a = NodeId::new(usize::try_from(rand::Rng::random_range(&mut rng, 0..n as u64)).unwrap());
-            let b = NodeId::new(usize::try_from(rand::Rng::random_range(&mut rng, 0..n as u64)).unwrap());
+            let a = NodeId::new(
+                usize::try_from(rand::Rng::random_range(&mut rng, 0..n as u64)).unwrap(),
+            );
+            let b = NodeId::new(
+                usize::try_from(rand::Rng::random_range(&mut rng, 0..n as u64)).unwrap(),
+            );
             if a != b {
                 g.add_edge(a, b);
             }

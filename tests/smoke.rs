@@ -1,0 +1,19 @@
+//! Tier-1 smoke guard: the crate-root quickstart, as a plain integration
+//! test. Doctests can silently stop running when rustdoc config changes;
+//! this keeps the ten-line tour of `src/lib.rs` under the ordinary test
+//! harness no matter what.
+
+use discovery_gossip::prelude::*;
+
+#[test]
+fn quickstart_push_completes_a_32_node_star() {
+    let g0 = generators::star(32);
+    let mut check = ComponentwiseComplete::for_graph(&g0);
+    let mut engine = Engine::new(g0, Push, 7);
+    let out = engine.run_until(&mut check, 1_000_000);
+    assert!(out.converged, "push failed to converge within 1M rounds");
+    assert!(
+        engine.graph().is_complete(),
+        "converged but graph incomplete"
+    );
+}

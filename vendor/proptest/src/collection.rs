@@ -1,0 +1,83 @@
+//! Strategies for collections.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng as _;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Strategy for a `Vec` whose length is drawn from `len` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let n = rng.random_range(self.len.clone());
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy for a `BTreeSet` built from `len`-range draws of `element`
+/// (duplicates collapse, so sets can come out smaller than the draw count).
+pub fn btree_set<S>(element: S, len: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, len }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> BTreeSet<S::Value> {
+        let n = rng.random_range(self.len.clone());
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng as _;
+
+    #[test]
+    fn vec_respects_length_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let strat = vec(0u32..5, 2..7);
+        for _ in 0..500 {
+            let v = strat.sample(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn btree_set_collapses_duplicates() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let strat = btree_set(0usize..3, 0..50);
+        for _ in 0..100 {
+            assert!(strat.sample(&mut rng).len() <= 3);
+        }
+    }
+}

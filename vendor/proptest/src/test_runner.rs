@@ -1,0 +1,175 @@
+//! Case execution: configuration, outcomes, and the per-test runner.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng as _;
+
+/// Runner configuration. Construct with [`Config::with_cases`] or
+/// `Config::default()` (256 cases, like upstream).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of [`prop_assume!`](crate::prop_assume) rejections
+    /// tolerated across the whole test before it errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A config that runs `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's input violated an assumption; it is retried with fresh
+    /// input and does not count toward the case budget.
+    Reject(String),
+    /// The property failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure outcome.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection outcome.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// Drives one property test: counts cases, tracks rejections, panics with a
+/// replayable report on failure.
+pub struct Runner {
+    name: &'static str,
+    seed: u64,
+    rng: SmallRng,
+    cases_target: u32,
+    cases_done: u32,
+    rejects: u32,
+    max_global_rejects: u32,
+}
+
+impl Runner {
+    /// Creates a runner for the named test. The RNG seed is derived from
+    /// the test name (stable across runs) unless `PROPTEST_SEED` is set.
+    pub fn new(name: &'static str, config: &Config) -> Self {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {v:?}")),
+            Err(_) => fnv1a(name.as_bytes()),
+        };
+        Runner {
+            name,
+            seed,
+            rng: SmallRng::seed_from_u64(seed),
+            cases_target: config.cases,
+            cases_done: 0,
+            rejects: 0,
+            max_global_rejects: config.max_global_rejects,
+        }
+    }
+
+    /// Whether another case should run.
+    pub fn more_cases(&self) -> bool {
+        self.cases_done < self.cases_target
+    }
+
+    /// The RNG strategies sample from.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Records one case outcome, panicking on failure or reject exhaustion.
+    pub fn record(&mut self, outcome: Result<(), TestCaseError>) {
+        match outcome {
+            Ok(()) => self.cases_done += 1,
+            Err(TestCaseError::Reject(reason)) => {
+                self.rejects += 1;
+                if self.rejects > self.max_global_rejects {
+                    panic!(
+                        "proptest {}: too many global rejects ({}), last: {reason}",
+                        self.name, self.rejects
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "proptest {} failed at case {} (seed {}; rerun with PROPTEST_SEED={}): {reason}",
+                    self.name, self.cases_done, self.seed, self.seed
+                );
+            }
+        }
+    }
+}
+
+/// FNV-1a, used to give each test a stable, distinct default seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_counts_only_successes() {
+        let mut r = Runner::new("t", &Config::with_cases(2));
+        assert!(r.more_cases());
+        r.record(Err(TestCaseError::reject("assume")));
+        r.record(Ok(()));
+        assert!(r.more_cases());
+        r.record(Ok(()));
+        assert!(!r.more_cases());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic_with_reason() {
+        let mut r = Runner::new("t2", &Config::default());
+        r.record(Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    fn macro_pipeline_end_to_end() {
+        crate::proptest! {
+            #![proptest_config(crate::test_runner::Config::with_cases(8))]
+            fn sums_commute(a in 0u32..1000, b in 0u32..1000) {
+                crate::prop_assert_eq!(a + b, b + a);
+            }
+        }
+        sums_commute();
+    }
+}

@@ -1,0 +1,79 @@
+//! Concrete RNGs.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, non-cryptographic RNG: xoshiro256++ (Blackman & Vigna),
+/// the same algorithm family upstream `rand` uses for its 64-bit `SmallRng`.
+/// Passes BigCrush; period `2^256 − 1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // The all-zero state is a fixed point of xoshiro; nudge it.
+        if s == [0; 4] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                0x2545_F491_4F6C_DD1D,
+            ];
+        }
+        SmallRng { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut rng = SmallRng::from_seed([0; 32]);
+        let draws: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert!(draws.iter().any(|&v| v != 0));
+        assert_ne!(draws[0], draws[1]);
+    }
+
+    #[test]
+    fn known_xoshiro_vector() {
+        // Reference value from the xoshiro256++ C source with state
+        // {1, 2, 3, 4}: first output is rotl(1 + 4, 23) + 1.
+        let mut seed = [0u8; 32];
+        seed[0] = 1;
+        seed[8] = 2;
+        seed[16] = 3;
+        seed[24] = 4;
+        let mut rng = SmallRng::from_seed(seed);
+        assert_eq!(rng.next_u64(), 5u64.rotate_left(23) + 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Sequence-related random operations.
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.random_range(0..=i));
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle left the slice sorted");
+    }
+
+    #[test]
+    fn choose_respects_emptiness() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let empty: [u8; 0] = [];
+        assert_eq!(empty.choose(&mut rng), None);
+        assert_eq!([42u8].choose(&mut rng), Some(&42));
+    }
+}

@@ -1,0 +1,277 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! Implements the parallel-iterator subset this workspace uses —
+//! `into_par_iter().map(..).collect()` and `par_iter_mut().enumerate()
+//! .for_each(..)` — on top of `std::thread::scope`, without rayon's
+//! work-stealing pool. Work is split into one contiguous chunk per
+//! available core; order is preserved, so results are identical to the
+//! sequential run. Small inputs skip threading entirely.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to fan out across: `RAYON_NUM_THREADS` if set
+/// (upstream rayon honors the same variable), else the available cores.
+fn threads() -> usize {
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` on `idx` for every index in `0..len`, fanned out over threads.
+/// `f` must be callable concurrently from several threads.
+///
+/// Every call with two or more items parallelizes: item cost is unknowable
+/// here, and the expensive callers (Monte Carlo trials, where each item is a
+/// whole multi-second simulation but there are only a handful of them) are
+/// exactly the ones a per-thread minimum-batch heuristic would serialize.
+/// The price is one thread spawn per worker per call (~tens of µs), which
+/// the engine only pays at `Parallelism::Auto`'s 16k-node threshold.
+fn fan_out<F: Fn(usize) + Sync>(len: usize, f: F) {
+    fan_out_with(threads().min(len), len, f)
+}
+
+/// [`fan_out`] with an explicit worker count (also the unit-test hook for
+/// exercising the threaded path on single-core machines).
+fn fan_out_with<F: Fn(usize) + Sync>(workers: usize, len: usize, f: F) {
+    if workers <= 1 {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(len);
+            scope.spawn(move || {
+                for i in lo..hi {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+/// Conversion into a "parallel" iterator. Blanket-implemented for every
+/// `IntoIterator` whose items are `Send`, mirroring how rayon is used at
+/// the call sites (`(0..n).into_par_iter()`, `vec.into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// A materialized parallel iterator: items are buffered, adapters run the
+/// heavy closure across threads while preserving order.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let len = self.items.len();
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(len);
+        slots.resize_with(len, || None);
+        let mut inputs: Vec<Option<T>> = self.items.into_iter().map(Some).collect();
+        // Each index is touched by exactly one thread, so per-slot mutation
+        // through a shared pointer is race-free.
+        let inputs_ptr = SharedSlots(inputs.as_mut_ptr());
+        let slots_ptr = SharedSlots(slots.as_mut_ptr());
+        let f = &f;
+        fan_out(len, move |i| {
+            let item = unsafe { (*inputs_ptr.slot(i)).take().expect("item taken twice") };
+            unsafe { *slots_ptr.slot(i) = Some(f(item)) };
+        });
+        drop(inputs);
+        ParIter {
+            items: slots
+                .into_iter()
+                .map(|s| s.expect("slot unfilled"))
+                .collect(),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        self.map(f);
+    }
+
+    /// Collects the (order-preserved) results.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Shared mutable slot array handed to worker threads. Safety contract:
+/// distinct threads only ever touch distinct indices. Access goes through
+/// [`SharedSlots::slot`] so closures capture the `Sync` wrapper, not the
+/// raw pointer field (edition-2021 capture is per-field).
+struct SharedSlots<T>(*mut T);
+
+impl<T> SharedSlots<T> {
+    /// Pointer to slot `i`. Caller guarantees `i` is in bounds and not
+    /// accessed concurrently from another thread.
+    fn slot(self, i: usize) -> *mut T {
+        unsafe { self.0.add(i) }
+    }
+}
+
+impl<T> Clone for SharedSlots<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for SharedSlots<T> {}
+
+unsafe impl<T: Send> Send for SharedSlots<T> {}
+unsafe impl<T: Send> Sync for SharedSlots<T> {}
+
+/// `par_iter_mut` on slices (and everything that derefs to them).
+pub trait ParallelSliceMut<T: Send> {
+    /// A parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// Parallel iterator over `&mut T`.
+pub struct ParIterMut<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> ParEnumerateMut<'a, T> {
+        ParEnumerateMut { slice: self.slice }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        ParEnumerateMut { slice: self.slice }.for_each(move |(_, item)| f(item));
+    }
+}
+
+/// Enumerated parallel iterator over `&mut T`.
+pub struct ParEnumerateMut<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> ParEnumerateMut<'_, T> {
+    /// Runs `f` on every `(index, &mut element)` in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        let base = SharedSlots(self.slice.as_mut_ptr());
+        let f = &f;
+        fan_out(self.slice.len(), move |i| {
+            f((i, unsafe { &mut *base.slot(i) }));
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..10_000).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn small_inputs_work() {
+        let out: Vec<u32> = vec![5u32].into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, vec![6]);
+        let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|i| i + 1).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_touches_every_slot() {
+        let mut v = vec![0usize; 5_000];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, slot)| *slot = i * i);
+        for (i, &got) in v.iter().enumerate() {
+            assert_eq!(got, i * i);
+        }
+    }
+
+    #[test]
+    fn threaded_fan_out_covers_every_index_exactly_once() {
+        // Force multi-worker paths even on single-core machines, including
+        // worker counts that don't divide the length.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for (workers, len) in [(2, 2), (3, 10), (4, 4), (8, 5), (7, 1000)] {
+            let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+            crate::fan_out_with(workers, len, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "workers={workers} len={len} missed or repeated an index"
+            );
+        }
+    }
+
+    #[test]
+    fn map_actually_runs_every_closure_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let out: Vec<usize> = (0..1_000)
+            .into_par_iter()
+            .map(|i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+            .collect();
+        assert_eq!(calls.load(Ordering::Relaxed), 1_000);
+        assert_eq!(out.len(), 1_000);
+    }
+}

@@ -1,0 +1,147 @@
+//! Serialization into a JSON-shaped value tree.
+
+use std::collections::BTreeMap;
+
+/// A JSON-shaped tree: the single data model this shim serializes into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// Key/value pairs, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Builds the value tree for `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, u8, u16, u32, isize);
+
+impl Serialize for u64 {
+    fn serialize_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(v) => Value::Int(v),
+            Err(_) => Value::UInt(*self),
+        }
+    }
+}
+
+impl Serialize for usize {
+    fn serialize_value(&self) -> Value {
+        (*self as u64).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(7u32.serialize_value(), Value::Int(7));
+        assert_eq!(u64::MAX.serialize_value(), Value::UInt(u64::MAX));
+        assert_eq!("hi".serialize_value(), Value::Str("hi".into()));
+        assert_eq!(None::<u8>.serialize_value(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].serialize_value(),
+            Value::Array(vec![Value::Int(1), Value::Int(2)])
+        );
+    }
+}

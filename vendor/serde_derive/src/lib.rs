@@ -1,0 +1,220 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline) for the
+//! shapes the workspace derives on: structs — named-field, tuple (incl.
+//! newtypes like `NodeId(pub u32)`), and unit — with bound-free generics
+//! (lifetimes like `<'a>`). `Serialize` follows serde's data model per
+//! shape (object / inner value / array / null); `Deserialize` emits an
+//! empty marker impl so feature-gated derive attributes compile.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The pieces of a struct definition the derives need.
+struct StructShape {
+    name: String,
+    /// Generic parameter list including the angle brackets (e.g. `<'a>`),
+    /// or an empty string.
+    generics: String,
+    fields: Fields,
+}
+
+/// Which struct flavor the derive is looking at.
+enum Fields {
+    /// `struct S { a: T, b: U }` — field names in order.
+    Named(Vec<String>),
+    /// `struct S(T, U);` — field count.
+    Tuple(usize),
+    /// `struct S;`
+    Unit,
+}
+
+/// Parses `struct Name<...> { a: T, b: U }` from a derive input stream.
+/// Returns `Err(message)` for shapes the shim does not support.
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip attributes (`#[...]`), doc comments, and visibility up to the
+    // `struct` keyword.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(_)) => {} // pub, crate, etc.
+            Some(TokenTree::Group(_)) => {} // pub(crate)
+            Some(other) => return Err(format!("unexpected token {other}")),
+            None => return Err("no `struct` keyword found (enums unsupported)".into()),
+        }
+    }
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, got {other:?}")),
+    };
+
+    // Optional generics: copy `<...>` verbatim. Bounds are not supported,
+    // so the same text serves both `impl<...>` and `Name<...>`.
+    let mut generics = String::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ':' => return Err("generic bounds are not supported by the shim".into()),
+                    _ => {}
+                }
+            }
+            generics.push_str(&tt.to_string());
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Ok(StructShape {
+                name,
+                generics,
+                fields: Fields::Tuple(count_tuple_fields(g.stream())),
+            });
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+            return Ok(StructShape {
+                name,
+                generics,
+                fields: Fields::Unit,
+            });
+        }
+        _ => return Err("only struct derives are supported (enums/unions are not)".into()),
+    };
+
+    // Fields: `vis? name : Type ,` — the field name is the last ident
+    // before each top-level `:`; the type runs to the next top-level `,`.
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    while tokens.peek().is_some() {
+        let mut last_ident = None;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {}
+                TokenTree::Punct(p) if p.as_char() == ':' => break,
+                TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+                _ => {}
+            }
+        }
+        match last_ident {
+            Some(name) => fields.push(name),
+            None => break, // trailing tokens after the last field
+        }
+        // Skip the type up to the next top-level comma. Generic arguments
+        // hide their commas behind `<...>`; delimited groups are atomic.
+        let mut angle = 0i32;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    Ok(StructShape {
+        name,
+        generics,
+        fields: Fields::Named(fields),
+    })
+}
+
+/// Field count of a tuple-struct body: top-level commas + 1, ignoring a
+/// trailing comma. Generic arguments hide their commas behind `<...>`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    let mut angle = 0i32;
+    for tt in body {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    fields += 1;
+                    saw_tokens = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    fields + usize::from(saw_tokens)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// Derives `serde::ser::Serialize` (the shim's value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    // Body follows serde's data model: named fields → object, newtype →
+    // the inner value, tuple → array, unit → null.
+    let body = match &shape.fields {
+        Fields::Named(names) => {
+            let mut entries = String::new();
+            for f in names {
+                entries.push_str(&format!(
+                    "(::std::string::String::from({f:?}), \
+                     ::serde::ser::Serialize::serialize_value(&self.{f})),"
+                ));
+            }
+            format!("::serde::ser::Value::Object(::std::vec![{entries}])")
+        }
+        Fields::Tuple(1) => "::serde::ser::Serialize::serialize_value(&self.0)".to_owned(),
+        Fields::Tuple(n) => {
+            let mut entries = String::new();
+            for i in 0..*n {
+                entries.push_str(&format!(
+                    "::serde::ser::Serialize::serialize_value(&self.{i}),"
+                ));
+            }
+            format!("::serde::ser::Value::Array(::std::vec![{entries}])")
+        }
+        Fields::Unit => "::serde::ser::Value::Null".to_owned(),
+    };
+    let StructShape { name, generics, .. } = &shape;
+    format!(
+        "impl{generics} ::serde::ser::Serialize for {name}{generics} {{\n\
+             fn serialize_value(&self) -> ::serde::ser::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's marker `serde::Deserialize` (no parser exists).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let StructShape { name, generics, .. } = &shape;
+    format!("impl{generics} ::serde::Deserialize for {name}{generics} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,183 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json):
+//! renders the vendored serde shim's [`Value`](serde::ser::Value) tree as
+//! JSON text. Only serialization is provided.
+
+use serde::ser::{Serialize, Value};
+use std::fmt::Write as _;
+
+/// Serialization error. The value-tree model cannot actually fail, but the
+/// upstream signature returns `Result`, and callers match on it.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable JSON with 2-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Keep integral floats distinguishable from ints, as
+                // serde_json does.
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    let _ = write!(out, "{f:.1}");
+                } else {
+                    let _ = write!(out, "{f}");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => write_seq(
+            out,
+            items.iter(),
+            indent,
+            depth,
+            ('[', ']'),
+            |out, item, ind, d| {
+                write_value(out, item, ind, d);
+            },
+        ),
+        Value::Object(entries) => {
+            write_seq(
+                out,
+                entries.iter(),
+                indent,
+                depth,
+                ('{', '}'),
+                |out, (k, val), ind, d| {
+                    write_escaped(out, k);
+                    out.push(':');
+                    if ind.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, val, ind, d);
+                },
+            );
+        }
+    }
+}
+
+/// Shared layout for arrays and objects: delimiters, commas, indentation.
+fn write_seq<T>(
+    out: &mut String,
+    items: impl ExactSizeIterator<Item = T>,
+    indent: Option<usize>,
+    depth: usize,
+    (open, close): (char, char),
+    mut write_item: impl FnMut(&mut String, T, Option<usize>, usize),
+) {
+    out.push(open);
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        newline_indent(out, indent, depth + 1);
+        write_item(out, item, indent, depth + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        newline_indent(out, indent, depth);
+    }
+    out.push(close);
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_roundtrip_shapes() {
+        let v = Value::Object(vec![
+            ("id".into(), Value::Str("T0".into())),
+            ("n".into(), Value::Int(3)),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        struct Wrap(Value);
+        impl Serialize for Wrap {
+            fn serialize_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let compact = to_string(&Wrap(v.clone())).unwrap();
+        assert_eq!(compact, r#"{"id":"T0","n":3,"xs":[true,null]}"#);
+        let pretty = to_string_pretty(&Wrap(v)).unwrap();
+        assert!(
+            pretty.contains("\n  \"id\": \"T0\","),
+            "pretty was: {pretty}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = to_string("a\"b\\c\nd").unwrap();
+        assert_eq!(s, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn empty_containers_stay_on_one_line() {
+        struct Empty;
+        impl Serialize for Empty {
+            fn serialize_value(&self) -> Value {
+                Value::Object(vec![("xs".into(), Value::Array(vec![]))])
+            }
+        }
+        assert_eq!(to_string_pretty(&Empty).unwrap(), "{\n  \"xs\": []\n}");
+    }
+}
