@@ -1,11 +1,35 @@
 //! Per-round cost of the processes — the number that decides how large an
 //! `n` the experiment battery can sweep. One round is Θ(n) proposals plus
-//! Θ(n) O(1) insertions, so rounds/sec should scale as 1/n.
+//! Θ(n) O(1) insertions, so rounds/sec should scale as 1/n sequentially;
+//! the `*_pool` rows run the propose phase on the rayon shim's persistent
+//! worker pool (zero thread spawns per round after warm-up — asserted at
+//! the end) and should beat sequential from a few thousand nodes on
+//! multi-core hosts, with n = 65_536 the headline acceptance point.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
-use gossip_core::{Engine, Parallelism, Pull, Push};
-use gossip_graph::generators;
+use criterion::{
+    criterion_group, criterion_main, BatchSize, Bencher, BenchmarkId, Criterion, Throughput,
+};
+use gossip_core::{Engine, Parallelism, ProposalRule, Pull, Push};
+use gossip_graph::{generators, UndirectedGraph};
 use std::time::Duration;
+
+/// Eight engine rounds per iteration from a fresh engine clone.
+fn eight_rounds<R: ProposalRule<UndirectedGraph> + Clone>(
+    b: &mut Bencher,
+    g: &UndirectedGraph,
+    rule: R,
+    par: Parallelism,
+) {
+    b.iter_batched(
+        || Engine::new(g.clone(), rule.clone(), 7).with_parallelism(par),
+        |mut engine| {
+            for _ in 0..8 {
+                std::hint::black_box(engine.step());
+            }
+        },
+        BatchSize::LargeInput,
+    )
+}
 
 fn bench_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("round");
@@ -13,34 +37,33 @@ fn bench_rounds(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(2))
         .sample_size(20);
-    for n in [1024usize, 4096, 16384] {
+    for n in [1024usize, 4096, 16384, 65536] {
         let mut rng = gossip_core::rng::stream_rng(1, 0, n as u64);
         let g = generators::tree_plus_random_edges(n, 4 * n as u64, &mut rng);
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("push", n), &g, |b, g| {
-            b.iter_batched(
-                || Engine::new(g.clone(), Push, 7).with_parallelism(Parallelism::Sequential),
-                |mut engine| {
-                    for _ in 0..8 {
-                        std::hint::black_box(engine.step());
-                    }
-                },
-                BatchSize::LargeInput,
-            )
-        });
-        group.bench_with_input(BenchmarkId::new("pull", n), &g, |b, g| {
-            b.iter_batched(
-                || Engine::new(g.clone(), Pull, 7).with_parallelism(Parallelism::Sequential),
-                |mut engine| {
-                    for _ in 0..8 {
-                        std::hint::black_box(engine.step());
-                    }
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        for (par_label, par) in [
+            ("seq", Parallelism::Sequential),
+            ("pool", Parallelism::Parallel),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("push_{par_label}"), n),
+                &g,
+                |b, g| eight_rounds(b, g, Push, par),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("pull_{par_label}"), n),
+                &g,
+                |b, g| eight_rounds(b, g, Pull, par),
+            );
+        }
     }
     group.finish();
+    // Thousands of pool-parallel rounds just ran: the pool's worker count
+    // must still be bounded by its size (zero spawns per round).
+    assert!(
+        rayon::global_pool_threads_started() <= rayon::current_num_threads().saturating_sub(1),
+        "pool spawned threads per round"
+    );
 
     // Full convergence at a small n: end-to-end sanity number.
     let mut group = c.benchmark_group("full_convergence");

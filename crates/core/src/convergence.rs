@@ -158,7 +158,9 @@ impl MinDegreeAtLeast {
 
 impl ConvergenceCheck<UndirectedGraph> for MinDegreeAtLeast {
     fn is_converged(&mut self, g: &UndirectedGraph) -> bool {
-        g.min_degree() >= self.target.min(g.n() - 1)
+        // Saturating: `n - 1` underflowed for the 0-node graph, which should
+        // (vacuously) satisfy any degree target, like the complete graph.
+        g.min_degree() >= self.target.min(g.n().saturating_sub(1))
     }
 
     fn describe(&self) -> String {
@@ -261,6 +263,22 @@ mod tests {
         let p = generators::path(4);
         let mut c2 = MinDegreeAtLeast::new(2);
         assert!(!c2.is_converged(&p));
+    }
+
+    #[test]
+    fn degenerate_graphs_converge_vacuously() {
+        // Regression: MinDegreeAtLeast computed `n - 1`, underflowing on the
+        // 0-node graph. All targets are vacuously met on n ∈ {0, 1}.
+        for n in [0usize, 1] {
+            let g = UndirectedGraph::new(n);
+            assert!(MinDegreeAtLeast::new(5).is_converged(&g), "n={n}");
+            assert!(
+                ComponentwiseComplete::for_graph(&g).is_converged(&g),
+                "n={n}"
+            );
+            let d = DirectedGraph::new(n);
+            assert!(ClosureReached::for_graph(&d).is_converged(&d), "n={n}");
+        }
     }
 
     #[test]

@@ -89,6 +89,8 @@ pub struct MinDegreeMilestones {
     delta0: usize,
     factor: f64,
     next_target: f64,
+    /// Degree hit the `n - 1` ceiling: no further milestones can occur.
+    capped: bool,
     /// `(round, min_degree)` at each milestone crossing.
     milestones: Vec<(u64, usize)>,
 }
@@ -102,6 +104,7 @@ impl MinDegreeMilestones {
             delta0,
             factor,
             next_target: delta0 as f64 * factor,
+            capped: false,
             milestones: Vec::new(),
         }
     }
@@ -119,13 +122,22 @@ impl MinDegreeMilestones {
 
 impl RoundObserver<UndirectedGraph> for MinDegreeMilestones {
     fn observe(&mut self, round: u64, g: &UndirectedGraph, _stats: &RoundStats) {
+        if self.capped {
+            return; // ceiling milestone already recorded; nothing can change
+        }
         let delta = g.min_degree();
-        let cap = g.n() - 1;
+        // Saturating: the 0-node graph would underflow (cap 0 == already at
+        // the ceiling, so the first observation caps the recorder).
+        let cap = g.n().saturating_sub(1);
         while delta as f64 >= self.next_target || delta >= cap {
             self.milestones.push((round, delta));
             self.next_target *= self.factor;
             if delta >= cap {
-                return; // degree can't grow further; stop emitting
+                // Degree can't grow further. Latch, so fixed-horizon runs
+                // that keep observing past completion don't re-emit the
+                // ceiling milestone every round.
+                self.capped = true;
+                return;
             }
         }
     }
@@ -178,6 +190,37 @@ mod tests {
             assert!(w[1].0 >= w[0].0);
         }
         assert_eq!(milestones.last().unwrap().1, 31);
+    }
+
+    #[test]
+    fn milestones_survive_degenerate_graphs() {
+        // Regression: the degree cap computed `n - 1`, underflowing on the
+        // 0-node graph.
+        use crate::process::RoundStats;
+        use gossip_graph::UndirectedGraph;
+        for n in [0usize, 1] {
+            let g = UndirectedGraph::new(n);
+            let mut ms = MinDegreeMilestones::new(1, 2.0);
+            // Degree starts at the (zero) ceiling: exactly one milestone no
+            // matter how many rounds keep observing.
+            for round in 1..=50 {
+                ms.observe(round, &g, &RoundStats::default());
+            }
+            assert_eq!(ms.milestones(), &[(1, 0)], "n={n}");
+        }
+    }
+
+    #[test]
+    fn cap_milestone_emitted_once_on_fixed_horizon_runs() {
+        // A run observed past completion (Never-style horizon) must not
+        // re-emit the ceiling milestone every round.
+        use crate::process::RoundStats;
+        let g = generators::complete(8); // min_degree 7 == cap
+        let mut ms = MinDegreeMilestones::new(7, 2.0);
+        for round in 1..=20 {
+            ms.observe(round, &g, &RoundStats::default());
+        }
+        assert_eq!(ms.milestones(), &[(1, 7)]);
     }
 
     #[test]

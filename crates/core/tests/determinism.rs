@@ -1,0 +1,120 @@
+//! Determinism regression suite for the pool-backed parallel engine.
+//!
+//! The engine's contract is that scheduling never affects results: the
+//! sequential path, the pool-parallel path, and any `Parallelism::Auto`
+//! mixture must produce bit-identical graphs (same edge sets *and* same
+//! adjacency insertion order), and reusing the process-global worker pool
+//! across consecutive runs or experiments must leak no state between them.
+
+use gossip_core::rng::stream_rng;
+use gossip_core::{ComponentwiseComplete, Engine, Never, Parallelism, Pull, Push, RunOutcome};
+use gossip_graph::{generators, UndirectedGraph};
+
+/// The `Auto` threshold the engine ships with.
+fn default_threshold() -> usize {
+    match Parallelism::default() {
+        Parallelism::Auto { threshold } => threshold,
+        _ => panic!("default parallelism is not Auto"),
+    }
+}
+
+/// Asserts two graphs are bit-identical for all future sampling: same edge
+/// set and same per-node adjacency order.
+fn assert_bit_identical(a: &UndirectedGraph, b: &UndirectedGraph, ctx: &str) {
+    assert!(a.same_edges(b), "{ctx}: edge sets differ");
+    for u in a.nodes() {
+        assert_eq!(
+            a.neighbors(u).as_slice(),
+            b.neighbors(u).as_slice(),
+            "{ctx}: adjacency order differs at {u:?}"
+        );
+    }
+}
+
+#[test]
+fn seq_and_pool_bit_identical_across_auto_threshold() {
+    // Graph sizes straddling the Auto threshold: below it Auto runs the
+    // sequential path, at/above it the pool path — all three policies must
+    // agree exactly either way.
+    let threshold = default_threshold();
+    for n in [threshold - 1, threshold, threshold + 1] {
+        let g = generators::tree_plus_random_edges(n, 2 * n as u64, &mut stream_rng(42, 0, 0));
+        let mut seq = Engine::new(g.clone(), Push, 99).with_parallelism(Parallelism::Sequential);
+        let mut par = Engine::new(g.clone(), Push, 99).with_parallelism(Parallelism::Parallel);
+        let mut auto = Engine::new(g, Push, 99); // default Auto
+        for round in 0..6 {
+            let s = seq.step();
+            assert_eq!(s, par.step(), "n={n} round={round}: par stats differ");
+            assert_eq!(s, auto.step(), "n={n} round={round}: auto stats differ");
+        }
+        assert_bit_identical(seq.graph(), par.graph(), &format!("n={n} seq vs par"));
+        assert_bit_identical(seq.graph(), auto.graph(), &format!("n={n} seq vs auto"));
+    }
+}
+
+#[test]
+fn pool_reuse_across_consecutive_runs_leaks_no_state() {
+    // Two consecutive run_until calls on the same engine (pool reused) must
+    // match one fresh engine driven the same total number of rounds.
+    let n = default_threshold() + 100;
+    let g = generators::tree_plus_random_edges(n, 2 * n as u64, &mut stream_rng(7, 0, 0));
+
+    let mut resumed = Engine::new(g.clone(), Pull, 5).with_parallelism(Parallelism::Parallel);
+    let first: RunOutcome = resumed.run_until(&mut Never, 3);
+    assert_eq!(first.rounds, 3);
+    let second = resumed.run_until(&mut Never, 4);
+    assert_eq!(second.rounds, 7);
+
+    let mut fresh = Engine::new(g, Pull, 5).with_parallelism(Parallelism::Parallel);
+    let all = fresh.run_until(&mut Never, 7);
+    assert_eq!(all.final_edges, second.final_edges);
+    assert_bit_identical(fresh.graph(), resumed.graph(), "resumed vs fresh");
+}
+
+#[test]
+fn pool_reuse_across_experiments_leaks_no_state() {
+    // Two different experiments back to back in one process — the pool
+    // carries over — must each match the run the other order would give
+    // (i.e. results depend only on (graph, rule, seed), never on what the
+    // pool executed before).
+    let n = default_threshold() + 17;
+    let mk =
+        |seed: u64| generators::tree_plus_random_edges(n, n as u64, &mut stream_rng(seed, 0, 0));
+
+    let run = |g: &UndirectedGraph, seed: u64| -> (u64, UndirectedGraph) {
+        let mut e = Engine::new(g.clone(), Push, seed).with_parallelism(Parallelism::Parallel);
+        let out = e.run_until(&mut Never, 25);
+        (out.final_edges, e.into_graph())
+    };
+
+    let (ga, gb) = (mk(1), mk(2));
+    // Order A then B.
+    let (ma1, fa1) = run(&ga, 111);
+    let (mb1, fb1) = run(&gb, 222);
+    // Order B then A (pool warmed differently).
+    let (mb2, fb2) = run(&gb, 222);
+    let (ma2, fa2) = run(&ga, 111);
+
+    assert_eq!(ma1, ma2, "experiment A edge growth changed with order");
+    assert_eq!(mb1, mb2, "experiment B edge growth changed with order");
+    assert_bit_identical(&fa1, &fa2, "experiment A final graph");
+    assert_bit_identical(&fb1, &fb2, "experiment B final graph");
+}
+
+#[test]
+fn trial_batches_agree_under_pool_parallelism() {
+    // Trial-level fan-out (the imbalanced workload the chunk-claiming pool
+    // exists for) must return identical per-trial results either way.
+    use gossip_core::{convergence_rounds, TrialConfig};
+    let g = generators::star(96);
+    let mut cfg = TrialConfig {
+        trials: 12,
+        base_seed: 31,
+        max_rounds: 10_000_000,
+        parallel: false,
+    };
+    let seq = convergence_rounds(&g, Push, ComponentwiseComplete::for_graph, &cfg);
+    cfg.parallel = true;
+    let par = convergence_rounds(&g, Push, ComponentwiseComplete::for_graph, &cfg);
+    assert_eq!(seq, par);
+}

@@ -45,14 +45,15 @@ impl UndirectedGraph {
         self.m
     }
 
-    /// Number of edges in the complete graph on `n` nodes.
+    /// Number of edges in the complete graph on `n` nodes (`0` for `n <= 1`;
+    /// saturating so the empty graph doesn't underflow in debug builds).
     #[inline]
     pub fn complete_m(&self) -> u64 {
         let n = self.n() as u64;
-        n * (n - 1) / 2
+        n * n.saturating_sub(1) / 2
     }
 
-    /// Whether the graph is complete.
+    /// Whether the graph is complete (vacuously true for `n <= 1`).
     #[inline]
     pub fn is_complete(&self) -> bool {
         self.m == self.complete_m()
@@ -219,6 +220,26 @@ impl UndirectedGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zero_and_one_node_graphs_do_not_underflow() {
+        // Regression: complete_m computed n * (n - 1) in u64, which
+        // underflow-panicked in debug builds for n == 0.
+        let g0 = UndirectedGraph::new(0);
+        assert_eq!(g0.n(), 0);
+        assert_eq!(g0.complete_m(), 0);
+        assert_eq!(g0.missing_edges(), 0);
+        assert!(g0.is_complete());
+        assert_eq!(g0.min_degree(), 0);
+        assert_eq!(g0.max_degree(), 0);
+        g0.validate().unwrap();
+
+        let g1 = UndirectedGraph::new(1);
+        assert_eq!(g1.complete_m(), 0);
+        assert_eq!(g1.missing_edges(), 0);
+        assert!(g1.is_complete());
+        g1.validate().unwrap();
+    }
 
     #[test]
     fn empty_graph() {

@@ -2,47 +2,95 @@
 //!
 //! Implements the parallel-iterator subset this workspace uses —
 //! `into_par_iter().map(..).collect()` and `par_iter_mut().enumerate()
-//! .for_each(..)` — on top of `std::thread::scope`, without rayon's
-//! work-stealing pool. Work is split into one contiguous chunk per
-//! available core; order is preserved, so results are identical to the
-//! sequential run. Small inputs skip threading entirely.
+//! .for_each(..)` — on top of a **persistent worker pool** ([`pool`]):
+//! `RAYON_NUM_THREADS - 1` long-lived parked workers plus the submitting
+//! thread claim small index chunks off a shared atomic cursor, so one call
+//! costs a queue push and a few wakeups instead of per-call thread spawns,
+//! and imbalanced items rebalance dynamically. Results are written by index
+//! into pre-sized slots, so output is bit-identical to the sequential run
+//! regardless of scheduling. Single-threaded configurations and empty
+//! inputs skip the pool entirely.
+
+pub mod pool;
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelSliceMut};
 }
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
-/// Number of worker threads to fan out across: `RAYON_NUM_THREADS` if set
+/// Number of executors to fan out across: `RAYON_NUM_THREADS` if set
 /// (upstream rayon honors the same variable), else the available cores.
-fn threads() -> usize {
-    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        return n.max(1);
-    }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+/// Read and parsed once per process — per-call env lookups were measurable
+/// per-round overhead — matching upstream rayon's fixed global pool size.
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
-/// Runs `f` on `idx` for every index in `0..len`, fanned out over threads.
+/// The process-global pool, built on first parallel call: the submitting
+/// thread is one executor, so only `current_num_threads() - 1` workers are
+/// spawned. `None` when configured single-threaded.
+fn global_pool() -> Option<&'static pool::Pool> {
+    static POOL: OnceLock<Option<pool::Pool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let threads = current_num_threads();
+        (threads > 1).then(|| pool::Pool::new(threads - 1))
+    })
+    .as_ref()
+}
+
+/// How many worker threads the global pool has ever started: `0` before the
+/// first parallel call (or when configured single-threaded), at most
+/// `current_num_threads() - 1` forever after. Exposed so tests and benches
+/// can assert that steady-state parallel calls spawn zero threads.
+pub fn global_pool_threads_started() -> usize {
+    global_pool().map_or(0, pool::Pool::threads_started)
+}
+
+/// Runs `f` on `idx` for every index in `0..len` across the global pool.
 /// `f` must be callable concurrently from several threads.
 ///
 /// Every call with two or more items parallelizes: item cost is unknowable
 /// here, and the expensive callers (Monte Carlo trials, where each item is a
 /// whole multi-second simulation but there are only a handful of them) are
 /// exactly the ones a per-thread minimum-batch heuristic would serialize.
-/// The price is one thread spawn per worker per call (~tens of µs), which
-/// the engine only pays at `Parallelism::Auto`'s 16k-node threshold.
-fn fan_out<F: Fn(usize) + Sync>(len: usize, f: F) {
-    fan_out_with(threads().min(len), len, f)
+/// After pool warm-up the price is a queue push plus condvar wakeups (~a few
+/// µs) and zero thread spawns — cheap enough that `Parallelism::Auto`
+/// engages the engine's parallel path from a few thousand nodes.
+///
+/// Public (alongside [`fan_out_with`]) so the pool and the legacy
+/// spawn-per-call strategy can be benchmarked against each other on an
+/// identical kernel.
+pub fn fan_out<F: Fn(usize) + Sync>(len: usize, f: F) {
+    match global_pool() {
+        Some(pool) if len >= 2 => pool.run(len, f),
+        _ => {
+            for i in 0..len {
+                f(i);
+            }
+        }
+    }
 }
 
-/// [`fan_out`] with an explicit worker count (also the unit-test hook for
-/// exercising the threaded path on single-core machines).
-fn fan_out_with<F: Fn(usize) + Sync>(workers: usize, len: usize, f: F) {
+/// Legacy spawn-per-call fan-out: one contiguous chunk per worker under
+/// `std::thread::scope`, no dynamic distribution. Kept `pub` as the
+/// unit-test hook for exercising explicit worker counts on single-core
+/// machines and as the baseline the pool is benchmarked against
+/// (`gossip-bench/benches/parallel.rs`).
+pub fn fan_out_with<F: Fn(usize) + Sync>(workers: usize, len: usize, f: F) {
+    let workers = workers.min(len);
     if workers <= 1 {
         for i in 0..len {
             f(i);
@@ -54,6 +102,11 @@ fn fan_out_with<F: Fn(usize) + Sync>(workers: usize, len: usize, f: F) {
     std::thread::scope(|scope| {
         for w in 0..workers {
             let lo = w * chunk;
+            if lo >= len {
+                // workers > len (or rounding) would otherwise spawn threads
+                // with an empty range — pure wasted spawns.
+                break;
+            }
             let hi = ((w + 1) * chunk).min(len);
             scope.spawn(move || {
                 for i in lo..hi {
@@ -258,6 +311,43 @@ mod tests {
                 "workers={workers} len={len} missed or repeated an index"
             );
         }
+    }
+
+    #[test]
+    fn fan_out_with_more_workers_than_items() {
+        // Regression: workers > len used to spawn threads with lo >= len
+        // (empty ranges). Every index must still run exactly once and no
+        // worker may see an out-of-bounds range.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for (workers, len) in [(4, 0), (4, 1), (8, 3), (64, 5), (7, 6)] {
+            let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+            crate::fan_out_with(workers, len, |i| {
+                assert!(i < len, "index {i} out of range (len {len})");
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "workers={workers} len={len} missed or repeated an index"
+            );
+        }
+    }
+
+    #[test]
+    fn adapters_reuse_the_global_pool() {
+        // Repeated parallel-iterator calls run on the same persistent pool:
+        // the pool's started-thread count stays bounded by its size no
+        // matter how many jobs are submitted (single-threaded configs
+        // trivially satisfy this with a count of zero).
+        for _ in 0..20 {
+            let out: Vec<usize> = (0..1_000).into_par_iter().map(|i| i * 3).collect();
+            assert_eq!(out[999], 2_997);
+        }
+        let cap = crate::current_num_threads().saturating_sub(1);
+        assert!(
+            crate::global_pool_threads_started() <= cap,
+            "global pool started {} threads, configured cap {cap}",
+            crate::global_pool_threads_started()
+        );
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Persistent worker pool with dynamic chunk-claiming work distribution.
+//!
+//! # Architecture
+//!
+//! A [`Pool`] owns `k` long-lived worker threads parked on a condvar. A job
+//! is an index range `0..len` plus a shared atomic cursor; every executor
+//! (the `k` workers *and* the thread that called [`Pool::run`], which
+//! participates instead of blocking) claims the next `chunk` indices with a
+//! `fetch_add` until the range is exhausted. Dynamic distribution replaces
+//! rayon's per-thread deques: an executor stuck on an expensive item simply
+//! claims fewer chunks, so imbalanced workloads (heavy-tailed Monte Carlo
+//! trials) balance themselves without any stealing protocol.
+//!
+//! # Why determinism survives work stealing
+//!
+//! Scheduling decides only *which thread* runs index `i`, never *whether* or
+//! *with what arguments*: each index is claimed exactly once (the cursor is
+//! a single atomic RMW sequence), the closure derives everything from the
+//! index, and callers write results into pre-sized per-index slots. The
+//! output is therefore bit-identical to a sequential loop regardless of
+//! thread count, chunk size, or claim order.
+//!
+//! # Lifetime safety
+//!
+//! [`Pool::run`] type-erases the borrowed job closure to `'static` to hand
+//! it to long-lived workers. This is sound because `run` does not return
+//! until every claimed index has finished (`completed == len`), and a worker
+//! only dereferences the closure after successfully claiming a chunk — which
+//! is impossible once the cursor has passed `len`.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+/// How many chunks each executor should claim on average for a balanced
+/// workload. Higher = finer grain = better balance but more cursor traffic.
+const CHUNKS_PER_EXECUTOR: usize = 8;
+
+/// Picks the claim-chunk size for a job of `len` items across `executors`
+/// threads: small enough that every executor gets several claims (dynamic
+/// balancing has room to act), never below 1.
+pub(crate) fn chunk_size(len: usize, executors: usize) -> usize {
+    (len / (executors * CHUNKS_PER_EXECUTOR).max(1)).max(1)
+}
+
+/// One submitted job. Shared between the submitting thread and the workers
+/// via `Arc`; the closure pointer is only dereferenced under a successful
+/// chunk claim (see module docs).
+struct Job {
+    /// Borrowed from the `run` call, lifetime-erased; valid until
+    /// `completed == len`, which `run` blocks on.
+    task: &'static (dyn Fn(usize) + Sync),
+    len: usize,
+    chunk: usize,
+    /// Next unclaimed index.
+    cursor: AtomicUsize,
+    /// Indices fully executed (or abandoned by a panic, which still counts
+    /// its whole chunk so completion is always reached).
+    completed: AtomicUsize,
+    /// First panic payload caught in any executor, rethrown by `run`.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: all shared state is atomics / mutexes; `task` is `Sync` and only
+// dereferenced while the submitting `run` call keeps the closure alive.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and executes chunks until the cursor is exhausted. Called from
+    /// both workers and the submitting thread.
+    fn execute(&self) {
+        loop {
+            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.len {
+                return;
+            }
+            let end = (start + self.chunk).min(self.len);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for i in start..end {
+                    (self.task)(i);
+                }
+            }));
+            if let Err(payload) = result {
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            // AcqRel chains every executor's writes through the counter so the
+            // submitter's final acquire observes all per-index results.
+            let before = self.completed.fetch_add(end - start, Ordering::AcqRel);
+            if before + (end - start) == self.len {
+                *self.done.lock().unwrap() = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every index has finished executing.
+    fn wait_done(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.done_cv.wait(done).unwrap();
+        }
+    }
+}
+
+/// Pool state guarded by one mutex: the current job and a monotonically
+/// increasing epoch so a worker never re-runs a job it already drained.
+struct State {
+    job: Option<Arc<Job>>,
+    epoch: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    /// Worker threads that have started running, ever. Bounded by the pool
+    /// size for the pool's whole lifetime — the observable proof that jobs
+    /// ("rounds") spawn zero threads after warm-up.
+    started: AtomicUsize,
+}
+
+/// A persistent pool of parked worker threads. Dropping it shuts the
+/// workers down and joins them; the process-global pool (see
+/// [`crate::fan_out`]) lives for the whole process instead.
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `workers` parked worker threads (the submitting thread makes
+    /// `workers + 1` executors per job).
+    pub(crate) fn new(workers: usize) -> Pool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                epoch: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            started: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("rayon-shim-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn rayon shim pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of executors a job submitted to this pool runs on.
+    pub(crate) fn executors(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// How many worker threads have ever started in this pool. Can never
+    /// exceed the pool size: submitting jobs spawns nothing.
+    pub(crate) fn threads_started(&self) -> usize {
+        self.shared.started.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f(i)` for every `i` in `0..len` across the pool, blocking until
+    /// all indices complete. Panics in `f` are rethrown here (workers
+    /// survive them). Safe to call from several threads at once and from
+    /// inside a running job: the submitter always participates, so a job can
+    /// never be starved by the pool being busy elsewhere.
+    pub(crate) fn run<F: Fn(usize) + Sync>(&self, len: usize, f: F) {
+        if len == 0 {
+            return;
+        }
+        let task: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: lifetime erasure only; see module docs ("Lifetime safety").
+        let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        let job = Arc::new(Job {
+            task,
+            len,
+            chunk: chunk_size(len, self.executors()),
+            cursor: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.job = Some(Arc::clone(&job));
+            state.epoch += 1;
+            self.shared.work_cv.notify_all();
+        }
+        job.execute();
+        job.wait_done();
+        {
+            // Drop the finished job from the pool slot (unless a concurrent
+            // submitter already replaced it) so the lifetime-erased closure
+            // reference never outlives this call in reachable state.
+            let mut state = self.shared.state.lock().unwrap();
+            if state.job.as_ref().is_some_and(|j| Arc::ptr_eq(j, &job)) {
+                state.job = None;
+            }
+        }
+        let payload = job.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Worker body: park until a job with a fresh epoch appears, drain it,
+/// repeat until shutdown.
+fn worker_loop(shared: &Shared) {
+    shared.started.fetch_add(1, Ordering::Relaxed);
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != last_epoch {
+                    if let Some(job) = state.job.clone() {
+                        last_epoch = state.epoch;
+                        break job;
+                    }
+                }
+                state = shared.work_cv.wait(state).unwrap();
+            }
+        };
+        job.execute();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn hit_counts(pool: &Pool, len: usize) -> Vec<usize> {
+        let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(len, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        hits.into_iter().map(|h| h.into_inner()).collect()
+    }
+
+    #[test]
+    fn every_index_exactly_once() {
+        for workers in [1usize, 2, 3, 7] {
+            let pool = Pool::new(workers);
+            for len in [0usize, 1, 2, 5, 100, 4096] {
+                let hits = hit_counts(&pool, len);
+                assert!(
+                    hits.iter().all(|&h| h == 1),
+                    "workers={workers} len={len}: {hits:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_spawns_no_new_threads() {
+        let pool = Pool::new(4);
+        for _ in 0..50 {
+            let _ = hit_counts(&pool, 1000);
+        }
+        assert!(
+            pool.threads_started() <= 4,
+            "50 jobs started {} threads on a 4-worker pool",
+            pool.threads_started()
+        );
+    }
+
+    #[test]
+    fn results_independent_of_pool_size() {
+        use std::sync::atomic::AtomicU64;
+        let expect: Vec<u64> = (0..500u64).map(|i| i * i).collect();
+        for workers in [1usize, 2, 5] {
+            let pool = Pool::new(workers);
+            let out: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+            pool.run(500, |i| {
+                out[i].store((i as u64) * (i as u64), Ordering::Relaxed);
+            });
+            let got: Vec<u64> = out.into_iter().map(|s| s.into_inner()).collect();
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let pool = Pool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(100, |i| {
+                if i == 37 {
+                    panic!("boom at {i}");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "panic must reach the submitter");
+        // The pool is still fully functional afterwards.
+        let hits = hit_counts(&pool, 64);
+        assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn shutdown_joins_workers() {
+        let pool = Pool::new(3);
+        let _ = hit_counts(&pool, 10);
+        drop(pool); // must not hang; joining parked workers exercises shutdown
+    }
+
+    #[test]
+    fn nested_run_completes() {
+        // A job item submitting a sub-job must not deadlock: the inner
+        // submitter participates in its own job.
+        let pool = Arc::new(Pool::new(2));
+        let inner_hits = AtomicUsize::new(0);
+        let p2 = Arc::clone(&pool);
+        pool.run(4, |_| {
+            p2.run(8, |_| {
+                inner_hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner_hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn chunk_size_always_positive_and_splits_work() {
+        assert_eq!(chunk_size(0, 4), 1);
+        assert_eq!(chunk_size(1, 4), 1);
+        assert_eq!(chunk_size(16, 8), 1); // few heavy items claim one by one
+        let c = chunk_size(65_536, 8);
+        assert!(c >= 1 && c * 8 <= 65_536, "chunk {c} too coarse");
+    }
+}
