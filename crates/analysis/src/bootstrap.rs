@@ -1,0 +1,210 @@
+//! Bootstrap confidence intervals.
+//!
+//! Echo-chamber effects make single-run gossip numbers misleading, and the
+//! round-count distributions are skewed enough that normal-theory intervals
+//! undercover on small trial counts. The percentile bootstrap makes no
+//! distributional assumption: resample the observed sample with replacement,
+//! recompute the statistic, and read the interval straight off the empirical
+//! distribution of the replicates.
+//!
+//! All resampling is driven by an explicit seed through the vendored
+//! deterministic [`SmallRng`], so the same sample and seed always produce
+//! the same interval — a requirement for byte-for-byte reproducible reports.
+
+use crate::stats::percentile_sorted;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-sided confidence interval for a statistic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level in `(0, 1)`, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Full width `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Half the width — the `±` radius around the interval's midpoint.
+    pub fn half_width(&self) -> f64 {
+        self.width() / 2.0
+    }
+
+    /// Whether `x` lies inside the closed interval.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+}
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic.
+///
+/// Draws `resamples` with-replacement resamples of `sample`, applies `stat`
+/// to each, and returns the `(1 - level) / 2` and `(1 + level) / 2`
+/// percentiles of the replicate distribution. Deterministic in `seed`.
+///
+/// A single-observation sample yields the degenerate interval `[x, x]`.
+///
+/// # Panics
+/// Panics on an empty sample, `resamples == 0`, or `level` outside `(0, 1)`.
+pub fn bootstrap_ci_of(
+    sample: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+    stat: impl Fn(&[f64]) -> f64,
+) -> ConfidenceInterval {
+    assert!(!sample.is_empty(), "empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(
+        (0.0..1.0).contains(&level) && level > 0.0,
+        "level must be in (0, 1)"
+    );
+    if sample.len() == 1 {
+        let x = stat(sample);
+        return ConfidenceInterval {
+            lo: x,
+            hi: x,
+            level,
+        };
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut resample = vec![0.0; sample.len()];
+    let mut replicates = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        for slot in resample.iter_mut() {
+            *slot = sample[rng.random_range(0..sample.len())];
+        }
+        replicates.push(stat(&resample));
+    }
+    replicates.sort_by(|a, b| a.partial_cmp(b).expect("NaN replicate"));
+    let alpha = (1.0 - level) / 2.0;
+    ConfidenceInterval {
+        lo: percentile_sorted(&replicates, 100.0 * alpha),
+        hi: percentile_sorted(&replicates, 100.0 * (1.0 - alpha)),
+        level,
+    }
+}
+
+/// Percentile-bootstrap confidence interval for the sample mean.
+///
+/// ```
+/// use gossip_analysis::bootstrap_mean_ci;
+/// let sample = [4.0, 5.0, 6.0, 5.0, 4.0, 6.0, 5.0, 5.0];
+/// let ci = bootstrap_mean_ci(&sample, 500, 0.95, 7);
+/// assert!(ci.contains(5.0));
+/// assert!(ci.width() < 2.0);
+/// ```
+pub fn bootstrap_mean_ci(
+    sample: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval {
+    bootstrap_ci_of(sample, resamples, level, seed, |xs| {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let sample: Vec<f64> = (0..40).map(|i| ((i * 7) % 13) as f64).collect();
+        let a = bootstrap_mean_ci(&sample, 200, 0.95, 42);
+        let b = bootstrap_mean_ci(&sample, 200, 0.95, 42);
+        assert_eq!(a, b);
+        let c = bootstrap_mean_ci(&sample, 200, 0.95, 43);
+        assert_ne!(a, c, "different seeds should perturb the interval");
+    }
+
+    #[test]
+    fn contains_sample_mean_and_orders_bounds() {
+        let sample: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 3.0 + 10.0).collect();
+        let mean = sample.iter().sum::<f64>() / sample.len() as f64;
+        let ci = bootstrap_mean_ci(&sample, 500, 0.95, 1);
+        assert!(ci.lo <= ci.hi);
+        assert!(ci.contains(mean), "CI {ci:?} should contain mean {mean}");
+    }
+
+    #[test]
+    fn coverage_on_known_distribution() {
+        // 200 independent samples of size 30 from uniform{0..10} (true mean
+        // 4.5). Nominal 95% coverage; accept the broad [0.85, 1.0] band so
+        // the test is robust to bootstrap small-sample bias.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let true_mean = 4.5;
+        let mut covered = 0usize;
+        let runs = 200;
+        for run in 0..runs {
+            let mut rng = SmallRng::seed_from_u64(0xC0FE + run);
+            let sample: Vec<f64> = (0..30).map(|_| rng.random_range(0..10u32) as f64).collect();
+            let ci = bootstrap_mean_ci(&sample, 400, 0.95, 0xB00 + run);
+            if ci.contains(true_mean) {
+                covered += 1;
+            }
+        }
+        let coverage = covered as f64 / runs as f64;
+        assert!(
+            (0.85..=1.0).contains(&coverage),
+            "coverage {coverage} out of band"
+        );
+    }
+
+    #[test]
+    fn width_shrinks_with_sample_size() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(9);
+        let big: Vec<f64> = (0..1000)
+            .map(|_| rng.random_range(0..100u32) as f64)
+            .collect();
+        let small = &big[..20];
+        let wide = bootstrap_mean_ci(small, 400, 0.95, 5);
+        let narrow = bootstrap_mean_ci(&big, 400, 0.95, 5);
+        assert!(narrow.width() < wide.width());
+    }
+
+    #[test]
+    fn single_observation_is_degenerate() {
+        let ci = bootstrap_mean_ci(&[3.5], 100, 0.95, 0);
+        assert_eq!((ci.lo, ci.hi), (3.5, 3.5));
+        assert_eq!(ci.width(), 0.0);
+        assert_eq!(ci.half_width(), 0.0);
+    }
+
+    #[test]
+    fn arbitrary_statistic_median() {
+        let mut sample: Vec<f64> = (1..=20).map(f64::from).collect();
+        sample.push(1000.0);
+        let ci = bootstrap_ci_of(&sample, 500, 0.9, 11, |xs| {
+            let mut s = xs.to_vec();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            percentile_sorted(&s, 50.0)
+        });
+        // The median is robust to the single outlier; its CI should not
+        // stretch anywhere near 1000.
+        assert!(ci.hi < 100.0, "median CI {ci:?} dragged by outlier");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn rejects_empty() {
+        let _ = bootstrap_mean_ci(&[], 100, 0.95, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "level")]
+    fn rejects_bad_level() {
+        let _ = bootstrap_mean_ci(&[1.0, 2.0], 100, 1.5, 0);
+    }
+}

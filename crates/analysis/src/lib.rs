@@ -7,7 +7,10 @@
 //!   proposal-distribution convolution. This is what verifies the paper's
 //!   Figure 1(c) non-monotonicity example *exactly* rather than
 //!   statistically, and powers the exhaustive 4-node counterexample search.
-//! * [`stats`] — Welford accumulators, confidence intervals, percentiles.
+//! * [`stats`] — Welford accumulators, confidence intervals, percentiles,
+//!   Tukey-fence outlier classification.
+//! * [`bootstrap`] — seeded percentile-bootstrap confidence intervals
+//!   (deterministic, so reports rebuild byte-for-byte).
 //! * [`fit`] — asymptotic model fitting against the paper's candidate growth
 //!   laws (`n`, `n log n`, `n log² n`, `n²`, `n² log n`) plus log-log
 //!   regression for model-free exponents.
@@ -24,9 +27,10 @@
 //! assert!(slow > fast, "Figure 1(c): the supergraph is slower");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bootstrap;
 pub mod distribution;
 pub mod fit;
 pub mod markov;
@@ -34,9 +38,10 @@ pub mod stats;
 pub mod table;
 pub mod timeseries;
 
+pub use bootstrap::{bootstrap_ci_of, bootstrap_mean_ci, ConfidenceInterval};
 pub use distribution::{ks_statistic, ks_threshold_95, Ecdf};
 pub use fit::{fit_model, loglog_exponent, ols, rank_models, GrowthModel, ModelFit, OlsFit};
 pub use markov::{exact_expected_rounds, find_nonmonotone_pairs, NonMonotonePair, ProcessKind};
-pub use stats::{OnlineStats, Summary};
+pub use stats::{classify_outliers, OnlineStats, OutlierCounts, Summary};
 pub use table::{fmt_f64, Table};
 pub use timeseries::{align_series, AggregatePoint};

@@ -16,7 +16,12 @@
 
 use gossip_graph::components::componentwise_complete_edges;
 use gossip_graph::{NodeId, UndirectedGraph};
-use std::collections::HashMap;
+// BTreeMap, not HashMap: the hitting-time recursion and the convolution both
+// *iterate* these maps while accumulating f64 sums, and HashMap's per-process
+// RandomState would reorder the additions — shifting results by ulps between
+// runs and breaking the workspace's bit-identical-reruns guarantee (the
+// pooled report's stddev of "identical" exact values must be exactly 0).
+use std::collections::BTreeMap;
 
 /// Which process to analyze.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -127,12 +132,12 @@ fn push_prob(dist: &mut Vec<(Option<usize>, f64)>, key: Option<usize>, p: f64) {
 /// Distribution over the mask of *newly added* edges in one round from state
 /// `mask`: the convolution of per-node proposal distributions, with
 /// proposals of already-present edges folded into "no change".
-fn round_transition(n: usize, mask: u32, kind: ProcessKind) -> HashMap<u32, f64> {
+fn round_transition(n: usize, mask: u32, kind: ProcessKind) -> BTreeMap<u32, f64> {
     let adj = adjacency(n, mask);
-    let mut dist: HashMap<u32, f64> = HashMap::from([(0u32, 1.0)]);
+    let mut dist: BTreeMap<u32, f64> = BTreeMap::from([(0u32, 1.0)]);
     for u in 0..n {
         let node_dist = node_proposal_dist(n, &adj, u, kind);
-        let mut next: HashMap<u32, f64> = HashMap::with_capacity(dist.len() * 2);
+        let mut next: BTreeMap<u32, f64> = BTreeMap::new();
         for (&added, &p) in &dist {
             for &(slot, q) in &node_dist {
                 let new_added = match slot {
@@ -174,7 +179,7 @@ pub fn exact_expected_rounds(g: &UndirectedGraph, kind: ProcessKind) -> f64 {
         debug_assert_eq!(t.m(), componentwise_complete_edges(g));
         graph_mask(&t)
     };
-    let mut memo: HashMap<u32, f64> = HashMap::new();
+    let mut memo: BTreeMap<u32, f64> = BTreeMap::new();
     expected_from(n, graph_mask(g), target, kind, &mut memo)
 }
 
@@ -183,7 +188,7 @@ fn expected_from(
     mask: u32,
     target: u32,
     kind: ProcessKind,
-    memo: &mut HashMap<u32, f64>,
+    memo: &mut BTreeMap<u32, f64>,
 ) -> f64 {
     if mask == target {
         return 0.0;
@@ -238,7 +243,7 @@ pub fn find_nonmonotone_pairs(n: usize, kind: ProcessKind, tolerance: f64) -> Ve
     let slots = n * (n - 1) / 2;
     let all_masks = 1u32 << slots;
     // Expected time per connected mask.
-    let mut expected: HashMap<u32, f64> = HashMap::new();
+    let mut expected: BTreeMap<u32, f64> = BTreeMap::new();
     let mut connected_masks: Vec<u32> = Vec::new();
     for mask in 1..all_masks {
         let g = mask_to_graph(n, mask);

@@ -81,6 +81,22 @@ impl OnlineStats {
         self.max
     }
 
+    /// Reconstructs an accumulator from externally stored summary moments
+    /// (count, mean, and sum of squared deviations `m2 = stddev² · (n-1)`),
+    /// so summaries persisted without raw samples can still [`merge`]
+    /// exactly.
+    ///
+    /// [`merge`]: OnlineStats::merge
+    pub fn from_moments(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> OnlineStats {
+        OnlineStats {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator (parallel reduction).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
@@ -155,6 +171,59 @@ impl Summary {
         let vals: Vec<f64> = rounds.iter().map(|&r| r as f64).collect();
         Summary::of(&vals)
     }
+}
+
+/// Tukey-fence outlier counts for one sample, in criterion's taxonomy:
+/// *mild* outliers sit more than `1.5 × IQR` outside the quartiles, *severe*
+/// ones more than `3 × IQR`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OutlierCounts {
+    /// Below `Q1 - 3 · IQR`.
+    pub low_severe: usize,
+    /// In `[Q1 - 3 · IQR, Q1 - 1.5 · IQR)`.
+    pub low_mild: usize,
+    /// In `(Q3 + 1.5 · IQR, Q3 + 3 · IQR]`.
+    pub high_mild: usize,
+    /// Above `Q3 + 3 · IQR`.
+    pub high_severe: usize,
+}
+
+impl OutlierCounts {
+    /// Total outliers of any class.
+    pub fn total(&self) -> usize {
+        self.low_severe + self.low_mild + self.high_mild + self.high_severe
+    }
+}
+
+/// Classifies each observation against the sample's own Tukey fences.
+///
+/// Quartiles are linearly interpolated ([`percentile_sorted`]). With fewer
+/// than 4 observations the quartile estimate is meaningless, so every value
+/// is counted as an inlier (all counts zero) — including the empty sample.
+pub fn classify_outliers(values: &[f64]) -> OutlierCounts {
+    if values.len() < 4 {
+        return OutlierCounts::default();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let q1 = percentile_sorted(&sorted, 25.0);
+    let q3 = percentile_sorted(&sorted, 75.0);
+    let iqr = q3 - q1;
+    let (mild_lo, mild_hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let (severe_lo, severe_hi) = (q1 - 3.0 * iqr, q3 + 3.0 * iqr);
+    let mut counts = OutlierCounts::default();
+    for &v in &sorted {
+        if v < severe_lo {
+            counts.low_severe += 1;
+        } else if v < mild_lo {
+            counts.low_mild += 1;
+        } else if v > severe_hi {
+            counts.high_severe += 1;
+        } else if v > mild_hi {
+            counts.high_mild += 1;
+        }
+    }
+    counts
 }
 
 /// Linear-interpolated percentile of an ascending-sorted slice, `p` in 0..=100.
@@ -248,6 +317,54 @@ mod tests {
     #[should_panic(expected = "empty sample")]
     fn summary_rejects_empty() {
         let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn outliers_too_few_samples_all_inliers() {
+        assert_eq!(classify_outliers(&[]), OutlierCounts::default());
+        assert_eq!(classify_outliers(&[1e9]), OutlierCounts::default());
+        assert_eq!(classify_outliers(&[0.0, 1e9]), OutlierCounts::default());
+        assert_eq!(
+            classify_outliers(&[0.0, 0.0, 1e9]),
+            OutlierCounts::default()
+        );
+    }
+
+    #[test]
+    fn outliers_classified_by_fence() {
+        // Sorted sample: [-20, -5, 1..=10, 15, 30] (n = 14). Interpolated
+        // quartiles: Q1 = 2.25, Q3 = 8.75, IQR = 6.5 -> mild fences at
+        // [-7.5, 18.5], severe at [-17.25, 28.25]. So -20 and 30 are severe,
+        // while -5 and 15 sit inside the mild fences.
+        let mut xs: Vec<f64> = (1..=10).map(f64::from).collect();
+        xs.extend([15.0, 30.0, -5.0, -20.0]);
+        let c = classify_outliers(&xs);
+        assert_eq!(
+            c,
+            OutlierCounts {
+                low_severe: 1,
+                low_mild: 0,
+                high_mild: 0,
+                high_severe: 1
+            }
+        );
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn outliers_severe_beyond_triple_iqr() {
+        // Tight core with one extreme point: 10 copies of 0..=9 plus 1000.
+        let mut xs: Vec<f64> = (0..10).map(f64::from).collect();
+        xs.push(1000.0);
+        let c = classify_outliers(&xs);
+        assert_eq!(c.high_severe, 1);
+        assert_eq!(c.total(), 1);
+    }
+
+    #[test]
+    fn outliers_constant_sample_is_clean() {
+        let c = classify_outliers(&[5.0; 16]);
+        assert_eq!(c, OutlierCounts::default());
     }
 
     #[test]

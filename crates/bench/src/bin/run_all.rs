@@ -1,15 +1,23 @@
-//! Runs the full experiment battery (E1–E12) and writes every report to the
+//! Runs the full experiment battery (E1–E14) and writes every report to the
 //! results directory. `--quick` keeps the whole thing under a couple of
 //! minutes; the full run is sized for a coffee break.
+//!
+//! `--report` switches to paper-results mode: the battery runs once per
+//! seed (`--report-seeds`, default 3), the per-configuration measurements
+//! are pooled across seeds, and the aggregated Markdown report — paper
+//! claim vs. measured, mean ± CI per algorithm per n, log²-n fit quality —
+//! is written to `<out>/RESULTS.md`. Nothing wall-clock-dependent enters
+//! the report, so the same command line reproduces it byte-for-byte.
 
 use gossip_bench::experiments as exp;
-use gossip_bench::{parse_args, Args, Report};
+use gossip_bench::{parse_args, report, Args, Measurement, Report};
+use std::io::Write as _;
 use std::time::Instant;
 
-fn main() {
-    let args = parse_args();
-    #[allow(clippy::type_complexity)] // dispatch table
-    let battery: Vec<(&str, fn(&Args) -> Report)> = vec![
+/// The battery, in fixed order (report reproducibility relies on it).
+#[allow(clippy::type_complexity)] // dispatch table
+fn battery() -> Vec<(&'static str, fn(&Args) -> Report)> {
+    vec![
         ("E1", exp::scaling::run_push),
         ("E2/E4", exp::dense::run),
         ("E3", exp::scaling::run_pull),
@@ -22,9 +30,17 @@ fn main() {
         ("E12", exp::netsim::run),
         ("E13", exp::evolution::run),
         ("E14", exp::asynchrony::run),
-    ];
+    ]
+}
+
+fn main() {
+    let args = parse_args();
+    if args.report {
+        run_report(&args);
+        return;
+    }
     let total = Instant::now();
-    for (id, run) in battery {
+    for (id, run) in battery() {
         let t = Instant::now();
         eprintln!("[run_all] starting {id} ...");
         let report = run(&args);
@@ -35,5 +51,53 @@ fn main() {
         "[run_all] battery complete in {:.1}s (quick = {})",
         total.elapsed().as_secs_f64(),
         args.quick
+    );
+}
+
+/// Paper-results mode: battery × seeds → pooled measurements → RESULTS.md.
+fn run_report(args: &Args) {
+    let total = Instant::now();
+    let mut all: Vec<Measurement> = Vec::new();
+    for i in 0..args.report_seeds {
+        // Widely separated per-run seeds; every experiment further mixes
+        // its own stream constants on top.
+        let seed = args
+            .seed
+            .wrapping_add(i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let sub = Args {
+            seed,
+            report: false,
+            ..args.clone()
+        };
+        for (id, run) in battery() {
+            let t = Instant::now();
+            eprintln!(
+                "[run_all --report] seed {}/{}: {id} ...",
+                i + 1,
+                args.report_seeds
+            );
+            all.extend(run(&sub).measurements);
+            eprintln!(
+                "[run_all --report] seed {}/{}: {id} done in {:.1}s",
+                i + 1,
+                args.report_seeds,
+                t.elapsed().as_secs_f64()
+            );
+        }
+    }
+    let pooled = report::pool(&all);
+    let md = report::render_results(&pooled, args);
+    std::fs::create_dir_all(&args.out_dir).expect("create output directory");
+    let path = args.out_dir.join("RESULTS.md");
+    let mut f = std::fs::File::create(&path).expect("create RESULTS.md");
+    f.write_all(md.as_bytes()).expect("write RESULTS.md");
+    eprintln!(
+        "[run_all --report] {} measurements pooled into {} configurations; \
+         report written to {} in {:.1}s",
+        all.len(),
+        pooled.len(),
+        path.display(),
+        total.elapsed().as_secs_f64()
     );
 }

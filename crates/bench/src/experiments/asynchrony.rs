@@ -95,9 +95,18 @@ pub fn run(args: &Args) -> Report {
                         async_times(g, Pull, trials, args.seed ^ n as u64 ^ 0xA5),
                     ),
                 };
+                report.measure("rounds", format!("{proc_name}-sync"), *fam, n as u64, &sync);
+                report.measure(
+                    "time",
+                    format!("{proc_name}-async"),
+                    *fam,
+                    n as u64,
+                    &asynch,
+                );
                 let ss = Summary::of(&sync);
                 let sa = Summary::of(&asynch);
                 let ks = ks_statistic(&Ecdf::new(&sync), &Ecdf::new(&asynch));
+                report.measure_scalar("ks_distance", proc_name, *fam, n as u64, ks);
                 table.push_row([
                     proc_name.to_string(),
                     fam.to_string(),

@@ -68,6 +68,7 @@ pub fn run(args: &Args) -> Report {
         let mut rows: Vec<Row> = Vec::new();
         // Gossip processes (graph model).
         let push = convergence_rounds(&g, Push, ComponentwiseComplete::for_graph, &cfg);
+        report.measure_rounds("push", "tree+2n", n as u64, &push);
         rows.push(process_row(
             "push (this paper)",
             crate::harness::mean(&push),
@@ -75,6 +76,7 @@ pub fn run(args: &Args) -> Report {
             n,
         ));
         let pull = convergence_rounds(&g, Pull, ComponentwiseComplete::for_graph, &cfg);
+        report.measure_rounds("pull", "tree+2n", n as u64, &pull);
         rows.push(process_row(
             "pull (this paper)",
             crate::harness::mean(&pull),
@@ -139,6 +141,27 @@ pub fn run(args: &Args) -> Report {
         });
 
         for r in rows {
+            report.measure_scalar(
+                "mean_rounds",
+                r.algorithm.as_str(),
+                "tree+2n",
+                n as u64,
+                r.rounds,
+            );
+            report.measure_scalar(
+                "max_message_bits",
+                r.algorithm.as_str(),
+                "tree+2n",
+                n as u64,
+                r.max_msg_bits as f64,
+            );
+            report.measure_scalar(
+                "total_traffic_mbit",
+                r.algorithm.as_str(),
+                "tree+2n",
+                n as u64,
+                r.total_bits / 1e6,
+            );
             table.push_row([
                 n.to_string(),
                 r.algorithm,

@@ -14,6 +14,7 @@ fn sweep<R: ProposalRule<UndirectedGraph> + Clone>(
     n: usize,
     ks: &[u64],
     args: &Args,
+    report: &mut Report,
     table: &mut Table,
     label: &str,
 ) -> (Vec<f64>, Vec<f64>) {
@@ -36,6 +37,8 @@ fn sweep<R: ProposalRule<UndirectedGraph> + Clone>(
             parallel: true,
         };
         let rounds = convergence_rounds(&g, rule.clone(), ComponentwiseComplete::for_graph, &cfg);
+        // The swept size here is k (missing edges), not n.
+        report.measure_rounds(label, format!("complete-minus-k-n{n}"), k, &rounds);
         let m = mean(&rounds);
         let nlnk = n as f64 * (k as f64).ln().max(1.0);
         table.push_row([
@@ -71,8 +74,8 @@ pub fn run(args: &Args) -> Report {
         "n ln k",
         "rounds / n ln k",
     ]);
-    let (lx_push, ly_push) = sweep(Push, n, &ks, args, &mut table, "push");
-    let (lx_pull, ly_pull) = sweep(Pull, n, &ks, args, &mut table, "pull");
+    let (lx_push, ly_push) = sweep(Push, n, &ks, args, &mut report, &mut table, "push");
+    let (lx_pull, ly_pull) = sweep(Pull, n, &ks, args, &mut report, &mut table, "pull");
 
     // Rounds should grow linearly in ln k at fixed n (the Ω(n log k) shape).
     let push_fit = ols(&lx_push, &ly_push);

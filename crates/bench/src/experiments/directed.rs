@@ -12,19 +12,14 @@ use gossip_analysis::{fmt_f64, loglog_exponent, Table};
 use gossip_core::{convergence_rounds, ClosureReached, DirectedPull, TrialConfig};
 use gossip_graph::{generators, DirectedGraph};
 
-fn measure(g: &DirectedGraph, trials: usize, seed: u64) -> f64 {
+fn sample_rounds(g: &DirectedGraph, trials: usize, seed: u64) -> Vec<u64> {
     let cfg = TrialConfig {
         trials,
         base_seed: seed,
         max_rounds: 2_000_000_000,
         parallel: true,
     };
-    mean(&convergence_rounds(
-        g,
-        DirectedPull,
-        ClosureReached::for_graph,
-        &cfg,
-    ))
+    convergence_rounds(g, DirectedPull, ClosureReached::for_graph, &cfg)
 }
 
 /// E5 + E6.
@@ -81,7 +76,9 @@ pub fn run(args: &Args) -> Report {
         for &n in &sizes {
             let g = make(n);
             let n_actual = g.n();
-            let r = measure(&g, trials, args.seed ^ (n as u64) << 4);
+            let rounds = sample_rounds(&g, trials, args.seed ^ (n as u64) << 4);
+            report.measure_rounds("directed-pull", *name, n_actual as u64, &rounds);
+            let r = mean(&rounds);
             let nf = n_actual as f64;
             table.push_row([
                 name.to_string(),

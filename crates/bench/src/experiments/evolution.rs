@@ -66,6 +66,7 @@ pub fn run(args: &Args) -> Report {
         }
     }
     snapshot(&mut table, rounds, engine.graph());
+    report.measure_scalar("rounds", "push", "watts-strogatz", n as u64, rounds as f64);
     report.note(format!(
         "small-world start (Watts–Strogatz n = {n}): diameter collapses to 2 within the \
          first ~n rounds, clustering climbs monotonically to 1, and the degree spread \
@@ -80,6 +81,13 @@ pub fn run(args: &Args) -> Report {
     let total: u64 = sorted.iter().sum();
     let top_decile: u64 = sorted.iter().take(n / 10).sum();
     let zero_brokers = sorted.iter().filter(|&&c| c == 0).count();
+    report.measure_scalar(
+        "total_introductions",
+        "push",
+        "watts-strogatz",
+        n as u64,
+        total as f64,
+    );
     let mut broker = Table::new(["statistic", "value"]);
     broker.push_row(["total introductions", &total.to_string()]);
     broker.push_row(["busiest broker", &sorted[0].to_string()]);

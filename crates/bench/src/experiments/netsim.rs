@@ -11,6 +11,7 @@ use gossip_net::{
 };
 
 fn wire_row(
+    report: &mut Report,
     table: &mut Table,
     n: usize,
     proto: &mut dyn Protocol,
@@ -28,6 +29,14 @@ fn wire_row(
     );
     let (rounds, done, t) = net.run_until_coverage(proto, 1.0, 50_000_000);
     assert!(done, "{name} failed to reach full coverage at n={n}");
+    report.measure_scalar("rounds", name, "wire-clean", n as u64, rounds as f64);
+    report.measure_scalar(
+        "max_message_bytes",
+        name,
+        "wire-clean",
+        n as u64,
+        t.max_message_bytes as f64,
+    );
     table.push_row([
         n.to_string(),
         name.to_string(),
@@ -59,9 +68,26 @@ pub fn run(args: &Args) -> Report {
     for &n in &sizes {
         let mut rng = gossip_core::rng::stream_rng(args.seed, 0xE7, n as u64);
         let g = generators::tree_plus_random_edges(n, 2 * n as u64, &mut rng);
-        wire_row(&mut wire, n, &mut PushProtocol, "push", &g, args.seed);
-        wire_row(&mut wire, n, &mut PullProtocol, "pull", &g, args.seed);
         wire_row(
+            &mut report,
+            &mut wire,
+            n,
+            &mut PushProtocol,
+            "push",
+            &g,
+            args.seed,
+        );
+        wire_row(
+            &mut report,
+            &mut wire,
+            n,
+            &mut PullProtocol,
+            "pull",
+            &g,
+            args.seed,
+        );
+        wire_row(
+            &mut report,
             &mut wire,
             n,
             &mut NameDropperProtocol,
@@ -103,6 +129,13 @@ pub fn run(args: &Args) -> Report {
                 }
             };
             assert!(done, "{proto_name} under loss {p} did not converge");
+            report.measure_scalar(
+                "rounds",
+                proto_name,
+                format!("loss-p{p}"),
+                n as u64,
+                rounds as f64,
+            );
             row.push(rounds.to_string());
         }
         loss.push_row(row);
@@ -169,6 +202,8 @@ pub fn run(args: &Args) -> Report {
         ]);
     }
     let (pl, hl) = (plain.last().unwrap(), healed.last().unwrap());
+    report.measure_scalar("final_coverage", "plain-push", "churn", n as u64, pl.2);
+    report.measure_scalar("final_coverage", "heartbeat-push", "churn", n as u64, hl.2);
     report.note(format!(
         "churn (4% join / 4% leave per round, 10% loss, round {horizon}): plain push ends at \
          coverage {:.2} / staleness {:.2} — dead contacts accumulate forever. With heartbeat \

@@ -9,18 +9,17 @@ use gossip_analysis::{
 use gossip_core::{convergence_rounds, ComponentwiseComplete, Pull, Push, TrialConfig};
 use gossip_graph::{generators, UndirectedGraph};
 
-fn mc(g: &UndirectedGraph, kind: ProcessKind, trials: usize, seed: u64) -> Summary {
+fn mc(g: &UndirectedGraph, kind: ProcessKind, trials: usize, seed: u64) -> Vec<u64> {
     let cfg = TrialConfig {
         trials,
         base_seed: seed,
         max_rounds: 100_000_000,
         parallel: true,
     };
-    let rounds = match kind {
+    match kind {
         ProcessKind::Push => convergence_rounds(g, Push, ComponentwiseComplete::for_graph, &cfg),
         ProcessKind::Pull => convergence_rounds(g, Pull, ComponentwiseComplete::for_graph, &cfg),
-    };
-    Summary::of_rounds(&rounds)
+    }
 }
 
 /// E7.
@@ -44,10 +43,14 @@ pub fn run(args: &Args) -> Report {
         "MC mean",
         "MC ±95%",
     ]);
-    for (name, gr) in [("G = K_1,4", &g), ("H = K_1,3 ⊂ G", &h)] {
+    for (name, family, gr) in [("G = K_1,4", "K_1,4", &g), ("H = K_1,3 ⊂ G", "K_1,3", &h)] {
         for kind in [ProcessKind::Push, ProcessKind::Pull] {
+            let algorithm = format!("{kind:?}").to_lowercase();
             let exact = exact_expected_rounds(gr, kind);
-            let s = mc(gr, kind, trials, args.seed);
+            let rounds = mc(gr, kind, trials, args.seed);
+            report.measure_scalar("exact_rounds", &algorithm, family, gr.n() as u64, exact);
+            report.measure_rounds(&algorithm, family, gr.n() as u64, &rounds);
+            let s = Summary::of_rounds(&rounds);
             t.push_row([
                 name.to_string(),
                 gr.m().to_string(),
@@ -63,6 +66,13 @@ pub fn run(args: &Args) -> Report {
     // Part 2: the same-vertex-set witnesses on 4 nodes, exhaustively.
     let mut st = Table::new(["G edges", "E[T(G)]", "H edges (H ⊂ G)", "E[T(H)]", "gap"]);
     let pairs = find_nonmonotone_pairs(4, ProcessKind::Push, 0.05);
+    report.measure_scalar(
+        "counterexample_pairs",
+        "push",
+        "4-node-exhaustive",
+        4,
+        pairs.len() as f64,
+    );
     for p in pairs.iter().take(8) {
         st.push_row([
             format!("{:?}", p.g_edges),

@@ -30,27 +30,24 @@ pub fn run(args: &Args) -> Report {
         parallel: true,
     };
 
-    let base_push = mean(&convergence_rounds(
-        &g,
-        Push,
-        ComponentwiseComplete::for_graph,
-        &cfg,
-    ));
-    let base_pull = mean(&convergence_rounds(
-        &g,
-        Pull,
-        ComponentwiseComplete::for_graph,
-        &cfg,
-    ));
+    let n64 = n as u64;
+    let base_push_rounds = convergence_rounds(&g, Push, ComponentwiseComplete::for_graph, &cfg);
+    report.measure_rounds("push", "baseline", n64, &base_push_rounds);
+    let base_push = mean(&base_push_rounds);
+    let base_pull_rounds = convergence_rounds(&g, Pull, ComponentwiseComplete::for_graph, &cfg);
+    report.measure_rounds("pull", "baseline", n64, &base_pull_rounds);
+    let base_pull = mean(&base_pull_rounds);
 
     let mut fail_table = Table::new(["process", "failure p", "mean rounds", "slowdown", "1/(1-p)"]);
     for &p in &[0.0, 0.25, 0.5, 0.75, 0.9] {
-        let push = mean(&convergence_rounds(
+        let rounds = convergence_rounds(
             &g,
             Faulty::new(Push, p),
             ComponentwiseComplete::for_graph,
             &cfg,
-        ));
+        );
+        report.measure_rounds("push", format!("failure-p{p}"), n64, &rounds);
+        let push = mean(&rounds);
         fail_table.push_row([
             "push".to_string(),
             format!("{p}"),
@@ -58,12 +55,14 @@ pub fn run(args: &Args) -> Report {
             fmt_f64(push / base_push),
             fmt_f64(1.0 / (1.0 - p)),
         ]);
-        let pull = mean(&convergence_rounds(
+        let rounds = convergence_rounds(
             &g,
             Faulty::new(Pull, p),
             ComponentwiseComplete::for_graph,
             &cfg,
-        ));
+        );
+        report.measure_rounds("pull", format!("failure-p{p}"), n64, &rounds);
+        let pull = mean(&rounds);
         fail_table.push_row([
             "pull".to_string(),
             format!("{p}"),
@@ -81,12 +80,14 @@ pub fn run(args: &Args) -> Report {
         "1/α",
     ]);
     for &a in &[1.0, 0.5, 0.25, 0.1] {
-        let push = mean(&convergence_rounds(
+        let rounds = convergence_rounds(
             &g,
             Partial::new(Push, a),
             ComponentwiseComplete::for_graph,
             &cfg,
-        ));
+        );
+        report.measure_rounds("push", format!("participation-a{a}"), n64, &rounds);
+        let push = mean(&rounds);
         part_table.push_row([
             "push".to_string(),
             format!("{a}"),
@@ -94,12 +95,14 @@ pub fn run(args: &Args) -> Report {
             fmt_f64(push / base_push),
             fmt_f64(1.0 / a),
         ]);
-        let pull = mean(&convergence_rounds(
+        let rounds = convergence_rounds(
             &g,
             Partial::new(Pull, a),
             ComponentwiseComplete::for_graph,
             &cfg,
-        ));
+        );
+        report.measure_rounds("pull", format!("participation-a{a}"), n64, &rounds);
+        let pull = mean(&rounds);
         part_table.push_row([
             "pull".to_string(),
             format!("{a}"),

@@ -34,6 +34,7 @@ const FAMILIES: [&str; 6] = [
 
 fn run_process<R: ProposalRule<UndirectedGraph> + Clone>(id: &str, rule: R, args: &Args) -> Report {
     let mut report = Report::new(id);
+    let algorithm = if id.starts_with("E1") { "push" } else { "pull" };
     let sizes = if args.quick {
         geometric_sizes(32, 3)
     } else {
@@ -77,6 +78,7 @@ fn run_process<R: ProposalRule<UndirectedGraph> + Clone>(id: &str, rule: R, args
             };
             let rounds =
                 convergence_rounds(&g, rule.clone(), ComponentwiseComplete::for_graph, &cfg);
+            report.measure_rounds(algorithm, fam, n_actual as u64, &rounds);
             let s = Summary::of_rounds(&rounds);
             let nf = n_actual as f64;
             let bound = nf * nf.ln() * nf.ln();
@@ -149,5 +151,7 @@ mod tests {
         assert_eq!(r.tables.len(), 2);
         assert_eq!(r.tables[0].1.len(), FAMILIES.len() * 3);
         assert_eq!(r.tables[1].1.len(), FAMILIES.len());
+        assert_eq!(r.measurements.len(), FAMILIES.len() * 3);
+        assert!(r.measurements.iter().all(|m| m.algorithm == "push"));
     }
 }

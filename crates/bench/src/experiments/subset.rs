@@ -67,6 +67,7 @@ pub fn run(args: &Args) -> Report {
                 move |_g: &UndirectedGraph| SubsetComplete::new(host_n, &members_for_check),
                 &cfg,
             );
+            report.measure_rounds("push-subset", format!("host-{host_n}"), k as u64, &rounds);
             let m = mean(&rounds);
             let kf = k as f64;
             let bound = kf * kf.ln() * kf.ln();

@@ -1,6 +1,6 @@
 //! Shared experiment plumbing: CLI parsing, result persistence, progress.
 
-use gossip_analysis::Table;
+use gossip_analysis::{Summary, Table};
 use serde::Serialize;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -16,6 +16,10 @@ pub struct Args {
     pub trials: usize,
     /// Output directory for CSV/JSON artifacts.
     pub out_dir: PathBuf,
+    /// `run_all` only: render the aggregated paper-results report.
+    pub report: bool,
+    /// `run_all --report` only: how many seeds to pool per configuration.
+    pub report_seeds: usize,
 }
 
 impl Default for Args {
@@ -25,19 +29,33 @@ impl Default for Args {
             seed: 0xD15C0,
             trials: 0,
             out_dir: PathBuf::from("results"),
+            report: false,
+            report_seeds: 3,
         }
     }
 }
 
-/// Parses `--quick`, `--seed N`, `--trials N`, `--out DIR` from argv.
-/// Unknown flags abort with usage — silent typos in experiment flags have
-/// burned too many lab notebooks.
+/// Parses `--quick`, `--seed N`, `--trials N`, `--out DIR`, `--report`,
+/// `--report-seeds N` from argv. Unknown flags abort with usage — silent
+/// typos in experiment flags have burned too many lab notebooks.
 pub fn parse_args() -> Args {
     let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
+    let mut argv = std::env::args();
+    // Only run_all implements report mode; accepting --report in an exp_*
+    // binary would silently do an ordinary single run instead. Match the
+    // binary's file stem, not the whole path — a checkout under a directory
+    // named "run_all*" must not defeat the guard.
+    let is_run_all = argv.next().is_some_and(|bin| {
+        std::path::Path::new(&bin)
+            .file_stem()
+            .is_some_and(|stem| stem == "run_all")
+    });
+    let mut it = argv;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--quick" => args.quick = true,
+            "--report" if is_run_all => args.report = true,
+            "--report" => usage("--report is only supported by run_all"),
             "--seed" => {
                 args.seed = it
                     .next()
@@ -49,6 +67,14 @@ pub fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--trials needs an integer"))
+            }
+            "--report-seeds" if !is_run_all => usage("--report-seeds is only supported by run_all"),
+            "--report-seeds" => {
+                args.report_seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--report-seeds needs a positive integer"))
             }
             "--out" => {
                 args.out_dir = it
@@ -65,7 +91,39 @@ pub fn parse_args() -> Args {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!("usage: exp_* [--quick] [--seed N] [--trials N] [--out DIR]");
+    eprintln!("       run_all additionally accepts [--report] [--report-seeds N]");
     std::process::exit(2);
+}
+
+/// One machine-readable measured quantity: the summary of a sample of
+/// `metric` values for one `(algorithm, family, n)` configuration. This is
+/// what `run_all --report` pools across seeds and renders into `RESULTS.md`,
+/// and what lands in each experiment's JSON artifact.
+#[derive(Clone, Debug, Serialize)]
+pub struct Measurement {
+    /// Experiment id, e.g. `"E1-push-scaling"`.
+    pub experiment: String,
+    /// What was measured: `"rounds"`, `"time"`, `"max_message_bits"`, …
+    pub metric: String,
+    /// Algorithm/process label, e.g. `"push"`.
+    pub algorithm: String,
+    /// Workload label: topology family or scenario, e.g. `"random-tree"`.
+    pub family: String,
+    /// Problem size the configuration sweeps (`n`, `k`, … per experiment).
+    pub n: u64,
+    /// Number of observations behind the summary.
+    pub trials: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for single observations).
+    pub stddev: f64,
+    /// Half-width of the ~95% normal CI for the mean (0 for single
+    /// observations).
+    pub ci95: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
 }
 
 /// A named experiment result: rendered tables plus raw rows for JSON.
@@ -77,6 +135,8 @@ pub struct Report {
     pub notes: Vec<String>,
     /// Named tables (section title, table).
     pub tables: Vec<(String, Table)>,
+    /// Machine-readable measurements backing the tables.
+    pub measurements: Vec<Measurement>,
 }
 
 /// Serializable summary row for the JSON artifact.
@@ -85,6 +145,7 @@ struct JsonReport<'a> {
     id: &'a str,
     notes: &'a [String],
     tables: Vec<JsonTable<'a>>,
+    measurements: &'a [Measurement],
 }
 
 #[derive(Serialize)]
@@ -100,6 +161,7 @@ impl Report {
             id: id.into(),
             notes: Vec::new(),
             tables: Vec::new(),
+            measurements: Vec::new(),
         }
     }
 
@@ -111,6 +173,59 @@ impl Report {
     /// Adds a titled table.
     pub fn table(&mut self, title: impl Into<String>, t: Table) {
         self.tables.push((title.into(), t));
+    }
+
+    /// Records the summary of a sample of `metric` values for one
+    /// configuration.
+    ///
+    /// # Panics
+    /// Panics on an empty sample.
+    pub fn measure(
+        &mut self,
+        metric: impl Into<String>,
+        algorithm: impl Into<String>,
+        family: impl Into<String>,
+        n: u64,
+        values: &[f64],
+    ) {
+        let s = Summary::of(values);
+        self.measurements.push(Measurement {
+            experiment: self.id.clone(),
+            metric: metric.into(),
+            algorithm: algorithm.into(),
+            family: family.into(),
+            n,
+            trials: s.count as u64,
+            mean: s.mean,
+            stddev: s.stddev,
+            ci95: s.ci95,
+            min: s.min,
+            max: s.max,
+        });
+    }
+
+    /// Records a sample of integer round counts under the `"rounds"` metric.
+    pub fn measure_rounds(
+        &mut self,
+        algorithm: impl Into<String>,
+        family: impl Into<String>,
+        n: u64,
+        rounds: &[u64],
+    ) {
+        let vals: Vec<f64> = rounds.iter().map(|&r| r as f64).collect();
+        self.measure("rounds", algorithm, family, n, &vals);
+    }
+
+    /// Records a single deterministic or pre-aggregated observation.
+    pub fn measure_scalar(
+        &mut self,
+        metric: impl Into<String>,
+        algorithm: impl Into<String>,
+        family: impl Into<String>,
+        n: u64,
+        value: f64,
+    ) {
+        self.measure(metric, algorithm, family, n, &[value]);
     }
 
     /// Prints the report to stdout as markdown.
@@ -158,6 +273,7 @@ impl Report {
                     csv: t.to_csv(),
                 })
                 .collect(),
+            measurements: &self.measurements,
         };
         std::fs::write(
             base.with_extension("json"),
@@ -209,13 +325,31 @@ mod tests {
         let mut t = Table::new(["a", "b"]);
         t.push_row(["1", "2"]);
         r.table("numbers", t);
+        r.measure_rounds("push", "star", 64, &[10, 12, 14]);
         r.save(&dir).unwrap();
         let md = std::fs::read_to_string(dir.join("T0-selftest.md")).unwrap();
         assert!(md.contains("hello"));
         assert!(md.contains("| a"));
         let json = std::fs::read_to_string(dir.join("T0-selftest.json")).unwrap();
         assert!(json.contains("T0-selftest"));
+        assert!(json.contains("\"measurements\""));
+        assert!(json.contains("\"algorithm\": \"push\""));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn measurements_summarize_samples() {
+        let mut r = Report::new("T1");
+        r.measure_rounds("pull", "cycle", 128, &[10, 20, 30]);
+        r.measure_scalar("max_message_bits", "flooding", "tree", 64, 4096.0);
+        let m = &r.measurements[0];
+        assert_eq!((m.n, m.trials), (128, 3));
+        assert!((m.mean - 20.0).abs() < 1e-12);
+        assert!((m.min, m.max) == (10.0, 30.0));
+        assert!(m.ci95 > 0.0);
+        let s = &r.measurements[1];
+        assert_eq!((s.trials, s.stddev, s.ci95), (1, 0.0, 0.0));
+        assert_eq!(s.mean, 4096.0);
     }
 
     #[test]

@@ -8,15 +8,23 @@
 //! Conventions:
 //! * `--quick` shrinks sweeps for CI-speed runs; the full battery is sized
 //!   for minutes, not hours, on a laptop.
-//! * Every experiment prints a markdown table (for EXPERIMENTS.md) and
-//!   writes the same data as CSV + JSON under `results/`.
+//! * Every experiment prints a markdown table (for EXPERIMENTS.md), records
+//!   machine-readable [`Measurement`] rows, and writes tables + measurements
+//!   as CSV + JSON under `results/`.
 //! * All randomness flows from `--seed` through the deterministic stream
-//!   machinery, so reruns reproduce bit-identical tables.
+//!   machinery, so reruns reproduce bit-identical tables — including
+//!   `run_all --report`, which pools the battery across seeds (see
+//!   [`report`]) and regenerates the repository's `RESULTS.md`
+//!   byte-for-byte.
+//!
+//! See `crates/bench/README.md` for the experiment/benchmark workflow
+//! (flags, criterion baselines, report mode).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
 pub mod harness;
+pub mod report;
 
-pub use harness::{parse_args, Args, Report};
+pub use harness::{parse_args, Args, Measurement, Report};

@@ -1,0 +1,209 @@
+//! Baseline persistence and comparison.
+//!
+//! Criterion upstream stores per-benchmark estimates under `--save-baseline`
+//! and compares against them with `--baseline`. Cargo's libtest harness owns
+//! argv in this shim, so the same workflow runs off environment variables
+//! instead:
+//!
+//! * `CRITERION_SAVE_BASELINE=<name>` — after measuring, write each
+//!   benchmark's record as JSON under
+//!   `<dir>/<name>/<sanitized-bench-id>.json`.
+//! * `CRITERION_BASELINE=<name>` — load the stored record for each
+//!   benchmark and print a change verdict next to the measurement.
+//! * `CRITERION_BASELINE_DIR` — storage root (default
+//!   `target/criterion-baselines`).
+//! * `CRITERION_NOISE_THRESHOLD` — relative mean change treated as noise
+//!   (default `0.05`).
+//!
+//! Records round-trip through the vendored serde shim: `derive(Serialize)`
+//! renders the struct to JSON, `derive(Deserialize)` parses it back.
+
+use crate::stats::SampleStats;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// One benchmark's persisted estimate.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BaselineRecord {
+    /// Fully qualified benchmark id (`group/function/param`).
+    pub id: String,
+    /// Number of timed samples behind the estimate.
+    pub samples: u64,
+    /// Sample mean in nanoseconds.
+    pub mean_ns: f64,
+    /// Sample standard deviation in nanoseconds.
+    pub stddev_ns: f64,
+    /// Lower bound of the bootstrap 95% CI for the mean.
+    pub ci_lo_ns: f64,
+    /// Upper bound of the bootstrap 95% CI for the mean.
+    pub ci_hi_ns: f64,
+}
+
+impl BaselineRecord {
+    /// Builds the persistable record for one benchmark run.
+    pub fn new(id: &str, stats: &SampleStats) -> BaselineRecord {
+        BaselineRecord {
+            id: id.to_owned(),
+            samples: stats.n as u64,
+            mean_ns: stats.mean_ns,
+            stddev_ns: stats.stddev_ns,
+            ci_lo_ns: stats.ci.lo,
+            ci_hi_ns: stats.ci.hi,
+        }
+    }
+}
+
+/// Change-vs-baseline verdict for one benchmark.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Verdict {
+    /// The mean moved less than the noise threshold, or the confidence
+    /// intervals overlap: statistically indistinguishable.
+    NoChange,
+    /// Mean time dropped by the contained relative amount (e.g. `0.12` =
+    /// 12% faster).
+    Improved(f64),
+    /// Mean time rose by the contained relative amount.
+    Regressed(f64),
+}
+
+/// Compares a fresh measurement against a stored baseline.
+///
+/// The verdict is `NoChange` unless the relative mean change exceeds
+/// `noise_threshold` AND the two confidence intervals are disjoint — both
+/// gates must trip before a difference is believed. Pure and deterministic:
+/// identical inputs always produce [`Verdict::NoChange`].
+pub fn compare(
+    current: &BaselineRecord,
+    baseline: &BaselineRecord,
+    noise_threshold: f64,
+) -> Verdict {
+    let rel = (current.mean_ns - baseline.mean_ns) / baseline.mean_ns;
+    let cis_overlap =
+        current.ci_lo_ns <= baseline.ci_hi_ns && baseline.ci_lo_ns <= current.ci_hi_ns;
+    if rel.abs() <= noise_threshold || cis_overlap {
+        Verdict::NoChange
+    } else if rel < 0.0 {
+        Verdict::Improved(-rel)
+    } else {
+        Verdict::Regressed(rel)
+    }
+}
+
+/// Maps a benchmark id to a filesystem-safe file name.
+fn sanitize(id: &str) -> String {
+    id.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Storage root: `CRITERION_BASELINE_DIR` or `target/criterion-baselines`.
+pub fn baseline_dir() -> PathBuf {
+    std::env::var_os("CRITERION_BASELINE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/criterion-baselines"))
+}
+
+fn record_path(dir: &Path, name: &str, id: &str) -> PathBuf {
+    dir.join(sanitize(name))
+        .join(format!("{}.json", sanitize(id)))
+}
+
+/// Persists `record` under baseline `name`.
+pub fn save(dir: &Path, name: &str, record: &BaselineRecord) -> std::io::Result<()> {
+    let path = record_path(dir, name, &record.id);
+    std::fs::create_dir_all(path.parent().expect("record path has a parent"))?;
+    let json = serde_json::to_string_pretty(record).expect("record serialization");
+    std::fs::write(path, json)
+}
+
+/// Loads the record for `id` from baseline `name`, or `None` if absent or
+/// unreadable (a missing baseline is reported, not fatal).
+pub fn load(dir: &Path, name: &str, id: &str) -> Option<BaselineRecord> {
+    let text = std::fs::read_to_string(record_path(dir, name, id)).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(mean: f64, half_width: f64) -> BaselineRecord {
+        BaselineRecord {
+            id: "g/bench/64".into(),
+            samples: 20,
+            mean_ns: mean,
+            stddev_ns: half_width,
+            ci_lo_ns: mean - half_width,
+            ci_hi_ns: mean + half_width,
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_serde_shim() {
+        let rec = BaselineRecord {
+            id: "group/func/1024".into(),
+            samples: 48,
+            mean_ns: 10234.5678,
+            stddev_ns: 123.25,
+            ci_lo_ns: 10100.0,
+            ci_hi_ns: 10400.0,
+        };
+        let json = serde_json::to_string_pretty(&rec).unwrap();
+        let back: BaselineRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-test-{}", std::process::id()));
+        let rec = record(5000.0, 100.0);
+        save(&dir, "main", &rec).unwrap();
+        let back = load(&dir, "main", &rec.id).unwrap();
+        assert_eq!(back, rec);
+        assert!(load(&dir, "main", "unknown/bench").is_none());
+        assert!(load(&dir, "other", &rec.id).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unchanged_bench_reports_no_change_deterministically() {
+        let rec = record(8000.0, 50.0);
+        for _ in 0..10 {
+            assert_eq!(compare(&rec, &rec, 0.05), Verdict::NoChange);
+        }
+    }
+
+    #[test]
+    fn overlapping_cis_suppress_small_shifts() {
+        // 3% shift with overlapping intervals: noise.
+        let base = record(10000.0, 600.0);
+        let cur = record(10300.0, 600.0);
+        assert_eq!(compare(&cur, &base, 0.01), Verdict::NoChange);
+    }
+
+    #[test]
+    fn clear_shifts_are_classified() {
+        let base = record(10000.0, 100.0);
+        let slow = record(15000.0, 100.0);
+        let fast = record(5000.0, 100.0);
+        match compare(&slow, &base, 0.05) {
+            Verdict::Regressed(r) => assert!((r - 0.5).abs() < 1e-9),
+            v => panic!("expected regression, got {v:?}"),
+        }
+        match compare(&fast, &base, 0.05) {
+            Verdict::Improved(r) => assert!((r - 0.5).abs() < 1e-9),
+            v => panic!("expected improvement, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn sanitize_keeps_ids_readable() {
+        assert_eq!(sanitize("group/bench idx=3"), "group_bench_idx_3");
+    }
+}

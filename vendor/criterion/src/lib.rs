@@ -1,21 +1,41 @@
 //! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
 //!
-//! A minimal wall-clock harness with criterion's API shape: groups,
+//! A statistics-bearing harness with criterion's API shape: groups,
 //! [`Bencher::iter`]/[`Bencher::iter_batched`], throughput annotation, and
 //! the [`criterion_group!`]/[`criterion_main!`] entry points. Each benchmark
-//! runs `sample_size` timed samples after a short warm-up and prints
-//! `name: median time [min .. max]`. No statistics beyond that — upstream's
-//! outlier analysis, plots, and baselines are out of scope; the point is
-//! that `cargo bench` compiles and produces honest numbers.
+//! runs `sample_size` timed samples after a short warm-up and reports
+//!
+//! * sample **mean ± bootstrap 95% CI**, standard deviation, median, range;
+//! * **Tukey-fence outlier counts** (mild / severe);
+//! * a **throughput rate** when the group carries a [`Throughput`];
+//! * a **change-vs-baseline verdict** when a baseline is loaded.
+//!
+//! Estimators are reused from `gossip-analysis` (Welford summary, seeded
+//! percentile bootstrap, IQR fences) — see [`stats`]. Baselines persist as
+//! JSON through the vendored serde shim and are driven by environment
+//! variables (`CRITERION_SAVE_BASELINE` / `CRITERION_BASELINE`) because
+//! cargo's libtest harness owns argv — see [`baseline`] for the full
+//! workflow. Upstream's plots and HTML reports remain out of scope.
+//!
+//! The bootstrap is seeded (`CRITERION_SEED`, default fixed), so the
+//! statistical pipeline is fully deterministic given the timed samples:
+//! identical samples produce byte-identical reports and a guaranteed
+//! "no change" self-comparison.
 
+pub mod baseline;
+pub mod stats;
+
+use baseline::{compare, BaselineRecord, Verdict};
+use stats::{fmt_ns, fmt_outliers, SampleStats};
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// How `iter_batched` amortizes setup per measured batch. The shim times
-/// every routine invocation individually, so the variants only document
-/// intent.
+/// How `iter_batched` amortizes setup per measured batch. The shim runs
+/// setup once per sample, **outside the timed region**, and times every
+/// routine invocation individually; the variants only document upstream's
+/// amortization intent.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BatchSize {
     /// Small inputs: many per batch upstream.
@@ -207,7 +227,10 @@ impl Bencher {
         self.iter_batched(|| (), |()| routine(), BatchSize::PerIteration);
     }
 
-    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    /// Times `routine` on fresh inputs from `setup`. Setup runs outside the
+    /// timed region: only the `routine` call between `Instant::now()` and
+    /// `elapsed()` lands in the sample, however slow input construction is
+    /// (pinned by a regression test below).
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
@@ -222,36 +245,109 @@ impl Bencher {
             }
         }
         // Measurement: `sample_size` timed runs, capped by the time budget
-        // (but always at least one sample).
+        // (but always at least one sample). The routine's output is dropped
+        // only after `elapsed()` is taken, so a large returned value's
+        // destructor does not inflate the sample (upstream criterion makes
+        // the same guarantee).
         let deadline = Instant::now() + self.measurement;
         for done in 0..self.sample_size {
             let input = setup();
             let start = Instant::now();
-            black_box(routine(input));
+            let output = black_box(routine(input));
             self.samples.push(start.elapsed());
+            drop(output);
             if Instant::now() >= deadline && done > 0 {
                 break;
             }
         }
     }
 
-    fn report(&mut self, name: &str, throughput: Option<Throughput>) {
+    /// Analyzes the recorded samples with the per-benchmark bootstrap seed.
+    fn analyze(&self, name: &str) -> Option<SampleStats> {
         if self.samples.is_empty() {
+            return None;
+        }
+        Some(SampleStats::from_durations(&self.samples, bench_seed(name)))
+    }
+
+    fn report(&mut self, name: &str, throughput: Option<Throughput>) {
+        let Some(stats) = self.analyze(name) else {
             println!("{name}: no samples recorded");
             return;
-        }
-        self.samples.sort_unstable();
-        let median = self.samples[self.samples.len() / 2];
-        let (min, max) = (self.samples[0], self.samples[self.samples.len() - 1]);
+        };
         let rate = throughput.map_or(String::new(), |t| {
-            let per_sec = |count: u64| count as f64 / median.as_secs_f64();
+            let per_sec = |count: u64| count as f64 * 1e9 / stats.mean_ns;
             match t {
-                Throughput::Elements(n) => format!("  {:.3e} elem/s", per_sec(n)),
-                Throughput::Bytes(n) => format!("  {:.3e} B/s", per_sec(n)),
+                Throughput::Elements(n) => format!(", {:.3e} elem/s", per_sec(n)),
+                Throughput::Bytes(n) => format!(", {:.3e} B/s", per_sec(n)),
             }
         });
-        println!("{name}: {median:?} [{min:?} .. {max:?}]{rate}");
+        println!(
+            "{name}: mean {} ± {} [95% CI {} .. {}], sd {}, median {}, \
+             range [{} .. {}], {} samples, {}{rate}",
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.ci.half_width()),
+            fmt_ns(stats.ci.lo),
+            fmt_ns(stats.ci.hi),
+            fmt_ns(stats.stddev_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.max_ns),
+            stats.n,
+            fmt_outliers(&stats.outliers),
+        );
+
+        let record = BaselineRecord::new(name, &stats);
+        let dir = baseline::baseline_dir();
+        if let Ok(compare_to) = std::env::var("CRITERION_BASELINE") {
+            match baseline::load(&dir, &compare_to, name) {
+                Some(base) => {
+                    let rel = (record.mean_ns - base.mean_ns) / base.mean_ns;
+                    let verdict = match compare(&record, &base, noise_threshold()) {
+                        Verdict::NoChange => "no change (within noise)".to_owned(),
+                        Verdict::Improved(r) => format!("improved ({:.1}% faster)", r * 100.0),
+                        Verdict::Regressed(r) => format!("REGRESSED ({:.1}% slower)", r * 100.0),
+                    };
+                    println!(
+                        "{name}: change vs baseline '{compare_to}' ({}): {:+.1}% — {verdict}",
+                        fmt_ns(base.mean_ns),
+                        rel * 100.0,
+                    );
+                }
+                None => println!("{name}: baseline '{compare_to}' has no record for this id"),
+            }
+        }
+        if let Ok(save_as) = std::env::var("CRITERION_SAVE_BASELINE") {
+            if let Err(e) = baseline::save(&dir, &save_as, &record) {
+                eprintln!("{name}: could not save baseline '{save_as}': {e}");
+            }
+        }
     }
+}
+
+/// Bootstrap seed for one benchmark: `CRITERION_SEED` (default `0xC51`)
+/// mixed with an FNV-1a hash of the benchmark id, so every benchmark gets a
+/// distinct but reproducible resampling stream.
+fn bench_seed(name: &str) -> u64 {
+    let env_seed = std::env::var("CRITERION_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0xC51);
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    env_seed ^ hash
+}
+
+/// Relative mean change treated as measurement noise
+/// (`CRITERION_NOISE_THRESHOLD`, default 5%).
+fn noise_threshold() -> f64 {
+    std::env::var("CRITERION_NOISE_THRESHOLD")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.05)
 }
 
 /// Declares a group-runner function that benches each listed target.
@@ -296,5 +392,47 @@ mod tests {
         });
         group.finish();
         c.bench_function("top_level", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup_time() {
+        // A deliberately slow setup (3 ms spin) around a near-free routine:
+        // if setup leaked into the timed region, every sample would exceed
+        // 3 ms; with correct exclusion the mean stays far below 1 ms.
+        let mut b = Bencher::new(Duration::ZERO, Duration::from_secs(5), 5);
+        b.iter_batched(
+            || {
+                let t = Instant::now();
+                while t.elapsed() < Duration::from_millis(3) {
+                    std::hint::spin_loop();
+                }
+                42u64
+            },
+            |x| x.wrapping_mul(3),
+            BatchSize::PerIteration,
+        );
+        let stats = b.analyze("setup-exclusion").expect("samples recorded");
+        assert_eq!(stats.n, 5);
+        assert!(
+            stats.max_ns < 1_000_000.0,
+            "setup leaked into samples: max {} ns",
+            stats.max_ns
+        );
+    }
+
+    #[test]
+    fn self_comparison_is_no_change_for_any_samples() {
+        let samples: Vec<Duration> = (0..20)
+            .map(|i| Duration::from_nanos(1_000 + (i * 37) % 211))
+            .collect();
+        let stats = SampleStats::from_durations(&samples, bench_seed("x/y"));
+        let rec = BaselineRecord::new("x/y", &stats);
+        assert_eq!(compare(&rec, &rec, noise_threshold()), Verdict::NoChange);
+    }
+
+    #[test]
+    fn bench_seed_varies_by_name_not_by_call() {
+        assert_eq!(bench_seed("a/b"), bench_seed("a/b"));
+        assert_ne!(bench_seed("a/b"), bench_seed("a/c"));
     }
 }

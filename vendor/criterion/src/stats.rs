@@ -1,0 +1,147 @@
+//! Sample statistics for timed benchmark runs.
+//!
+//! All estimators are reused from `gossip-analysis` (the workspace's
+//! statistics crate) rather than duplicated: Welford summaries, the seeded
+//! percentile bootstrap, and Tukey-fence outlier classification.
+
+use gossip_analysis::{
+    bootstrap_mean_ci, classify_outliers, ConfidenceInterval, OutlierCounts, Summary,
+};
+use std::time::Duration;
+
+/// Bootstrap resamples per benchmark. Enough for a stable 95% interval on
+/// the ≤ 100-sample runs the harness produces, cheap next to the timing.
+const BOOTSTRAP_RESAMPLES: usize = 2_000;
+
+/// Confidence level reported for the mean.
+pub const CONFIDENCE_LEVEL: f64 = 0.95;
+
+/// Full statistical description of one benchmark's timed samples, in
+/// nanoseconds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampleStats {
+    /// Number of timed samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean_ns: f64,
+    /// Sample standard deviation (Bessel-corrected).
+    pub stddev_ns: f64,
+    /// Interpolated median.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Bootstrap 95% confidence interval for the mean.
+    pub ci: ConfidenceInterval,
+    /// Tukey-fence outlier classification of the samples.
+    pub outliers: OutlierCounts,
+}
+
+impl SampleStats {
+    /// Analyzes a non-empty set of timed samples. Deterministic in `seed`
+    /// (which drives only the bootstrap resampling).
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty.
+    pub fn from_durations(samples: &[Duration], seed: u64) -> SampleStats {
+        let ns: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
+        let summary = Summary::of(&ns);
+        SampleStats {
+            n: ns.len(),
+            mean_ns: summary.mean,
+            stddev_ns: summary.stddev,
+            median_ns: summary.median,
+            min_ns: summary.min,
+            max_ns: summary.max,
+            ci: bootstrap_mean_ci(&ns, BOOTSTRAP_RESAMPLES, CONFIDENCE_LEVEL, seed),
+            outliers: classify_outliers(&ns),
+        }
+    }
+}
+
+/// Formats a nanosecond quantity with an auto-selected unit, 4 significant
+/// digits — `1234.0` → `"1.234 µs"`.
+pub fn fmt_ns(ns: f64) -> String {
+    let (value, unit) = if ns < 1e3 {
+        (ns, "ns")
+    } else if ns < 1e6 {
+        (ns / 1e3, "µs")
+    } else if ns < 1e9 {
+        (ns / 1e6, "ms")
+    } else {
+        (ns / 1e9, "s")
+    };
+    if value < 10.0 {
+        format!("{value:.3} {unit}")
+    } else if value < 100.0 {
+        format!("{value:.2} {unit}")
+    } else {
+        format!("{value:.1} {unit}")
+    }
+}
+
+/// Renders the outlier counts compactly, e.g. `"2 outliers (1 mild, 1 severe)"`,
+/// or `"no outliers"`.
+pub fn fmt_outliers(o: &OutlierCounts) -> String {
+    let total = o.total();
+    if total == 0 {
+        return "no outliers".to_owned();
+    }
+    let mild = o.low_mild + o.high_mild;
+    let severe = o.low_severe + o.high_severe;
+    let mut parts = Vec::new();
+    if mild > 0 {
+        parts.push(format!("{mild} mild"));
+    }
+    if severe > 0 {
+        parts.push(format!("{severe} severe"));
+    }
+    format!("{total} outliers ({})", parts.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn durs(ns: &[u64]) -> Vec<Duration> {
+        ns.iter().map(|&n| Duration::from_nanos(n)).collect()
+    }
+
+    #[test]
+    fn stats_are_deterministic_in_seed() {
+        let samples = durs(&[100, 110, 105, 95, 102, 99, 104, 101]);
+        let a = SampleStats::from_durations(&samples, 7);
+        let b = SampleStats::from_durations(&samples, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let samples = durs(&[100, 200, 300, 400]);
+        let s = SampleStats::from_durations(&samples, 1);
+        assert_eq!(s.n, 4);
+        assert!((s.mean_ns - 250.0).abs() < 1e-9);
+        assert_eq!(s.min_ns, 100.0);
+        assert_eq!(s.max_ns, 400.0);
+        assert!((s.median_ns - 250.0).abs() < 1e-9);
+        assert!(s.ci.lo <= s.mean_ns && s.mean_ns <= s.ci.hi);
+    }
+
+    #[test]
+    fn outlier_sample_is_flagged() {
+        let mut raw = vec![100u64; 20];
+        raw.push(100_000);
+        let s = SampleStats::from_durations(&durs(&raw), 3);
+        assert!(s.outliers.total() >= 1, "outliers: {:?}", s.outliers);
+        assert_eq!(s.outliers.high_severe, 1);
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert_eq!(fmt_ns(512.0), "512.0 ns");
+        assert_eq!(fmt_ns(1234.0), "1.234 µs");
+        assert_eq!(fmt_ns(45_600_000.0), "45.60 ms");
+        assert_eq!(fmt_ns(2.5e9), "2.500 s");
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! Implements the property-testing surface this workspace uses: the
 //! [`proptest!`] macro, `prop_assert*`/[`prop_assume!`], range/tuple/`any`
-//! strategies, [`Strategy::prop_map`], and `collection::{vec, btree_set}`.
+//! strategies, [`strategy::Strategy::prop_map`], and `collection::{vec, btree_set}`.
 //! Failing cases are reported with their case number and the deterministic
 //! per-test seed (derived from the test name, overridable via the
 //! `PROPTEST_SEED` environment variable) so they replay exactly. **No

@@ -2,9 +2,9 @@
 //!
 //! # Architecture
 //!
-//! A [`Pool`] owns `k` long-lived worker threads parked on a condvar. A job
+//! A `Pool` owns `k` long-lived worker threads parked on a condvar. A job
 //! is an index range `0..len` plus a shared atomic cursor; every executor
-//! (the `k` workers *and* the thread that called [`Pool::run`], which
+//! (the `k` workers *and* the thread that called `Pool::run`, which
 //! participates instead of blocking) claims the next `chunk` indices with a
 //! `fetch_add` until the range is exhausted. Dynamic distribution replaces
 //! rayon's per-thread deques: an executor stuck on an expensive item simply
@@ -22,7 +22,7 @@
 //!
 //! # Lifetime safety
 //!
-//! [`Pool::run`] type-erases the borrowed job closure to `'static` to hand
+//! `Pool::run` type-erases the borrowed job closure to `'static` to hand
 //! it to long-lived workers. This is sound because `run` does not return
 //! until every claimed index has finished (`completed == len`), and a worker
 //! only dereferences the closure after successfully claiming a chunk — which

@@ -1,0 +1,190 @@
+//! Deserialization from the shim's value tree.
+//!
+//! The mirror image of [`crate::ser`]: a [`Deserialize`] trait that
+//! reconstructs a type from a [`Value`]. Like serialization, everything goes
+//! through the one concrete JSON-shaped data model instead of upstream's
+//! visitor machinery — `serde_json`'s parser produces a `Value`, and
+//! `#[derive(Deserialize)]` (vendored `serde_derive`) walks it.
+
+use crate::ser::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// The standard "wrong shape" error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "a bool",
+            Value::Int(_) | Value::UInt(_) => "an integer",
+            Value::Float(_) => "a float",
+            Value::Str(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        };
+        Error(format!("expected {what}, got {kind}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Builds `Self` from the value tree, or explains why it can't.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up `key` in a struct's object entries and deserializes the field.
+/// Used by the generated `#[derive(Deserialize)]` impls.
+pub fn field<T: Deserialize>(entries: &[(String, Value)], key: &str) -> Result<T, Error> {
+    match entries.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::deserialize_value(v),
+        None => Err(Error::custom(format!("missing field `{key}`"))),
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("a bool", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("a string", other)),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(Error::expected("a number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let out = match v {
+                    Value::Int(i) => <$t>::try_from(*i).ok(),
+                    Value::UInt(u) => <$t>::try_from(*u).ok(),
+                    other => return Err(Error::expected("an integer", other)),
+                };
+                out.ok_or_else(|| {
+                    Error::custom(format!(
+                        "integer {v:?} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::expected("an array", other)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::deserialize_value(val)?)))
+                .collect(),
+            other => Err(Error::expected("an object", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_through_values() {
+        use crate::ser::Serialize;
+        assert_eq!(u32::deserialize_value(&7u32.serialize_value()), Ok(7));
+        assert_eq!(
+            u64::deserialize_value(&u64::MAX.serialize_value()),
+            Ok(u64::MAX)
+        );
+        assert_eq!(
+            String::deserialize_value(&"hi".serialize_value()),
+            Ok("hi".to_owned())
+        );
+        assert_eq!(
+            Option::<u8>::deserialize_value(&None::<u8>.serialize_value()),
+            Ok(None)
+        );
+        assert_eq!(
+            Vec::<u8>::deserialize_value(&vec![1u8, 2].serialize_value()),
+            Ok(vec![1, 2])
+        );
+        assert_eq!(f64::deserialize_value(&Value::Int(3)), Ok(3.0));
+    }
+
+    #[test]
+    fn range_and_shape_errors() {
+        assert!(u8::deserialize_value(&Value::Int(300)).is_err());
+        assert!(u32::deserialize_value(&Value::Int(-1)).is_err());
+        assert!(bool::deserialize_value(&Value::Int(1)).is_err());
+        assert!(String::deserialize_value(&Value::Null).is_err());
+        let err = field::<u32>(&[], "missing").unwrap_err();
+        assert!(err.to_string().contains("missing field"));
+    }
+}

@@ -1,18 +1,15 @@
 //! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
 //!
-//! Instead of upstream's visitor-based `Serializer` machinery, this shim
-//! serializes through one concrete data model: [`ser::Value`], a JSON-shaped
-//! tree. `#[derive(Serialize)]` (from the vendored `serde_derive`) works for
-//! named-field, tuple/newtype, and unit structs, which covers everything the
-//! workspace derives on; `serde_json` renders the tree. The `Deserialize` trait exists so `#[cfg_attr(feature =
-//! "serde", derive(..))]` attributes still compile, but no parser is
-//! provided.
+//! Instead of upstream's visitor-based `Serializer`/`Deserializer`
+//! machinery, this shim moves data through one concrete model: [`ser::Value`],
+//! a JSON-shaped tree. `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! (from the vendored `serde_derive`) work for named-field, tuple/newtype,
+//! and unit structs, which covers everything the workspace derives on;
+//! `serde_json` renders the tree to text and parses text back into it.
 
+pub mod de;
 pub mod ser;
 
+pub use de::Deserialize;
 pub use ser::Serialize;
 pub use serde_derive::{Deserialize, Serialize};
-
-/// Marker for deserializable types. The shim provides no parser; the derive
-/// emits an empty impl so derive attributes compile.
-pub trait Deserialize: Sized {}

@@ -4,8 +4,9 @@
 //! shapes the workspace derives on: structs — named-field, tuple (incl.
 //! newtypes like `NodeId(pub u32)`), and unit — with bound-free generics
 //! (lifetimes like `<'a>`). `Serialize` follows serde's data model per
-//! shape (object / inner value / array / null); `Deserialize` emits an
-//! empty marker impl so feature-gated derive attributes compile.
+//! shape (object / inner value / array / null); `Deserialize` generates the
+//! mirror-image reconstruction from the same value tree (object fields
+//! looked up by name, arrays by position).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -206,15 +207,67 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("generated Serialize impl parses")
 }
 
-/// Derives the shim's marker `serde::Deserialize` (no parser exists).
+/// Derives `serde::de::Deserialize`: reconstruction from the value tree.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = match parse_struct(input) {
         Ok(s) => s,
         Err(e) => return compile_error(&e),
     };
+    // Mirror of the Serialize data model: named fields are looked up by
+    // name in the object, newtypes unwrap the inner value, tuples index the
+    // array, units accept null.
+    let body = match &shape.fields {
+        Fields::Named(names) => {
+            let mut inits = String::new();
+            for f in names {
+                inits.push_str(&format!("{f}: ::serde::de::field(entries, {f:?})?,"));
+            }
+            format!(
+                "match value {{\n\
+                     ::serde::ser::Value::Object(entries) => \
+                         ::std::result::Result::Ok(Self {{ {inits} }}),\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::de::Error::expected(\"an object\", other)),\n\
+                 }}"
+            )
+        }
+        Fields::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::de::Deserialize::deserialize_value(value)?))"
+                .to_owned()
+        }
+        Fields::Tuple(n) => {
+            let mut inits = String::new();
+            for i in 0..*n {
+                inits.push_str(&format!(
+                    "::serde::de::Deserialize::deserialize_value(&items[{i}])?,"
+                ));
+            }
+            format!(
+                "match value {{\n\
+                     ::serde::ser::Value::Array(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok(Self({inits})),\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::de::Error::expected(\"an array of {n}\", other)),\n\
+                 }}"
+            )
+        }
+        Fields::Unit => "match value {\n\
+                 ::serde::ser::Value::Null => ::std::result::Result::Ok(Self),\n\
+                 other => ::std::result::Result::Err(\
+                     ::serde::de::Error::expected(\"null\", other)),\n\
+             }"
+        .to_owned(),
+    };
     let StructShape { name, generics, .. } = &shape;
-    format!("impl{generics} ::serde::Deserialize for {name}{generics} {{}}")
-        .parse()
-        .expect("generated Deserialize impl parses")
+    format!(
+        "impl{generics} ::serde::de::Deserialize for {name}{generics} {{\n\
+             fn deserialize_value(value: &::serde::ser::Value) \
+                 -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
 }

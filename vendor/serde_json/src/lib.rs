@@ -1,22 +1,45 @@
 //! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json):
-//! renders the vendored serde shim's [`Value`](serde::ser::Value) tree as
-//! JSON text. Only serialization is provided.
+//! renders the vendored serde shim's [`Value`] tree as
+//! JSON text, and parses JSON text back into the same tree (and from there
+//! into any [`serde::de::Deserialize`] type) via [`from_str`].
+
+mod parse;
 
 use serde::ser::{Serialize, Value};
 use std::fmt::Write as _;
 
-/// Serialization error. The value-tree model cannot actually fail, but the
-/// upstream signature returns `Result`, and callers match on it.
+/// Serialization or parse error with a human-readable message.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Error(e.to_string())
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("JSON serialization error")
+        f.write_str(&self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Parses JSON text and deserializes `T` from the resulting value tree.
+///
+/// `T` can be [`Value`] itself to get the raw tree, mirroring upstream's
+/// `from_str::<serde_json::Value>`.
+pub fn from_str<T: serde::de::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    T::deserialize_value(&value).map_err(Error::from)
+}
 
 /// Serializes `value` as compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
