@@ -226,6 +226,39 @@ pub fn classify_outliers(values: &[f64]) -> OutlierCounts {
     counts
 }
 
+/// Mean of the observations inside the sample's own mild Tukey fences
+/// (`[Q1 - 1.5·IQR, Q3 + 1.5·IQR]`) — a stall-robust location estimate.
+///
+/// Benchmark samples on shared hardware are contaminated one-sidedly:
+/// a preempted iteration runs 5–10× slow, never fast. The plain mean
+/// moves with every stall; the trimmed mean ignores them, so
+/// baseline comparisons (the CI perf ratchet) gate on this estimator.
+/// With fewer than 4 observations the fences are meaningless and the
+/// plain mean is returned; a sample whose IQR is 0 keeps only the modal
+/// values, which is exactly the robust answer there.
+pub fn trimmed_mean(values: &[f64]) -> f64 {
+    let full = Summary::of(values).mean;
+    if values.len() < 4 {
+        return full;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let q1 = percentile_sorted(&sorted, 25.0);
+    let q3 = percentile_sorted(&sorted, 75.0);
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<f64> = sorted
+        .iter()
+        .copied()
+        .filter(|&v| v >= lo && v <= hi)
+        .collect();
+    if kept.is_empty() {
+        full
+    } else {
+        Summary::of(&kept).mean
+    }
+}
+
 /// Linear-interpolated percentile of an ascending-sorted slice, `p` in 0..=100.
 pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty());
@@ -242,6 +275,30 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    mod trimmed {
+        use crate::stats::trimmed_mean;
+
+        #[test]
+        fn ignores_one_sided_stalls() {
+            // 19 clean samples near 100 plus one 10x stall: the plain mean
+            // is dragged to ~145, the trimmed mean stays at the mode.
+            let mut v = vec![100.0; 19];
+            v.push(1000.0);
+            assert!((trimmed_mean(&v) - 100.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn equals_mean_on_clean_samples() {
+            let v = [98.0, 99.0, 100.0, 101.0, 102.0];
+            assert!((trimmed_mean(&v) - 100.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn small_samples_fall_back_to_mean() {
+            assert!((trimmed_mean(&[10.0, 20.0, 90.0]) - 40.0).abs() < 1e-9);
+        }
+    }
+
     use super::*;
 
     #[test]

@@ -34,14 +34,14 @@ impl Flooding {
 impl DiscoveryAlgorithm for Flooding {
     fn step(&mut self) -> RoundIO {
         let n = self.knowledge.n();
-        let snapshots: Vec<_> = (0..n)
-            .map(|u| self.knowledge.contacts(NodeId::new(u)).membership().clone())
-            .collect();
+        // Round-start snapshot: one O(pairs) clone of the sorted arena,
+        // not n bitmap copies.
+        let snapshot = self.knowledge.sorted_snapshot();
         let mut io = RoundIO::default();
         #[allow(clippy::needless_range_loop)] // u is simultaneously a NodeId
         for u in 0..n {
-            let payload = &snapshots[u];
-            let msg_bits = (payload.count() as u64 + 1) * self.id_bits;
+            let payload = snapshot.slice(u);
+            let msg_bits = (payload.len() as u64 + 1) * self.id_bits;
             for v in self.topology.neighbors(NodeId::new(u)).iter() {
                 io.messages += 1;
                 io.bits += msg_bits;

@@ -2,11 +2,26 @@
 //!
 //! Resource-discovery baselines operate on *directed knowledge*: `u` knowing
 //! `v`'s address does not imply the converse (the paper's processes keep
-//! knowledge symmetric; Name Dropper and Random Pointer Jump do not). Rows
-//! reuse [`AdjSet`] so senders can sample uniform contacts in O(1) and
-//! merges run word-parallel over the membership bitmaps.
+//! knowledge symmetric; Name Dropper and Random Pointer Jump do not).
+//!
+//! Storage is **arena-backed** ([`SliceArena`]): every node's contacts live
+//! as two slices inside two shared contiguous buffers —
+//!
+//! * an **arrival-ordered** list, the O(1) sampling surface and the stable
+//!   prefix the throttled sender's cursors index into (entries only
+//!   append, so a cursor never sees its history shift), and
+//! * a **sorted** companion, giving O(log deg) membership for dedup and
+//!   letting [`Knowledge::absorb`] merge a whole payload in ascending-id
+//!   order.
+//!
+//! Memory is `O(pairs + n)` — 8 bytes per known pair — where the previous
+//! `AdjSet`-row layout paid an `n`-bit bitmap *per node* (`n²/8` bytes
+//! before anything is learned), the term that capped baseline experiments
+//! in the tens of thousands of nodes. Trajectories are unchanged from that
+//! layout: sampling draws from the same arrival order, and absorbing
+//! iterates payloads in the same ascending id order the bitmap scan used.
 
-use gossip_graph::{AdjSet, BitSet, DirectedGraph, NodeId, UndirectedGraph};
+use gossip_graph::{DirectedGraph, NodeId, SliceArena, UndirectedGraph};
 use rand::Rng;
 
 /// Directed "who-knows-whom" state for `n` nodes.
@@ -21,7 +36,10 @@ use rand::Rng;
 /// ```
 #[derive(Clone, Debug)]
 pub struct Knowledge {
-    contacts: Vec<AdjSet>,
+    /// Arrival-ordered contact lists (sampling + stable prefixes).
+    arrival: SliceArena,
+    /// Sorted contact lists (membership + merge payloads).
+    sorted: SliceArena,
     pairs: u64,
 }
 
@@ -29,7 +47,8 @@ impl Knowledge {
     /// Empty knowledge (nobody knows anybody) over `n` nodes.
     pub fn new(n: usize) -> Self {
         Knowledge {
-            contacts: (0..n).map(|_| AdjSet::new(n)).collect(),
+            arrival: SliceArena::new(n),
+            sorted: SliceArena::new(n),
             pairs: 0,
         }
     }
@@ -56,7 +75,7 @@ impl Knowledge {
     /// Number of nodes.
     #[inline]
     pub fn n(&self) -> usize {
-        self.contacts.len()
+        self.arrival.lists()
     }
 
     /// `u` learns `v`'s address. Returns `true` if it was news.
@@ -66,7 +85,8 @@ impl Knowledge {
         if u == v {
             return false;
         }
-        if self.contacts[u.index()].insert(v) {
+        if self.sorted.insert_sorted(u.index(), v) {
+            self.arrival.push(u.index(), v);
             self.pairs += 1;
             true
         } else {
@@ -74,28 +94,50 @@ impl Knowledge {
         }
     }
 
-    /// Whether `u` knows `v`.
+    /// Whether `u` knows `v` (binary search in the sorted companion).
     #[inline]
     pub fn knows(&self, u: NodeId, v: NodeId) -> bool {
-        self.contacts[u.index()].contains(v)
+        self.sorted.contains_sorted(u.index(), v)
     }
 
-    /// `u`'s contact list.
+    /// `u`'s contact list in arrival order — a stable prefix: existing
+    /// entries never move, new ones only append.
     #[inline]
-    pub fn contacts(&self, u: NodeId) -> &AdjSet {
-        &self.contacts[u.index()]
+    pub fn contacts(&self, u: NodeId) -> &[NodeId] {
+        self.arrival.slice(u.index())
+    }
+
+    /// `u`'s contact list in ascending id order — the payload shape
+    /// [`Knowledge::absorb`] consumes.
+    #[inline]
+    pub fn sorted_contacts(&self, u: NodeId) -> &[NodeId] {
+        self.sorted.slice(u.index())
+    }
+
+    /// Round-start snapshot of every node's sorted contact list, for the
+    /// synchronous baselines (payloads must be what existed at round
+    /// start, not what was learned this round). One `O(pairs)` copy of
+    /// just the sorted arena — the arrival lists are never read from a
+    /// snapshot, so cloning the whole `Knowledge` would double the cost.
+    pub fn sorted_snapshot(&self) -> SliceArena {
+        self.sorted.clone()
     }
 
     /// Number of contacts `u` knows.
     #[inline]
     pub fn count(&self, u: NodeId) -> usize {
-        self.contacts[u.index()].len()
+        self.arrival.len(u.index())
     }
 
-    /// Uniformly random contact of `u`.
+    /// Uniformly random contact of `u` (arrival-order sampling surface).
     #[inline]
     pub fn random_contact<R: Rng + ?Sized>(&self, u: NodeId, rng: &mut R) -> Option<NodeId> {
-        self.contacts[u.index()].sample(rng)
+        let row = self.contacts(u);
+        if row.is_empty() {
+            None
+        } else {
+            Some(row[rng.random_range(0..row.len())])
+        }
     }
 
     /// Total ordered known pairs (target: `n * (n-1)`).
@@ -111,29 +153,53 @@ impl Knowledge {
         self.pairs == n * n.saturating_sub(1)
     }
 
-    /// Merges an entire contact set (given as a bitmap) plus the sender's own
-    /// address into `dst`'s knowledge. Returns how many addresses were new.
-    pub fn absorb(&mut self, dst: NodeId, sender: NodeId, addresses: &BitSet) -> u64 {
+    /// Merges an entire contact list (ascending id order, as produced by
+    /// [`Knowledge::sorted_contacts`]) plus the sender's own address into
+    /// `dst`'s knowledge. Returns how many addresses were new.
+    pub fn absorb(&mut self, dst: NodeId, sender: NodeId, addresses: &[NodeId]) -> u64 {
+        debug_assert!(
+            addresses.windows(2).all(|w| w[0] < w[1]),
+            "absorb payload must be sorted"
+        );
         let mut gained = 0;
-        // Learning proceeds bit-by-bit because the AdjSet's sampling vector
-        // must stay in sync with its bitmap; the scan is still word-driven.
-        for v in addresses.iter() {
-            gained += self.learn(dst, NodeId::new(v)) as u64;
+        for &v in addresses {
+            gained += self.learn(dst, v) as u64;
         }
         gained += self.learn(dst, sender) as u64;
         gained
     }
 
-    /// Structural check for tests: pair counter consistent with rows.
+    /// Bytes held by the contact storage (length-based, deterministic) —
+    /// `O(pairs + n)`, with no quadratic bitmap term.
+    pub fn memory_bytes(&self) -> usize {
+        self.arrival.memory_bytes() + self.sorted.memory_bytes() + std::mem::size_of::<u64>()
+    }
+
+    /// Structural check for tests: pair counter consistent with rows, no
+    /// self-knowledge, and the two layouts describe the same sets.
     pub fn validate(&self) -> Result<(), String> {
-        let total: u64 = self.contacts.iter().map(|c| c.len() as u64).sum();
-        if total != self.pairs {
-            return Err(format!("pair counter {} != row total {total}", self.pairs));
-        }
-        for (u, c) in self.contacts.iter().enumerate() {
-            if c.contains(NodeId::new(u)) {
+        let mut total = 0u64;
+        for u in 0..self.n() {
+            let arrival = self.arrival.slice(u);
+            let sorted = self.sorted.slice(u);
+            if arrival.len() != sorted.len() {
+                return Err(format!("node {u}: arrival/sorted length mismatch"));
+            }
+            if !sorted.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("node {u}: companion not strictly sorted"));
+            }
+            let mut check: Vec<NodeId> = arrival.to_vec();
+            check.sort_unstable();
+            if check != sorted {
+                return Err(format!("node {u}: arrival and sorted sets differ"));
+            }
+            if sorted.binary_search(&NodeId::new(u)).is_ok() {
                 return Err(format!("node {u} knows itself"));
             }
+            total += arrival.len() as u64;
+        }
+        if total != self.pairs {
+            return Err(format!("pair counter {} != row total {total}", self.pairs));
         }
         Ok(())
     }
@@ -182,20 +248,39 @@ mod tests {
     }
 
     #[test]
+    fn arrival_order_is_a_stable_prefix() {
+        // The throttled sender indexes cursors into this order; it must be
+        // append-only even when learned ids are out of order.
+        let mut k = Knowledge::new(6);
+        for v in [5u32, 2, 4, 1] {
+            k.learn(NodeId(0), NodeId(v));
+        }
+        assert_eq!(
+            k.contacts(NodeId(0)),
+            &[NodeId(5), NodeId(2), NodeId(4), NodeId(1)]
+        );
+        assert_eq!(
+            k.sorted_contacts(NodeId(0)),
+            &[NodeId(1), NodeId(2), NodeId(4), NodeId(5)]
+        );
+        k.validate().unwrap();
+    }
+
+    #[test]
     fn absorb_merges_and_counts() {
         let mut k = Knowledge::new(5);
         k.learn(NodeId(1), NodeId(2));
         k.learn(NodeId(1), NodeId(3));
         // Node 0 absorbs node 1's contacts {2, 3} + sender 1 itself.
-        let bits = k.contacts(NodeId(1)).membership().clone();
-        let gained = k.absorb(NodeId(0), NodeId(1), &bits);
+        let payload = k.sorted_contacts(NodeId(1)).to_vec();
+        let gained = k.absorb(NodeId(0), NodeId(1), &payload);
         assert_eq!(gained, 3);
         assert!(k.knows(NodeId(0), NodeId(1)));
         assert!(k.knows(NodeId(0), NodeId(2)));
         assert!(k.knows(NodeId(0), NodeId(3)));
         // Absorbing again gains nothing.
-        let bits = k.contacts(NodeId(1)).membership().clone();
-        assert_eq!(k.absorb(NodeId(0), NodeId(1), &bits), 0);
+        let payload = k.sorted_contacts(NodeId(1)).to_vec();
+        assert_eq!(k.absorb(NodeId(0), NodeId(1), &payload), 0);
         k.validate().unwrap();
     }
 
@@ -203,11 +288,25 @@ mod tests {
     fn absorb_skips_own_address() {
         let mut k = Knowledge::new(3);
         k.learn(NodeId(1), NodeId(0)); // sender knows the destination
-        let bits = k.contacts(NodeId(1)).membership().clone();
-        let gained = k.absorb(NodeId(0), NodeId(1), &bits);
+        let payload = k.sorted_contacts(NodeId(1)).to_vec();
+        let gained = k.absorb(NodeId(0), NodeId(1), &payload);
         // 0 must not "learn" 0; only the sender 1 is news.
         assert_eq!(gained, 1);
         assert!(!k.knows(NodeId(0), NodeId(0)));
         k.validate().unwrap();
+    }
+
+    #[test]
+    fn memory_is_linear_in_pairs_not_quadratic_in_n() {
+        // At n = 4096 the old per-node-bitmap layout held n²/8 = 2 MiB
+        // before the first pair; the arena with a path's knowledge must be
+        // orders of magnitude below that.
+        let n = 4096;
+        let k = Knowledge::from_undirected(&generators::path(n));
+        assert!(
+            k.memory_bytes() < n * n / 8 / 4,
+            "knowledge uses {} bytes",
+            k.memory_bytes()
+        );
     }
 }

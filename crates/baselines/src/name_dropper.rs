@@ -45,18 +45,18 @@ impl DiscoveryAlgorithm for NameDropper {
             self.picks[u] = self.knowledge.random_contact(NodeId::new(u), &mut rng);
         }
         // Phase 2: deliver. Contents are the round-start contact lists, so
-        // we snapshot each sender's bitmap before merging (synchronous
+        // we snapshot the sorted arena before merging (synchronous
         // semantics: nobody forwards addresses learned this same round).
-        let snapshots: Vec<_> = (0..n)
-            .map(|u| self.knowledge.contacts(NodeId::new(u)).membership().clone())
-            .collect();
+        // One O(pairs) clone replaces the old per-node bitmap snapshots,
+        // which cost n²/8 bytes a round.
+        let snapshot = self.knowledge.sorted_snapshot();
         let mut io = RoundIO::default();
         #[allow(clippy::needless_range_loop)] // u is simultaneously a NodeId
         for u in 0..n {
             if let Some(v) = self.picks[u] {
-                let payload = &snapshots[u];
+                let payload = snapshot.slice(u);
                 // The message carries the sender's whole list plus itself.
-                let msg_bits = (payload.count() as u64 + 1) * self.id_bits;
+                let msg_bits = (payload.len() as u64 + 1) * self.id_bits;
                 io.messages += 1;
                 io.bits += msg_bits;
                 io.max_message_bits = io.max_message_bits.max(msg_bits);

@@ -39,17 +39,17 @@ impl DiscoveryAlgorithm for PointerJump {
             let mut rng = stream_rng(self.seed, self.round, u as u64);
             pulls[u] = self.knowledge.random_contact(NodeId::new(u), &mut rng);
         }
-        let snapshots: Vec<_> = (0..n)
-            .map(|u| self.knowledge.contacts(NodeId::new(u)).membership().clone())
-            .collect();
+        // Round-start snapshot: one O(pairs) clone of the sorted arena,
+        // not n bitmap copies.
+        let snapshot = self.knowledge.sorted_snapshot();
         // Phase 2: each u absorbs its target's round-start list. A pull
         // costs one request message (one id) plus the reply.
         let mut io = RoundIO::default();
         #[allow(clippy::needless_range_loop)] // u is simultaneously a NodeId
         for u in 0..n {
             if let Some(v) = pulls[u] {
-                let payload = &snapshots[v.index()];
-                let reply_bits = (payload.count() as u64 + 1) * self.id_bits;
+                let payload = snapshot.slice(v.index());
+                let reply_bits = (payload.len() as u64 + 1) * self.id_bits;
                 let request_bits = self.id_bits;
                 io.messages += 2;
                 io.bits += request_bits + reply_bits;

@@ -20,9 +20,10 @@ pub struct ThrottledNameDropper {
     round: u64,
     id_bits: u64,
     budget: usize,
-    /// `cursor[u][v]` = how many of `u`'s contacts (in list order, a stable
-    /// prefix because AdjSets only grow) have been shipped to `v`.
-    /// O(n²) u32s of state — the cost of coordination the paper mentions.
+    /// `cursor[u][v]` = how many of `u`'s contacts (in arrival order, a
+    /// stable prefix because knowledge rows only append) have been shipped
+    /// to `v`. O(n²) u32s of state — the cost of coordination the paper
+    /// mentions.
     cursor: Vec<Vec<u32>>,
 }
 
@@ -64,8 +65,7 @@ impl DiscoveryAlgorithm for ThrottledNameDropper {
             let end = (cur + self.budget).min(list_lens[u]);
             // Copy the slice out to appease the borrow checker; at most
             // `budget` ids.
-            let chunk: Vec<NodeId> =
-                self.knowledge.contacts(NodeId::new(u)).as_slice()[cur..end].to_vec();
+            let chunk: Vec<NodeId> = self.knowledge.contacts(NodeId::new(u))[cur..end].to_vec();
             self.cursor[u][v.index()] = end as u32;
             let msg_bits = (chunk.len() as u64 + 1) * self.id_bits;
             io.messages += 1;

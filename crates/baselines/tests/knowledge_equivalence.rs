@@ -1,0 +1,92 @@
+//! The arena-backed [`Knowledge`] store against an `AdjSet`-backed
+//! reference model: identical contact sets, identical arrival order, and
+//! identical `known_pairs()` under random learn/absorb sequences.
+//! Seeded — failures print `PROPTEST_SEED=<n>` for replay.
+
+use gossip_baselines::Knowledge;
+use gossip_graph::{AdjSet, NodeId};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The previous storage layout, kept as the test oracle: one `AdjSet` row
+/// per node (insertion-ordered list + bitmap membership).
+struct AdjSetModel {
+    rows: Vec<AdjSet>,
+    pairs: u64,
+}
+
+impl AdjSetModel {
+    fn new(n: usize) -> Self {
+        AdjSetModel {
+            rows: (0..n).map(|_| AdjSet::new(n)).collect(),
+            pairs: 0,
+        }
+    }
+
+    fn learn(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        if self.rows[u.index()].insert(v) {
+            self.pairs += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The old absorb: iterate the sender's bitmap ascending, then the
+    /// sender itself — the order the arena port must reproduce.
+    fn absorb(&mut self, dst: NodeId, sender: NodeId) -> u64 {
+        let payload: Vec<usize> = self.rows[sender.index()].membership().iter().collect();
+        let mut gained = 0;
+        for v in payload {
+            gained += self.learn(dst, NodeId::new(v)) as u64;
+        }
+        gained += self.learn(dst, sender) as u64;
+        gained
+    }
+}
+
+proptest! {
+    /// Random interleavings of `learn` and `absorb` leave both stores with
+    /// the same pair count, the same membership, and the same
+    /// arrival-ordered contact lists (the sampling surface — equality here
+    /// means bit-identical baseline trajectories across the port).
+    #[test]
+    fn arena_knowledge_matches_adjset_model(
+        seed in any::<u64>(),
+        n in 2usize..40,
+        ops in 1usize..300,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut arena = Knowledge::new(n);
+        let mut model = AdjSetModel::new(n);
+        for _ in 0..ops {
+            let u = NodeId(rng.random_range(0..n as u32));
+            let v = NodeId(rng.random_range(0..n as u32));
+            if rng.random_range(0..4u32) == 0 {
+                // Absorb u's whole list into v, the way the baselines do:
+                // sorted payload + sender address.
+                let payload = arena.sorted_contacts(u).to_vec();
+                let got = arena.absorb(v, u, &payload);
+                let want = model.absorb(v, u);
+                prop_assert_eq!(got, want, "absorb({:?} <- {:?})", v, u);
+            } else {
+                prop_assert_eq!(arena.learn(u, v), model.learn(u, v));
+            }
+        }
+        prop_assert_eq!(arena.known_pairs(), model.pairs);
+        for u in 0..n {
+            let u = NodeId::new(u);
+            let model_row: Vec<NodeId> = model.rows[u.index()].iter().collect();
+            prop_assert_eq!(arena.contacts(u), &model_row[..], "arrival order at {:?}", u);
+            for v in 0..n {
+                let v = NodeId::new(v);
+                prop_assert_eq!(arena.knows(u, v), model.rows[u.index()].contains(v));
+            }
+        }
+        arena.validate().unwrap();
+    }
+}

@@ -9,14 +9,14 @@
 use criterion::{
     criterion_group, criterion_main, BatchSize, Bencher, BenchmarkId, Criterion, Throughput,
 };
-use gossip_core::{Engine, Parallelism, ProposalRule, Pull, Push};
-use gossip_graph::{generators, UndirectedGraph};
+use gossip_core::{Engine, GossipGraph, Parallelism, ProposalRule, Pull, Push};
+use gossip_graph::{generators, ArenaGraph};
 use std::time::Duration;
 
 /// Eight engine rounds per iteration from a fresh engine clone.
-fn eight_rounds<R: ProposalRule<UndirectedGraph> + Clone>(
+fn eight_rounds<G: GossipGraph, R: ProposalRule<G> + Clone>(
     b: &mut Bencher,
-    g: &UndirectedGraph,
+    g: &G,
     rule: R,
     par: Parallelism,
 ) {
@@ -58,6 +58,31 @@ fn bench_rounds(c: &mut Criterion) {
         }
     }
     group.finish();
+
+    // The arena backend through the same engine: one end-to-end row per
+    // process at the headline size, watched by the CI perf ratchet.
+    let mut group = c.benchmark_group("round_arena");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    for n in [4096usize, 65536] {
+        let mut rng = gossip_core::rng::stream_rng(1, 0, n as u64);
+        let g = ArenaGraph::from_undirected(&generators::tree_plus_random_edges(
+            n,
+            4 * n as u64,
+            &mut rng,
+        ));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("push_seq", n), &g, |b, g| {
+            eight_rounds(b, g, Push, Parallelism::Sequential)
+        });
+        group.bench_with_input(BenchmarkId::new("pull_seq", n), &g, |b, g| {
+            eight_rounds(b, g, Pull, Parallelism::Sequential)
+        });
+    }
+    group.finish();
+
     // Thousands of pool-parallel rounds just ran: the pool's worker count
     // must still be bounded by its size (zero spawns per round).
     assert!(

@@ -1,0 +1,13 @@
+//! E15: arena-backed engine scaling, `n` up to `2^20`.
+//!
+//! `--quick` sweeps `{2^14, 2^17, 2^20}` over a short fixed horizon (the CI
+//! smoke configuration); the full run covers every power of two from `2^14`
+//! to `2^20` plus the `AdjSet` memory baseline at `2^17`.
+
+use gossip_bench::experiments::scale;
+use gossip_bench::parse_args;
+
+fn main() {
+    let args = parse_args();
+    scale::run(&args).finish(&args);
+}

@@ -30,6 +30,7 @@ fn battery() -> Vec<(&'static str, fn(&Args) -> Report)> {
         ("E12", exp::netsim::run),
         ("E13", exp::evolution::run),
         ("E14", exp::asynchrony::run),
+        ("E15", exp::scale::run),
     ]
 }
 

@@ -13,6 +13,7 @@
 //! | [`netsim`] | §1 (E12): byte-accurate wire validation, loss + churn |
 //! | [`evolution`] | §1 (E13): structural evolution + brokerage under push |
 //! | [`asynchrony`] | model extension (E14): synchronous vs Poisson-clock timing |
+//! | [`scale`] | scaling extension (E15): arena-backed engine at n up to 2^20 |
 
 pub mod asynchrony;
 pub mod baselines;
@@ -23,5 +24,6 @@ pub mod mindegree;
 pub mod netsim;
 pub mod nonmonotone;
 pub mod robustness;
+pub mod scale;
 pub mod scaling;
 pub mod subset;

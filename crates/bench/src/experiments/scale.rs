@@ -1,0 +1,275 @@
+//! E15 — engine scaling: the arena-backed store at million-node sizes.
+//!
+//! The paper's upper bounds are asymptotic, but the `AdjSet` layout's
+//! per-node bitmaps (`n²/8` bytes) capped experiments near `n = 2^17`.
+//! This experiment drives the [`gossip_graph::ArenaGraph`] backend through
+//! the flat proposal pipeline across `n ∈ {2^14 … 2^20}` and records, per
+//! process:
+//!
+//! * **rounds / edges added** over a fixed horizon (deterministic,
+//!   pooled into `RESULTS.md`),
+//! * **edge-doubling time** — rounds until `m ≥ 2·m₀` — via the streaming
+//!   trial runner (one engine alive at a time, `O(edges)` peak memory),
+//! * **memory** — deterministic length-based bytes of the arena store,
+//!   against the `AdjSet` baseline at the comparison size (the headline
+//!   `≥4×` reduction gate), and
+//! * **throughput** — ns per node per round and process peak RSS. Timing
+//!   and RSS go to this experiment's tables only, never into
+//!   [`Measurement`](crate::harness::Measurement) rows, so `RESULTS.md`
+//!   stays byte-reproducible.
+//!
+//! The `AdjSet` comparison runs **last**: peak RSS is process-wide and
+//! monotone, so the bitmap build must not pollute the arena rows.
+
+use crate::harness::{Args, Report};
+use gossip_analysis::{fmt_f64, Table};
+use gossip_core::{
+    stream_trials, ConvergenceCheck, Engine, Never, Parallelism, Pull, Push, TrialConfig,
+};
+use gossip_graph::{ArenaGraph, NodeId, UndirectedGraph};
+use std::time::Instant;
+
+/// Converged once the edge count reaches `target` — the scale experiment's
+/// milestone check (full completion at these sizes would need terabytes).
+struct EdgesAtLeast {
+    target: u64,
+}
+
+impl ConvergenceCheck<ArenaGraph> for EdgesAtLeast {
+    fn is_converged(&mut self, g: &ArenaGraph) -> bool {
+        g.m() >= self.target
+    }
+    fn describe(&self) -> String {
+        format!("edge count >= {}", self.target)
+    }
+}
+
+/// Connected sparse start graph built directly in the arena layout:
+/// a random parent tree plus `extra` uniform random edges. Mirrors
+/// `generators::tree_plus_random_edges`'s workload shape without ever
+/// materializing the `O(n²/8)`-byte `AdjSet` form.
+fn sparse_arena(n: usize, extra: u64, seed: u64) -> ArenaGraph {
+    use rand::Rng;
+    let mut rng = gossip_core::rng::stream_rng(seed, 0xA1, n as u64);
+    let mut g = ArenaGraph::new(n);
+    for i in 1..n as u32 {
+        g.add_edge(NodeId(i), NodeId(rng.random_range(0..i)));
+    }
+    let target = n as u64 - 1 + extra;
+    while g.m() < target {
+        let a = rng.random_range(0..n as u32);
+        let b = rng.random_range(0..n as u32);
+        g.add_edge(NodeId(a), NodeId(b));
+    }
+    g
+}
+
+/// Process peak RSS (`VmHWM`) in bytes, if the platform exposes it.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+fn fmt_mib(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// E15: arena-backend scaling sweep.
+pub fn run(args: &Args) -> Report {
+    let mut report = Report::new("E15-engine-scaling");
+    let sizes: Vec<usize> = if args.quick {
+        vec![1 << 14, 1 << 17, 1 << 20]
+    } else {
+        (14..=20).map(|p| 1usize << p).collect()
+    };
+    let horizon: u64 = if args.quick { 6 } else { 16 };
+    // Edge-doubling trials stay at sizes where a trial is milliseconds.
+    let doubling_cap: usize = if args.quick { 1 << 14 } else { 1 << 16 };
+    let trials = if args.trials > 0 {
+        args.trials
+    } else if args.quick {
+        2
+    } else {
+        3
+    };
+    // The AdjSet layout's bitmaps are n²/8 bytes, so the baseline build is
+    // the experiment's dominant allocation; 2^17 (≈ 2 GiB of bitmaps) is
+    // the paper-facing comparison point and stays feasible in CI.
+    let cmp_n: usize = 1 << 17;
+
+    let mut throughput = Table::new([
+        "process",
+        "n",
+        "rounds",
+        "edges added",
+        "ns/node/round",
+        "arena MiB",
+        "peak RSS MiB",
+    ]);
+    let mut doubling = Table::new(["process", "n", "trials", "mean rounds to 2x edges"]);
+
+    for &n in &sizes {
+        let g0 = sparse_arena(n, 2 * n as u64, args.seed);
+        let m0 = g0.m();
+        for (name, is_pull) in [("pull", true), ("push", false)] {
+            // Fixed-horizon throughput run (the n = 2^20 pull row is the
+            // "clean Two-Hop Walk run at a million nodes" acceptance gate).
+            let t = Instant::now();
+            let (added, mem_bytes) = if is_pull {
+                let mut e = Engine::new(g0.clone(), Pull, args.seed ^ 0x7400);
+                let out = e.run_until(&mut Never, horizon);
+                (out.final_edges - m0, e.graph().memory_bytes())
+            } else {
+                let mut e = Engine::new(g0.clone(), Push, args.seed ^ 0x7400);
+                let out = e.run_until(&mut Never, horizon);
+                (out.final_edges - m0, e.graph().memory_bytes())
+            };
+            let elapsed = t.elapsed().as_nanos() as f64;
+            let ns_node_round = elapsed / (n as f64 * horizon as f64);
+            report.measure_scalar("rounds", name, "tree+2n", n as u64, horizon as f64);
+            report.measure_scalar("edges_added", name, "tree+2n", n as u64, added as f64);
+            if is_pull {
+                report.measure_scalar("mem_bytes", "arena", "tree+2n", n as u64, mem_bytes as f64);
+            }
+            throughput.push_row([
+                name.to_string(),
+                n.to_string(),
+                horizon.to_string(),
+                added.to_string(),
+                fmt_f64(ns_node_round),
+                fmt_mib(mem_bytes as u64),
+                peak_rss_bytes().map_or("-".into(), fmt_mib),
+            ]);
+
+            // Edge-doubling time through the streaming trial runner.
+            if n <= doubling_cap && is_pull {
+                let cfg = TrialConfig {
+                    trials,
+                    base_seed: args.seed ^ (n as u64) << 4,
+                    max_rounds: 10_000,
+                    parallel: false,
+                };
+                let mut rounds = Vec::new();
+                stream_trials(
+                    &g0,
+                    Pull,
+                    |g| EdgesAtLeast { target: 2 * g.m() },
+                    &cfg,
+                    Parallelism::default(),
+                    |_, out| {
+                        assert!(out.converged, "edge doubling exceeded round budget");
+                        rounds.push(out.rounds);
+                    },
+                );
+                report.measure_rounds("pull-doubling", "tree+2n", n as u64, &rounds);
+                doubling.push_row([
+                    "pull".to_string(),
+                    n.to_string(),
+                    trials.to_string(),
+                    fmt_f64(crate::harness::mean(&rounds)),
+                ]);
+            }
+        }
+    }
+
+    // AdjSet baseline, last (see module docs): identical edge set, same
+    // horizon, then compare deterministic storage bytes.
+    let arena0 = sparse_arena(cmp_n, 2 * cmp_n as u64, args.seed);
+    let mut arena_e = Engine::new(arena0.clone(), Pull, args.seed ^ 0x7400);
+    arena_e.run_until(&mut Never, horizon);
+    let arena_bytes = arena_e.graph().memory_bytes();
+    drop(arena_e);
+    let adj0 = UndirectedGraph::from_edges(cmp_n, arena0.edges().map(|e| (e.a.0, e.b.0)));
+    drop(arena0);
+    let mut adj_e = Engine::new(adj0, Pull, args.seed ^ 0x7400);
+    adj_e.run_until(&mut Never, horizon);
+    let adj_bytes = adj_e.graph().memory_bytes();
+    drop(adj_e);
+    let ratio = adj_bytes as f64 / arena_bytes as f64;
+    report.measure_scalar(
+        "mem_bytes",
+        "adjset",
+        "tree+2n",
+        cmp_n as u64,
+        adj_bytes as f64,
+    );
+    report.measure_scalar(
+        "mem_ratio",
+        "adjset-vs-arena",
+        "tree+2n",
+        cmp_n as u64,
+        ratio,
+    );
+    let mut memory = Table::new(["n", "arena MiB", "AdjSet MiB", "reduction"]);
+    memory.push_row([
+        cmp_n.to_string(),
+        fmt_mib(arena_bytes as u64),
+        fmt_mib(adj_bytes as u64),
+        format!("{:.0}x", ratio),
+    ]);
+
+    report.note(format!(
+        "arena backend: O(m + n) storage vs the AdjSet layout's n^2/8-byte bitmaps; \
+         at n = 2^17 the same {horizon}-round pull run needs {}x less graph memory.",
+        fmt_f64(ratio)
+    ));
+    report.note(
+        "timing and peak-RSS columns are wall-clock observations and never enter \
+         the Measurement rows (RESULTS.md stays byte-reproducible).",
+    );
+    report.table("fixed-horizon throughput (arena backend)", throughput);
+    report.table("edge-doubling time (streamed trials)", doubling);
+    report.table("memory: arena vs AdjSet at the comparison size", memory);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_arena_is_connected_and_sized() {
+        let g = sparse_arena(512, 1024, 7);
+        assert_eq!(g.n(), 512);
+        assert_eq!(g.m(), 511 + 1024);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn quick_run_records_deterministic_measurements() {
+        // A scaled-down args set (the real quick sweep reaches 2^20 and is
+        // exercised by CI's exp_scale smoke run, not unit tests).
+        let args = Args {
+            quick: true,
+            trials: 1,
+            ..Args::default()
+        };
+        // Shrink further for unit-test speed by monkeying the sweep via
+        // direct calls: run the pieces the experiment is built from.
+        let n = 1 << 12;
+        let g = sparse_arena(n, 2 * n as u64, args.seed);
+        let m0 = g.m();
+        let mut e = Engine::new(g, Pull, args.seed);
+        let out = e.run_until(&mut Never, 4);
+        assert_eq!(out.rounds, 4);
+        assert!(out.final_edges > m0);
+        // Even with growth reserve, dead space, and fixed per-node
+        // bookkeeping (which dominates at this deliberately small n), the
+        // arena stays well under the n²/8-byte bitmap floor of the AdjSet
+        // layout; the measured ratio at 2^17 lands in RESULTS.md.
+        assert!(e.graph().memory_bytes() < n * n / 8 / 2);
+    }
+
+    #[test]
+    fn edges_at_least_check_fires() {
+        let g = sparse_arena(256, 512, 3);
+        let mut check = EdgesAtLeast { target: 2 * g.m() };
+        assert!(!check.is_converged(&g));
+        let mut e = Engine::new(g, Pull, 11);
+        let out = e.run_until(&mut check, 10_000);
+        assert!(out.converged);
+        assert!(out.final_edges >= 2 * (255 + 512));
+    }
+}

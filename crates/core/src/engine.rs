@@ -1,23 +1,46 @@
 //! The synchronous-round execution engine.
 //!
-//! One round is two phases:
+//! One round is two phases, connected by a **flat proposal pipeline**:
 //!
 //! 1. **Propose** — every node evaluates the rule against the *immutable*
-//!    round-start graph `G_t`, drawing from its own counter-based RNG stream.
-//!    This phase is embarrassingly parallel and runs on the rayon shim's
-//!    persistent worker pool when the graph is large enough to amortize job
-//!    dispatch (a queue push and wakeups — see [`Parallelism::default`] for
-//!    the cost model).
-//! 2. **Apply** — proposals are applied in node order. Order never changes
-//!    the resulting edge *set* (set union), but fixing it also fixes
+//!    round-start graph `G_t`, drawing from its own counter-based RNG
+//!    stream. Nodes are grouped into fixed-size chunks
+//!    (`PROPOSAL_CHUNK` = 1024); each chunk appends its proposals to its own
+//!    flat reusable `Vec<TaggedProposal>` buffer. The phase is
+//!    embarrassingly parallel and runs chunks on the rayon shim's
+//!    persistent worker pool when the graph is large enough to amortize
+//!    job dispatch (see [`Parallelism::default`] for the cost model).
+//!    Chunking is independent of the thread count, and the buffers
+//!    concatenate in chunk order, so the proposal stream is always exactly
+//!    the node-order stream regardless of scheduling.
+//! 2. **Apply** — the buffers are handed to
+//!    [`GossipGraph::apply_proposals`] as one batch. Insertion-ordered
+//!    backends replay them one at a time in node order (fixing
 //!    adjacency-list insertion order, which makes sequential and parallel
-//!    execution **bit-identical** for all future sampling.
+//!    execution **bit-identical** for all future sampling); the
+//!    arena-backed graph merges the whole round in a single sort + dedup
+//!    pass against its sorted rows, which are canonical and therefore
+//!    bit-identical under any schedule by construction.
+//!
+//! Compared to the previous design (an `n`-slot `Vec<ProposalSet>` indexed
+//! by node), the flat pipeline stores only proposals that exist (most
+//! rules propose at most one edge, and isolated or degenerate draws none),
+//! keeps per-worker writes dense instead of striding a 24-byte slot array,
+//! and gives batch-capable graphs the whole round at once.
 
 use crate::convergence::ConvergenceCheck;
-use crate::process::{GossipGraph, ProposalRule, ProposalSet, RoundStats};
+use crate::process::{GossipGraph, ProposalRule, RoundStats, TaggedProposal};
 use crate::recorder::RoundObserver;
 use crate::rng::stream_rng;
 use rayon::prelude::*;
+
+/// Nodes per propose-phase chunk. Fixed (never derived from the thread
+/// count) so the chunk decomposition — and with it every buffer boundary —
+/// is identical under any parallelism; the pool's dynamic chunk-claiming
+/// balances load across these units. 1024 nodes ≈ tens of µs of propose
+/// work per chunk: coarse enough to amortize dispatch, fine enough to
+/// rebalance a skewed workload.
+const PROPOSAL_CHUNK: usize = 1024;
 
 /// When to parallelize the propose phase.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,14 +58,22 @@ pub enum Parallelism {
 
 impl Default for Parallelism {
     fn default() -> Self {
-        // Cost model: per-node propose work is tens of nanoseconds, so a
-        // round below the threshold costs `n * ~50ns` sequentially. The
-        // rayon shim's persistent pool prices a parallel round at one job
-        // push plus condvar wakeups (single-digit µs, zero thread spawns)
-        // instead of the old spawn-per-call fan-out (tens of µs *per
-        // worker*), so the break-even point dropped from ~16k nodes to the
-        // low thousands: at 2048 nodes the sequential propose phase
-        // (~100µs) comfortably dominates pool dispatch.
+        // Cost model, re-measured against the flat proposal pipeline
+        // (chunked buffers; `benches/round_throughput.rs`, seq rows at
+        // 8 rounds/iter): a full sequential round costs ~63–65 ns/node at
+        // n = 1024 and ~90–113 ns/node at n = 4096 on the 4n-edge sweep
+        // workload — slightly above the old slot-array pipeline's ~50 ns
+        // estimate because the round cost is dominated by the two RNG
+        // draws plus adjacency loads that grow with density, not by the
+        // buffer write. The rayon shim's persistent pool still prices a
+        // parallel round at one job push plus condvar wakeups
+        // (single-digit µs, zero thread spawns), so break-even stays in
+        // the low thousands of nodes — if anything lower than before,
+        // which keeps 2048 conservative: at 2048 nodes the sequential
+        // propose phase (~150 µs) comfortably dominates pool dispatch.
+        // One chunk (PROPOSAL_CHUNK = 1024 nodes) below the threshold
+        // would parallelize nothing anyway, so the threshold also keeps
+        // Auto from paying dispatch for a single-chunk round.
         Parallelism::Auto { threshold: 2_048 }
     }
 }
@@ -66,20 +97,24 @@ pub struct Engine<G, R> {
     seed: u64,
     round: u64,
     parallelism: Parallelism,
-    proposals: Vec<ProposalSet>,
+    /// Flat per-chunk proposal buffers, reused across rounds (steady-state
+    /// rounds allocate nothing). Buffer `c` holds the proposals of nodes
+    /// `c * PROPOSAL_CHUNK ..`, so concatenation in index order is the
+    /// node-order proposal stream.
+    chunk_bufs: Vec<Vec<TaggedProposal>>,
 }
 
 impl<G: GossipGraph, R: ProposalRule<G>> Engine<G, R> {
     /// Creates an engine over `graph` with the given rule and experiment seed.
     pub fn new(graph: G, rule: R, seed: u64) -> Self {
-        let n = graph.node_count();
+        let chunks = graph.node_count().div_ceil(PROPOSAL_CHUNK);
         Engine {
             graph,
             rule,
             seed,
             round: 0,
             parallelism: Parallelism::default(),
-            proposals: vec![ProposalSet::empty(); n],
+            chunk_bufs: vec![Vec::new(); chunks],
         }
     }
 
@@ -133,41 +168,42 @@ impl<G: GossipGraph, R: ProposalRule<G>> Engine<G, R> {
     {
         let n = self.graph.node_count();
         let (seed, round) = (self.seed, self.round);
-        debug_assert_eq!(self.proposals.len(), n);
+        debug_assert_eq!(self.chunk_bufs.len(), n.div_ceil(PROPOSAL_CHUNK));
 
-        // Phase 1: propose against the immutable G_t.
+        // Phase 1: propose against the immutable G_t, each chunk filling
+        // its own flat buffer. The per-node work is identical either way;
+        // only the scheduling of whole chunks differs.
+        let fill_chunk = |c: usize, buf: &mut Vec<TaggedProposal>, graph: &G, rule: &R| {
+            buf.clear();
+            let lo = c * PROPOSAL_CHUNK;
+            let hi = (lo + PROPOSAL_CHUNK).min(n);
+            for u in lo..hi {
+                let mut rng = stream_rng(seed, round, u as u64);
+                let node = gossip_graph::NodeId::new(u);
+                let set = rule.propose(graph, node, &mut rng);
+                for &(a, b) in set.as_slice() {
+                    buf.push((node, a, b));
+                }
+            }
+        };
         if self.use_parallel() {
             let graph = &self.graph;
             let rule = &self.rule;
-            self.proposals
+            self.chunk_bufs
                 .par_iter_mut()
                 .enumerate()
-                .for_each(|(u, slot)| {
-                    let mut rng = stream_rng(seed, round, u as u64);
-                    *slot = rule.propose(graph, gossip_graph::NodeId::new(u), &mut rng);
-                });
+                .for_each(|(c, buf)| fill_chunk(c, buf, graph, rule));
         } else {
-            for u in 0..n {
-                let mut rng = stream_rng(seed, round, u as u64);
-                self.proposals[u] =
-                    self.rule
-                        .propose(&self.graph, gossip_graph::NodeId::new(u), &mut rng);
+            for (c, buf) in self.chunk_bufs.iter_mut().enumerate() {
+                fill_chunk(c, buf, &self.graph, &self.rule);
             }
         }
 
-        // Phase 2: apply in node order.
-        let mut stats = RoundStats::default();
+        // Phase 2: hand the whole round to the graph as one batch.
         self.round += 1;
-        for (u, slot) in self.proposals.iter().enumerate() {
-            for &(a, b) in slot.as_slice() {
-                stats.proposed += 1;
-                if self.graph.apply_edge(a, b) {
-                    stats.added += 1;
-                    on_edge(self.round, gossip_graph::NodeId::new(u), a, b);
-                }
-            }
-        }
-        stats
+        let round_now = self.round;
+        self.graph
+            .apply_proposals(&self.chunk_bufs, &mut |u, a, b| on_edge(round_now, u, a, b))
     }
 
     /// Runs until `check` fires or `max_rounds` is reached.

@@ -54,9 +54,9 @@ pub use convergence::{
     SubsetComplete,
 };
 pub use engine::{Engine, Parallelism, RunOutcome};
-pub use process::{GossipGraph, ProposalRule, ProposalSet, RoundStats};
+pub use process::{GossipGraph, ProposalRule, ProposalSet, RoundStats, TaggedProposal};
 pub use recorder::{MinDegreeMilestones, NullObserver, RoundObserver, SeriesRecorder, SeriesRow};
 pub use rules::{DirectedPull, HybridPushPull, Pull, Push};
 pub use trace::{DiscoveryTrace, EdgeEvent};
-pub use trials::{convergence_rounds, run_trials, TrialConfig};
+pub use trials::{convergence_rounds, run_trials, stream_trials, TrialConfig};
 pub use variants::{Faulty, OnlySubset, Partial};

@@ -7,8 +7,12 @@
 //! the two graph types so one engine serves the undirected and directed
 //! processes.
 
-use gossip_graph::{DirectedGraph, NodeId, UndirectedGraph};
+use gossip_graph::{ArenaGraph, DirectedGraph, NodeId, UndirectedGraph};
 use rand::rngs::SmallRng;
+
+/// One proposal flowing through the engine's flat pipeline:
+/// `(proposer, a, b)` — node `proposer` wants edge `(a, b)` to exist.
+pub type TaggedProposal = (NodeId, NodeId, NodeId);
 
 /// Up to two proposed edges, inline (no allocation on the per-node hot path).
 ///
@@ -84,6 +88,34 @@ pub trait GossipGraph: Clone + Send + Sync {
     fn apply_edge(&mut self, a: NodeId, b: NodeId) -> bool;
     /// Current edge/arc count.
     fn edge_count(&self) -> u64;
+
+    /// Applies one whole round of proposals from the engine's flat
+    /// pipeline: `bufs` are the per-chunk proposal buffers, concatenated
+    /// in node order. `on_new(proposer, a, b)` fires once per edge that
+    /// actually changed the graph, in proposal order.
+    ///
+    /// The default applies proposals one at a time in order — exactly the
+    /// classic apply loop, so adjacency *insertion order* (the sampling
+    /// surface of insertion-ordered backends like [`UndirectedGraph`]) is
+    /// byte-for-byte what it always was. Backends with a canonical layout
+    /// ([`ArenaGraph`]) override this with a batch sort + dedup merge.
+    fn apply_proposals(
+        &mut self,
+        bufs: &[Vec<TaggedProposal>],
+        on_new: &mut dyn FnMut(NodeId, NodeId, NodeId),
+    ) -> RoundStats {
+        let mut stats = RoundStats::default();
+        for buf in bufs {
+            for &(u, a, b) in buf {
+                stats.proposed += 1;
+                if self.apply_edge(a, b) {
+                    stats.added += 1;
+                    on_new(u, a, b);
+                }
+            }
+        }
+        stats
+    }
 }
 
 impl GossipGraph for UndirectedGraph {
@@ -113,6 +145,46 @@ impl GossipGraph for DirectedGraph {
     #[inline]
     fn edge_count(&self) -> u64 {
         self.arc_count()
+    }
+}
+
+impl GossipGraph for ArenaGraph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.n()
+    }
+    #[inline]
+    fn apply_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.add_edge(a, b)
+    }
+    #[inline]
+    fn edge_count(&self) -> u64 {
+        self.m()
+    }
+
+    /// Whole-round batch apply: flatten the chunk buffers, then merge the
+    /// round's candidates in one sort + dedup pass
+    /// ([`ArenaGraph::apply_batch`]) instead of `O(n)` individual
+    /// binary-search inserts that interleave badly with the sorted rows.
+    /// Attribution (first proposer in node order wins) matches the default
+    /// path exactly.
+    fn apply_proposals(
+        &mut self,
+        bufs: &[Vec<TaggedProposal>],
+        on_new: &mut dyn FnMut(NodeId, NodeId, NodeId),
+    ) -> RoundStats {
+        let mut flat: Vec<(NodeId, NodeId)> = Vec::with_capacity(bufs.iter().map(Vec::len).sum());
+        let mut proposers: Vec<NodeId> = Vec::with_capacity(flat.capacity());
+        for buf in bufs {
+            for &(u, a, b) in buf {
+                flat.push((a, b));
+                proposers.push(u);
+            }
+        }
+        let (proposed, added) = self.apply_batch(&flat, |slot, a, b| {
+            on_new(proposers[slot], a, b);
+        });
+        RoundStats { proposed, added }
     }
 }
 

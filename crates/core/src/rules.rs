@@ -1,7 +1,7 @@
 //! The paper's two discovery processes, verbatim.
 
-use crate::process::{ProposalRule, ProposalSet};
-use gossip_graph::{DirectedGraph, NodeId, UndirectedGraph};
+use crate::process::{GossipGraph, ProposalRule, ProposalSet};
+use gossip_graph::{DirectedGraph, NodeId, UniformNeighbors};
 use rand::rngs::SmallRng;
 
 /// **Push discovery (triangulation)** — Section 3.
@@ -11,12 +11,16 @@ use rand::rngs::SmallRng;
 /// Lemma 3 computes a `1/d(w)²` probability for an ordered pair), so `v = w`
 /// is possible and then nothing happens. `u` needs no two-hop knowledge: it
 /// introduces two of its own neighbors to each other.
+///
+/// Generic over [`UniformNeighbors`], so the same rule drives the
+/// `AdjSet`-backed [`gossip_graph::UndirectedGraph`] and the arena-backed
+/// [`gossip_graph::ArenaGraph`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Push;
 
-impl ProposalRule<UndirectedGraph> for Push {
+impl<G: GossipGraph + UniformNeighbors> ProposalRule<G> for Push {
     #[inline]
-    fn propose(&self, g: &UndirectedGraph, u: NodeId, rng: &mut SmallRng) -> ProposalSet {
+    fn propose(&self, g: &G, u: NodeId, rng: &mut SmallRng) -> ProposalSet {
         match g.random_neighbor_pair(u, rng) {
             Some((v, w)) if v != w => ProposalSet::one(v, w),
             _ => ProposalSet::empty(),
@@ -36,9 +40,9 @@ impl ProposalRule<UndirectedGraph> for Push {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Pull;
 
-impl ProposalRule<UndirectedGraph> for Pull {
+impl<G: GossipGraph + UniformNeighbors> ProposalRule<G> for Pull {
     #[inline]
-    fn propose(&self, g: &UndirectedGraph, u: NodeId, rng: &mut SmallRng) -> ProposalSet {
+    fn propose(&self, g: &G, u: NodeId, rng: &mut SmallRng) -> ProposalSet {
         let Some(v) = g.random_neighbor(u, rng) else {
             return ProposalSet::empty();
         };
@@ -92,9 +96,9 @@ impl ProposalRule<DirectedGraph> for DirectedPull {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct HybridPushPull;
 
-impl ProposalRule<UndirectedGraph> for HybridPushPull {
+impl<G: GossipGraph + UniformNeighbors> ProposalRule<G> for HybridPushPull {
     #[inline]
-    fn propose(&self, g: &UndirectedGraph, u: NodeId, rng: &mut SmallRng) -> ProposalSet {
+    fn propose(&self, g: &G, u: NodeId, rng: &mut SmallRng) -> ProposalSet {
         let mut out = ProposalSet::empty();
         if let Some((v, w)) = g.random_neighbor_pair(u, rng) {
             if v != w {
@@ -120,7 +124,7 @@ impl ProposalRule<UndirectedGraph> for HybridPushPull {
 mod tests {
     use super::*;
     use crate::rng::stream_rng;
-    use gossip_graph::generators;
+    use gossip_graph::{generators, UndirectedGraph};
 
     #[test]
     fn push_proposes_edges_between_own_neighbors() {

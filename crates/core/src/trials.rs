@@ -67,6 +67,39 @@ where
     }
 }
 
+/// Runs trials **one at a time**, streaming each [`RunOutcome`] to
+/// `consume` as it completes instead of batching engines across workers.
+///
+/// This is the memory-bound entry point for giant-`n` configurations
+/// (`gossip-bench`'s `exp_scale` sweeps to `n = 2^20`): at any instant
+/// exactly one engine — one graph clone plus its proposal buffers — is
+/// alive, so peak memory is `O(edges)`, not `O(workers · edges)` like the
+/// parallel batch path, and nothing accumulates with the trial count.
+/// Within the trial the engine still honors `parallelism` for its propose
+/// phase, so single-trial throughput is unchanged. Outcomes arrive in
+/// trial order and are bit-identical to [`run_trials`] on the same config
+/// (both derive trial `t`'s seed the same way).
+pub fn stream_trials<G, R, C>(
+    g0: &G,
+    rule: R,
+    make_check: impl Fn(&G) -> C,
+    cfg: &TrialConfig,
+    parallelism: Parallelism,
+    mut consume: impl FnMut(usize, RunOutcome),
+) where
+    G: GossipGraph,
+    R: ProposalRule<G> + Clone,
+    C: ConvergenceCheck<G>,
+{
+    for t in 0..cfg.trials {
+        let seed = trial_seed(cfg.base_seed, t);
+        let mut check = make_check(g0);
+        let mut engine = Engine::new(g0.clone(), rule.clone(), seed).with_parallelism(parallelism);
+        let outcome = engine.run_until(&mut check, cfg.max_rounds);
+        consume(t, outcome);
+    }
+}
+
 /// Convergence rounds of each trial; panics if any trial failed to converge
 /// (use [`run_trials`] directly to handle censored runs).
 pub fn convergence_rounds<G, R, C>(

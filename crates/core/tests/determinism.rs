@@ -8,7 +8,7 @@
 
 use gossip_core::rng::stream_rng;
 use gossip_core::{ComponentwiseComplete, Engine, Never, Parallelism, Pull, Push, RunOutcome};
-use gossip_graph::{generators, UndirectedGraph};
+use gossip_graph::{generators, ArenaGraph, UndirectedGraph};
 
 /// The `Auto` threshold the engine ships with.
 fn default_threshold() -> usize {
@@ -99,6 +99,85 @@ fn pool_reuse_across_experiments_leaks_no_state() {
     assert_eq!(mb1, mb2, "experiment B edge growth changed with order");
     assert_bit_identical(&fa1, &fa2, "experiment A final graph");
     assert_bit_identical(&fb1, &fb2, "experiment B final graph");
+}
+
+/// Arena-backend counterpart of [`assert_bit_identical`]: same edge count
+/// and same (sorted, canonical) per-node rows.
+fn assert_arena_bit_identical(a: &ArenaGraph, b: &ArenaGraph, ctx: &str) {
+    assert_eq!(a.m(), b.m(), "{ctx}: edge counts differ");
+    for u in a.nodes() {
+        assert_eq!(
+            a.neighbors(u),
+            b.neighbors(u),
+            "{ctx}: adjacency differs at {u:?}"
+        );
+    }
+}
+
+#[test]
+fn arena_backend_seq_and_pool_bit_identical_across_auto_threshold() {
+    // The tentpole backend: the flat pipeline's batch apply must leave the
+    // arena graph bit-identical across scheduling policies, straddling the
+    // Auto threshold just like the AdjSet suite above.
+    fn run<R>(g: &ArenaGraph, rule: R, par: Parallelism) -> ArenaGraph
+    where
+        R: gossip_core::ProposalRule<ArenaGraph>,
+    {
+        let mut e = Engine::new(g.clone(), rule, 99).with_parallelism(par);
+        for _ in 0..6 {
+            e.step();
+        }
+        e.into_graph()
+    }
+    let threshold = default_threshold();
+    for n in [threshold - 1, threshold, threshold + 1] {
+        let und = generators::tree_plus_random_edges(n, 2 * n as u64, &mut stream_rng(42, 0, 0));
+        let g = ArenaGraph::from_undirected(&und);
+        for policy in [Parallelism::Parallel, Parallelism::default()] {
+            assert_arena_bit_identical(
+                &run(&g, Push, Parallelism::Sequential),
+                &run(&g, Push, policy),
+                &format!("push n={n} seq vs {policy:?}"),
+            );
+            assert_arena_bit_identical(
+                &run(&g, Pull, Parallelism::Sequential),
+                &run(&g, Pull, policy),
+                &format!("pull n={n} seq vs {policy:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn arena_backend_step_stats_match_across_policies() {
+    // Round-by-round stats (proposed/added) must agree too, not just the
+    // final graph: the batch dedup path counts exactly what the
+    // one-at-a-time path counts.
+    let n = default_threshold() + 33;
+    let und = generators::tree_plus_random_edges(n, 3 * n as u64, &mut stream_rng(8, 0, 0));
+    let g = ArenaGraph::from_undirected(&und);
+    let mut seq = Engine::new(g.clone(), Push, 5).with_parallelism(Parallelism::Sequential);
+    let mut par = Engine::new(g, Push, 5).with_parallelism(Parallelism::Parallel);
+    for round in 0..8 {
+        assert_eq!(seq.step(), par.step(), "round {round} stats differ");
+    }
+}
+
+#[test]
+fn arena_backend_pool_reuse_across_runs_leaks_no_state() {
+    let n = default_threshold() + 100;
+    let und = generators::tree_plus_random_edges(n, 2 * n as u64, &mut stream_rng(7, 0, 0));
+    let g = ArenaGraph::from_undirected(&und);
+
+    let mut resumed = Engine::new(g.clone(), Pull, 5).with_parallelism(Parallelism::Parallel);
+    resumed.run_until(&mut Never, 3);
+    let second = resumed.run_until(&mut Never, 4);
+    assert_eq!(second.rounds, 7);
+
+    let mut fresh = Engine::new(g, Pull, 5).with_parallelism(Parallelism::Parallel);
+    let all = fresh.run_until(&mut Never, 7);
+    assert_eq!(all.final_edges, second.final_edges);
+    assert_arena_bit_identical(fresh.graph(), resumed.graph(), "resumed vs fresh");
 }
 
 #[test]

@@ -135,6 +135,13 @@ impl AdjSet {
         self.member.grow(new_capacity);
     }
 
+    /// Bytes held in the backing buffers (length-based: the dense member
+    /// list plus the full bitmap, whose words exist from construction —
+    /// the `n²/8`-byte term that motivates [`crate::ArenaGraph`]).
+    pub fn memory_bytes(&self) -> usize {
+        self.list.len() * std::mem::size_of::<NodeId>() + std::mem::size_of_val(self.member.words())
+    }
+
     /// Removes all members.
     pub fn clear(&mut self) {
         self.list.clear();

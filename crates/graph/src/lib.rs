@@ -31,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod adjacency;
+pub mod arena;
 pub mod bitset;
 pub mod closure;
 pub mod components;
@@ -44,6 +45,7 @@ pub mod traversal;
 pub mod undirected;
 
 pub use adjacency::AdjSet;
+pub use arena::{ArenaGraph, SliceArena, UniformNeighbors};
 pub use bitset::BitSet;
 pub use closure::Closure;
 pub use csr::Csr;

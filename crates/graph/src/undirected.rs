@@ -215,6 +215,14 @@ impl UndirectedGraph {
     pub fn degrees(&self) -> Vec<usize> {
         self.adj.iter().map(AdjSet::len).collect()
     }
+
+    /// Bytes held by the adjacency storage (length-based, deterministic).
+    /// Dominated by the per-node membership bitmaps — `n²/8` bytes — which
+    /// is the scaling wall [`crate::ArenaGraph`] exists to remove.
+    pub fn memory_bytes(&self) -> usize {
+        self.adj.iter().map(AdjSet::memory_bytes).sum::<usize>()
+            + self.adj.len() * std::mem::size_of::<AdjSet>()
+    }
 }
 
 #[cfg(test)]

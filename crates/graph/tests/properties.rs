@@ -183,3 +183,88 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Arena store vs AdjSet store equivalence (seeded, PROPTEST_SEED replayable)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Random proposal sequences — arbitrary (a, b) pairs including
+    /// self-loops and duplicates — applied edge-at-a-time to both backends
+    /// produce identical insert verdicts and identical edge sets.
+    #[test]
+    fn arena_and_adjset_agree_under_random_proposals(
+        seed in any::<u64>(),
+        n in 2usize..80,
+        rounds in 1usize..20,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut arena = gossip_graph::ArenaGraph::new(n);
+        let mut adjset = UndirectedGraph::new(n);
+        for _ in 0..rounds {
+            for _ in 0..n {
+                let a = rng.random_range(0..n as u32);
+                let b = rng.random_range(0..n as u32);
+                if a == b {
+                    continue; // UndirectedGraph::add_edge no-ops; skip both
+                }
+                prop_assert_eq!(
+                    arena.add_edge(NodeId(a), NodeId(b)),
+                    adjset.add_edge(NodeId(a), NodeId(b)),
+                    "verdicts diverge on ({}, {})", a, b
+                );
+            }
+        }
+        prop_assert_eq!(arena.m(), adjset.m());
+        let ae: Vec<_> = {
+            let mut v: Vec<_> = arena.edges().collect();
+            v.sort_unstable();
+            v
+        };
+        let ue: Vec<_> = {
+            let mut v: Vec<_> = adjset.edges().collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(ae, ue);
+        arena.validate().unwrap();
+        adjset.validate().unwrap();
+    }
+
+    /// Whole-round batch application on the arena equals edge-at-a-time
+    /// application on the AdjSet store: same added count per round, same
+    /// final edge set — the flat pipeline's sort + dedup pass changes the
+    /// mechanics, never the result.
+    #[test]
+    fn arena_batch_rounds_match_adjset_sequential(
+        seed in any::<u64>(),
+        n in 2usize..60,
+        rounds in 1usize..16,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xBA7C4);
+        let mut arena = gossip_graph::ArenaGraph::new(n);
+        let mut adjset = UndirectedGraph::new(n);
+        for _ in 0..rounds {
+            let proposals: Vec<(NodeId, NodeId)> = (0..2 * n)
+                .map(|_| (
+                    NodeId(rng.random_range(0..n as u32)),
+                    NodeId(rng.random_range(0..n as u32)),
+                ))
+                .collect();
+            let mut seq_added = 0u64;
+            for &(a, b) in &proposals {
+                if a != b {
+                    seq_added += adjset.add_edge(a, b) as u64;
+                }
+            }
+            let (_, batch_added) = arena.apply_batch(&proposals, |_, _, _| {});
+            prop_assert_eq!(batch_added, seq_added);
+        }
+        prop_assert_eq!(arena.m(), adjset.m());
+        for u in adjset.nodes() {
+            let mut want: Vec<NodeId> = adjset.neighbors(u).iter().collect();
+            want.sort_unstable();
+            prop_assert_eq!(arena.neighbors(u), &want[..]);
+        }
+    }
+}

@@ -52,11 +52,12 @@ pub mod prelude {
         DiscoveryAlgorithm, Flooding, Knowledge, NameDropper, PointerJump, ThrottledNameDropper,
     };
     pub use gossip_core::{
-        convergence_rounds, run_trials, ClosureReached, ComponentwiseComplete, ConvergenceCheck,
-        DirectedPull, DiscoveryTrace, Engine, Faulty, HybridPushPull, MinDegreeAtLeast, OnlySubset,
-        Parallelism, Partial, Pull, Push, SubsetComplete, TrialConfig,
+        convergence_rounds, run_trials, stream_trials, ClosureReached, ComponentwiseComplete,
+        ConvergenceCheck, DirectedPull, DiscoveryTrace, Engine, Faulty, HybridPushPull,
+        MinDegreeAtLeast, Never, OnlySubset, Parallelism, Partial, Pull, Push, SubsetComplete,
+        TrialConfig,
     };
-    pub use gossip_graph::{generators, Csr, DirectedGraph, NodeId, UndirectedGraph};
+    pub use gossip_graph::{generators, ArenaGraph, Csr, DirectedGraph, NodeId, UndirectedGraph};
     pub use gossip_net::{
         ChurnModel, HeartbeatPushProtocol, NetConfig, Network, PullProtocol as NetPull,
         PushProtocol as NetPush,

@@ -17,3 +17,19 @@ fn quickstart_push_completes_a_32_node_star() {
         "converged but graph incomplete"
     );
 }
+
+/// The README's million-node snippet, shrunk to test scale: the arena
+/// backend drives the same engine through the same prelude, in O(m + n)
+/// memory (the full 2^20 run is exercised by `exp_scale --quick` in CI).
+#[test]
+fn quickstart_arena_backend_runs_the_same_engine() {
+    let n: u32 = 1 << 12;
+    let g0 = ArenaGraph::from_edges(n as usize, (0..n - 1).map(|i| (i, i + 1)));
+    let mut engine = Engine::new(g0, Pull, 7);
+    engine.run_until(&mut Never, 4);
+    assert!(engine.graph().m() > (n as u64) - 1, "no edges discovered");
+    assert!(
+        engine.graph().memory_bytes() < (n as usize) * (n as usize) / 8 / 2,
+        "arena backend lost its memory advantage"
+    );
+}

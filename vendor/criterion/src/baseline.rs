@@ -31,6 +31,10 @@ pub struct BaselineRecord {
     pub samples: u64,
     /// Sample mean in nanoseconds.
     pub mean_ns: f64,
+    /// Tukey-trimmed mean in nanoseconds — the stall-robust estimate
+    /// [`compare`] gates on (shared-runner preemption only ever inflates
+    /// the plain mean, and only in one direction).
+    pub trimmed_mean_ns: f64,
     /// Sample standard deviation in nanoseconds.
     pub stddev_ns: f64,
     /// Lower bound of the bootstrap 95% CI for the mean.
@@ -46,6 +50,7 @@ impl BaselineRecord {
             id: id.to_owned(),
             samples: stats.n as u64,
             mean_ns: stats.mean_ns,
+            trimmed_mean_ns: stats.trimmed_mean_ns,
             stddev_ns: stats.stddev_ns,
             ci_lo_ns: stats.ci.lo,
             ci_hi_ns: stats.ci.hi,
@@ -68,16 +73,21 @@ pub enum Verdict {
 
 /// Compares a fresh measurement against a stored baseline.
 ///
-/// The verdict is `NoChange` unless the relative mean change exceeds
-/// `noise_threshold` AND the two confidence intervals are disjoint — both
-/// gates must trip before a difference is believed. Pure and deterministic:
-/// identical inputs always produce [`Verdict::NoChange`].
+/// The verdict is `NoChange` unless the relative **trimmed-mean** change
+/// exceeds `noise_threshold` AND the two confidence intervals are
+/// disjoint — both gates must trip before a difference is believed. The
+/// trimmed mean (mild-Tukey-fence inliers) is the location estimate
+/// because shared-runner preemption contaminates samples one-sidedly: a
+/// single 10× stall drags the plain mean tens of percent but leaves the
+/// trimmed mean untouched, and a perf ratchet must not flake on it.
+/// Pure and deterministic: identical inputs always produce
+/// [`Verdict::NoChange`].
 pub fn compare(
     current: &BaselineRecord,
     baseline: &BaselineRecord,
     noise_threshold: f64,
 ) -> Verdict {
-    let rel = (current.mean_ns - baseline.mean_ns) / baseline.mean_ns;
+    let rel = (current.trimmed_mean_ns - baseline.trimmed_mean_ns) / baseline.trimmed_mean_ns;
     let cis_overlap =
         current.ci_lo_ns <= baseline.ci_hi_ns && baseline.ci_lo_ns <= current.ci_hi_ns;
     if rel.abs() <= noise_threshold || cis_overlap {
@@ -122,11 +132,38 @@ pub fn save(dir: &Path, name: &str, record: &BaselineRecord) -> std::io::Result<
     std::fs::write(path, json)
 }
 
+/// A record written before `trimmed_mean_ns` existed. Kept so baselines
+/// saved by an older build still load (the documented cross-commit
+/// ratchet workflow saves on the base commit and compares after the
+/// change — which may itself be the change that added the field).
+#[derive(Deserialize)]
+struct LegacyBaselineRecord {
+    id: String,
+    samples: u64,
+    mean_ns: f64,
+    stddev_ns: f64,
+    ci_lo_ns: f64,
+    ci_hi_ns: f64,
+}
+
 /// Loads the record for `id` from baseline `name`, or `None` if absent or
-/// unreadable (a missing baseline is reported, not fatal).
+/// unreadable (a missing baseline is reported, not fatal). Pre-trimmed-mean
+/// records load with `trimmed_mean_ns` defaulted to the plain mean.
 pub fn load(dir: &Path, name: &str, id: &str) -> Option<BaselineRecord> {
     let text = std::fs::read_to_string(record_path(dir, name, id)).ok()?;
-    serde_json::from_str(&text).ok()
+    if let Ok(rec) = serde_json::from_str(&text) {
+        return Some(rec);
+    }
+    let legacy: LegacyBaselineRecord = serde_json::from_str(&text).ok()?;
+    Some(BaselineRecord {
+        id: legacy.id,
+        samples: legacy.samples,
+        mean_ns: legacy.mean_ns,
+        trimmed_mean_ns: legacy.mean_ns,
+        stddev_ns: legacy.stddev_ns,
+        ci_lo_ns: legacy.ci_lo_ns,
+        ci_hi_ns: legacy.ci_hi_ns,
+    })
 }
 
 #[cfg(test)]
@@ -138,6 +175,7 @@ mod tests {
             id: "g/bench/64".into(),
             samples: 20,
             mean_ns: mean,
+            trimmed_mean_ns: mean,
             stddev_ns: half_width,
             ci_lo_ns: mean - half_width,
             ci_hi_ns: mean + half_width,
@@ -150,6 +188,7 @@ mod tests {
             id: "group/func/1024".into(),
             samples: 48,
             mean_ns: 10234.5678,
+            trimmed_mean_ns: 10180.25,
             stddev_ns: 123.25,
             ci_lo_ns: 10100.0,
             ci_hi_ns: 10400.0,
@@ -157,6 +196,27 @@ mod tests {
         let json = serde_json::to_string_pretty(&rec).unwrap();
         let back: BaselineRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn legacy_record_without_trimmed_mean_loads() {
+        // A record saved before trimmed_mean_ns existed must still load,
+        // defaulting the trimmed mean to the plain mean — otherwise every
+        // cross-commit comparison spanning that change reports "no
+        // baseline record" and fails the verdict gates spuriously.
+        let dir = std::env::temp_dir().join(format!("criterion-legacy-{}", std::process::id()));
+        let path = dir.join("old").join("g_bench_64.json");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(
+            &path,
+            r#"{"id":"g/bench/64","samples":20,"mean_ns":5000.0,
+               "stddev_ns":100.0,"ci_lo_ns":4900.0,"ci_hi_ns":5100.0}"#,
+        )
+        .unwrap();
+        let rec = load(&dir, "old", "g/bench/64").expect("legacy record should load");
+        assert_eq!(rec.mean_ns, 5000.0);
+        assert_eq!(rec.trimmed_mean_ns, 5000.0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -185,6 +245,20 @@ mod tests {
         let base = record(10000.0, 600.0);
         let cur = record(10300.0, 600.0);
         assert_eq!(compare(&cur, &base, 0.01), Verdict::NoChange);
+    }
+
+    #[test]
+    fn stalls_do_not_move_the_verdict() {
+        // A contaminated current run: the plain mean jumped 40% (one big
+        // stall) but the trimmed mean — what honest iterations cost — is
+        // unchanged. CIs even end up disjoint; the verdict must still be
+        // NoChange because the robust estimate did not move.
+        let base = record(10000.0, 100.0);
+        let mut cur = record(10000.0, 100.0);
+        cur.mean_ns = 14000.0;
+        cur.ci_lo_ns = 11000.0;
+        cur.ci_hi_ns = 17000.0;
+        assert_eq!(compare(&cur, &base, 0.05), Verdict::NoChange);
     }
 
     #[test]

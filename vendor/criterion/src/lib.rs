@@ -28,9 +28,81 @@ pub mod stats;
 use baseline::{compare, BaselineRecord, Verdict};
 use stats::{fmt_ns, fmt_outliers, SampleStats};
 use std::fmt::Display;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Benchmarks whose comparison verdict was `Regressed` this process.
+static REGRESSIONS: AtomicUsize = AtomicUsize::new(0);
+/// Benchmarks whose comparison verdict was `Improved` this process.
+static IMPROVEMENTS: AtomicUsize = AtomicUsize::new(0);
+/// Benchmarks for which `CRITERION_BASELINE` was set but no record existed.
+static MISSING_BASELINES: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether env var `name` is set to a truthy value (anything but `0`/empty).
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Whether `CRITERION_FILTER` (comma-separated substrings) admits this
+/// fully qualified benchmark id. No filter, or an empty one, admits all.
+fn filter_allows(id: &str) -> bool {
+    match std::env::var("CRITERION_FILTER") {
+        Ok(f) if !f.is_empty() => f.split(',').any(|pat| !pat.is_empty() && id.contains(pat)),
+        _ => true,
+    }
+}
+
+/// CI gate decision: with the given env flags and verdict counts, should
+/// the bench process exit nonzero? Pure, so the policy is unit-testable.
+///
+/// * `CRITERION_FAIL_ON_REGRESSION` — fail when any benchmark regressed.
+/// * `CRITERION_FAIL_ON_CHANGE` — fail when any benchmark changed in
+///   either direction (the ratchet's *calibration* mode: identical code
+///   compared against its own baseline must verdict "no change", or the
+///   runner is too noisy for the ratchet to mean anything).
+///
+/// Under either flag a **missing baseline record** also fails: a renamed
+/// or added benchmark would otherwise skip comparison silently and turn
+/// the ratchet into a no-op.
+fn should_fail(
+    fail_on_regression: bool,
+    fail_on_change: bool,
+    regressions: usize,
+    improvements: usize,
+    missing: usize,
+) -> Option<String> {
+    if (fail_on_regression || fail_on_change) && missing > 0 {
+        return Some(format!("{missing} benchmark(s) had no baseline record"));
+    }
+    if fail_on_regression && regressions > 0 {
+        return Some(format!("{regressions} benchmark(s) REGRESSED vs baseline"));
+    }
+    if fail_on_change && regressions + improvements > 0 {
+        return Some(format!(
+            "{} benchmark(s) changed vs baseline (calibration expects 'no change')",
+            regressions + improvements
+        ));
+    }
+    None
+}
+
+/// Exits with status 1 if a configured verdict gate tripped. Called by the
+/// `main` that [`criterion_main!`] generates, after every group has run,
+/// so a single run reports *all* verdicts before failing.
+pub fn exit_if_verdict_gate_tripped() {
+    if let Some(reason) = should_fail(
+        env_flag("CRITERION_FAIL_ON_REGRESSION"),
+        env_flag("CRITERION_FAIL_ON_CHANGE"),
+        REGRESSIONS.load(Ordering::Relaxed),
+        IMPROVEMENTS.load(Ordering::Relaxed),
+        MISSING_BASELINES.load(Ordering::Relaxed),
+    ) {
+        eprintln!("criterion verdict gate: {reason}");
+        std::process::exit(1);
+    }
+}
 
 /// How `iter_batched` amortizes setup per measured batch. The shim runs
 /// setup once per sample, **outside the timed region**, and times every
@@ -167,12 +239,21 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Runs one benchmark in this group.
+    /// Runs one benchmark in this group — unless `CRITERION_FILTER`
+    /// excludes it. The filter is a comma-separated list of substrings;
+    /// a benchmark runs when its fully qualified id contains any of them
+    /// (no filter = run everything). The perf ratchet uses this to keep
+    /// each save/compare pass short: on shared runners, multi-minute
+    /// passes drift 15–25% between save and compare from background load
+    /// alone, while sub-minute passes repeat within a few percent.
     pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let full = self.qualified(id.into_id());
+        if !filter_allows(&full) {
+            return self;
+        }
         let mut bencher = Bencher::new(self.warm_up, self.measurement, self.sample_size);
         f(&mut bencher);
         bencher.report(&full, self.throughput);
@@ -302,23 +383,46 @@ impl Bencher {
         if let Ok(compare_to) = std::env::var("CRITERION_BASELINE") {
             match baseline::load(&dir, &compare_to, name) {
                 Some(base) => {
-                    let rel = (record.mean_ns - base.mean_ns) / base.mean_ns;
+                    // Displayed % matches what the verdict gates on: the
+                    // stall-robust trimmed mean, not the plain mean.
+                    let rel =
+                        (record.trimmed_mean_ns - base.trimmed_mean_ns) / base.trimmed_mean_ns;
                     let verdict = match compare(&record, &base, noise_threshold()) {
                         Verdict::NoChange => "no change (within noise)".to_owned(),
-                        Verdict::Improved(r) => format!("improved ({:.1}% faster)", r * 100.0),
-                        Verdict::Regressed(r) => format!("REGRESSED ({:.1}% slower)", r * 100.0),
+                        Verdict::Improved(r) => {
+                            IMPROVEMENTS.fetch_add(1, Ordering::Relaxed);
+                            format!("improved ({:.1}% faster)", r * 100.0)
+                        }
+                        Verdict::Regressed(r) => {
+                            REGRESSIONS.fetch_add(1, Ordering::Relaxed);
+                            format!("REGRESSED ({:.1}% slower)", r * 100.0)
+                        }
                     };
                     println!(
-                        "{name}: change vs baseline '{compare_to}' ({}): {:+.1}% — {verdict}",
-                        fmt_ns(base.mean_ns),
+                        "{name}: change vs baseline '{compare_to}' (trimmed mean {}): {:+.1}% — {verdict}",
+                        fmt_ns(base.trimmed_mean_ns),
                         rel * 100.0,
                     );
                 }
-                None => println!("{name}: baseline '{compare_to}' has no record for this id"),
+                None => {
+                    MISSING_BASELINES.fetch_add(1, Ordering::Relaxed);
+                    println!("{name}: baseline '{compare_to}' has no record for this id");
+                }
             }
         }
         if let Ok(save_as) = std::env::var("CRITERION_SAVE_BASELINE") {
-            if let Err(e) = baseline::save(&dir, &save_as, &record) {
+            // Keep-best mode: only overwrite an existing record if this
+            // process measured *faster* (lower trimmed mean). Repeating
+            // the save pass then keeps each benchmark's least-contaminated
+            // process instance — per-process allocator/ASLR layout and
+            // background load only ever slow a run down, so the fastest
+            // instance is the honest baseline for a ratchet.
+            let superseded = env_flag("CRITERION_SAVE_KEEP_BEST")
+                && baseline::load(&dir, &save_as, name)
+                    .is_some_and(|old| old.trimmed_mean_ns <= record.trimmed_mean_ns);
+            if superseded {
+                println!("{name}: baseline '{save_as}' kept (existing record is faster)");
+            } else if let Err(e) = baseline::save(&dir, &save_as, &record) {
                 eprintln!("{name}: could not save baseline '{save_as}': {e}");
             }
         }
@@ -361,12 +465,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running the listed groups.
+/// Declares `main` running the listed groups, then enforcing the verdict
+/// gates (`CRITERION_FAIL_ON_REGRESSION` / `CRITERION_FAIL_ON_CHANGE`) so
+/// a CI perf ratchet can fail the process on a regression verdict.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::exit_if_verdict_gate_tripped();
         }
     };
 }
@@ -374,6 +481,38 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn verdict_gate_policy() {
+        // No flags: never fails, whatever happened.
+        assert!(should_fail(false, false, 5, 5, 5).is_none());
+        // Regression gate: trips on regressions only.
+        assert!(should_fail(true, false, 0, 0, 0).is_none());
+        assert!(should_fail(true, false, 0, 3, 0).is_none());
+        assert!(should_fail(true, false, 1, 0, 0).is_some());
+        // Change gate (calibration): trips on either direction.
+        assert!(should_fail(false, true, 0, 0, 0).is_none());
+        assert!(should_fail(false, true, 0, 1, 0).is_some());
+        assert!(should_fail(false, true, 1, 0, 0).is_some());
+        // A missing baseline record fails under either gate — a silently
+        // skipped comparison must not read as a pass.
+        assert!(should_fail(true, false, 0, 0, 1).is_some());
+        assert!(should_fail(false, true, 0, 0, 1).is_some());
+        assert!(should_fail(false, false, 0, 0, 1).is_none());
+    }
+
+    #[test]
+    fn verdict_gate_messages_name_the_cause() {
+        assert!(should_fail(true, false, 2, 0, 0)
+            .unwrap()
+            .contains("REGRESSED"));
+        assert!(should_fail(false, true, 1, 1, 0)
+            .unwrap()
+            .contains("calibration"));
+        assert!(should_fail(true, true, 0, 0, 3)
+            .unwrap()
+            .contains("no baseline record"));
+    }
 
     #[test]
     fn bench_api_shape_compiles_and_runs() {

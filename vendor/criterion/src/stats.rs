@@ -5,7 +5,7 @@
 //! percentile bootstrap, and Tukey-fence outlier classification.
 
 use gossip_analysis::{
-    bootstrap_mean_ci, classify_outliers, ConfidenceInterval, OutlierCounts, Summary,
+    bootstrap_mean_ci, classify_outliers, trimmed_mean, ConfidenceInterval, OutlierCounts, Summary,
 };
 use std::time::Duration;
 
@@ -24,6 +24,10 @@ pub struct SampleStats {
     pub n: usize,
     /// Sample mean.
     pub mean_ns: f64,
+    /// Mean of the samples inside the mild Tukey fences — the stall-robust
+    /// estimate baseline comparisons gate on (a preempted iteration only
+    /// ever inflates the plain mean).
+    pub trimmed_mean_ns: f64,
     /// Sample standard deviation (Bessel-corrected).
     pub stddev_ns: f64,
     /// Interpolated median.
@@ -50,6 +54,7 @@ impl SampleStats {
         SampleStats {
             n: ns.len(),
             mean_ns: summary.mean,
+            trimmed_mean_ns: trimmed_mean(&ns),
             stddev_ns: summary.stddev,
             median_ns: summary.median,
             min_ns: summary.min,
