@@ -42,6 +42,8 @@ pub use bootstrap::{bootstrap_ci_of, bootstrap_mean_ci, ConfidenceInterval};
 pub use distribution::{ks_statistic, ks_threshold_95, Ecdf};
 pub use fit::{fit_model, loglog_exponent, ols, rank_models, GrowthModel, ModelFit, OlsFit};
 pub use markov::{exact_expected_rounds, find_nonmonotone_pairs, NonMonotonePair, ProcessKind};
-pub use stats::{classify_outliers, trimmed_mean, OnlineStats, OutlierCounts, Summary};
+pub use stats::{
+    classify_outliers, fnv1a, trimmed_mean, Fnv1a, OnlineStats, OutlierCounts, Summary,
+};
 pub use table::{fmt_f64, Table};
 pub use timeseries::{align_series, AggregatePoint};

@@ -259,6 +259,51 @@ pub fn trimmed_mean(values: &[f64]) -> f64 {
     }
 }
 
+/// Streaming FNV-1a 64-bit hasher: the workspace's one implementation of
+/// the deterministic non-cryptographic hash used for derived seeds
+/// (report bootstrap seeds) and structural checksums (sharded-graph row
+/// checksums in `gossip-bench`). Not for hash tables — for reproducible
+/// fingerprints of small keys and large streams alike.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a::default()
+    }
+
+    /// Feeds bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    /// Feeds one `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    Fnv1a::new().write(bytes).finish()
+}
+
 /// Linear-interpolated percentile of an ascending-sorted slice, `p` in 0..=100.
 pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty());

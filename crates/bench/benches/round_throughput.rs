@@ -10,7 +10,8 @@ use criterion::{
     criterion_group, criterion_main, BatchSize, Bencher, BenchmarkId, Criterion, Throughput,
 };
 use gossip_core::{Engine, GossipGraph, Parallelism, ProposalRule, Pull, Push};
-use gossip_graph::{generators, ArenaGraph};
+use gossip_graph::{generators, ArenaGraph, ShardedArenaGraph};
+use gossip_shard::ShardedEngine;
 use std::time::Duration;
 
 /// Eight engine rounds per iteration from a fresh engine clone.
@@ -79,6 +80,46 @@ fn bench_rounds(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("pull_seq", n), &g, |b, g| {
             eight_rounds(b, g, Pull, Parallelism::Sequential)
+        });
+    }
+    group.finish();
+
+    // The sharded engine end-to-end at the same sizes (S = 8): mailbox
+    // routing + shard-parallel apply against the single-arena rows above.
+    // The n = 4096 rows join the CI perf ratchet via its existing filter.
+    let mut group = c.benchmark_group("round_sharded");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    for n in [4096usize, 65536] {
+        let mut rng = gossip_core::rng::stream_rng(1, 0, n as u64);
+        let g = ShardedArenaGraph::from_undirected(
+            &generators::tree_plus_random_edges(n, 4 * n as u64, &mut rng),
+            8,
+        );
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("push_s8", n), &g, |b, g| {
+            b.iter_batched(
+                || ShardedEngine::new(g.clone(), Push, 7),
+                |mut engine| {
+                    for _ in 0..8 {
+                        std::hint::black_box(engine.step());
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("pull_s8", n), &g, |b, g| {
+            b.iter_batched(
+                || ShardedEngine::new(g.clone(), Pull, 7),
+                |mut engine| {
+                    for _ in 0..8 {
+                        std::hint::black_box(engine.step());
+                    }
+                },
+                BatchSize::LargeInput,
+            )
         });
     }
     group.finish();

@@ -1,0 +1,16 @@
+//! E16: sharded round engine scaling, `n` up to `2^22`.
+//!
+//! `--quick` trims horizons and the shard grid but keeps all three sizes —
+//! the `n = 2^22` two-hop-walk row is the acceptance run and must complete
+//! within CI memory. The full run sweeps `S ∈ {1, 2, 8}` at
+//! `n ∈ {2^17, 2^20, 2^22}` with longer horizons. Run standalone for clean
+//! peak-RSS readings (inside `run_all` the process floor is set by earlier
+//! experiments).
+
+use gossip_bench::experiments::shard;
+use gossip_bench::parse_args;
+
+fn main() {
+    let args = parse_args();
+    shard::run(&args).finish(&args);
+}

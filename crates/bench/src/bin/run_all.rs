@@ -1,4 +1,4 @@
-//! Runs the full experiment battery (E1–E14) and writes every report to the
+//! Runs the full experiment battery (E1–E16) and writes every report to the
 //! results directory. `--quick` keeps the whole thing under a couple of
 //! minutes; the full run is sized for a coffee break.
 //!
@@ -31,6 +31,7 @@ fn battery() -> Vec<(&'static str, fn(&Args) -> Report)> {
         ("E13", exp::evolution::run),
         ("E14", exp::asynchrony::run),
         ("E15", exp::scale::run),
+        ("E16", exp::shard::run),
     ]
 }
 

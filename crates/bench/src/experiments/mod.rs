@@ -14,6 +14,7 @@
 //! | [`evolution`] | §1 (E13): structural evolution + brokerage under push |
 //! | [`asynchrony`] | model extension (E14): synchronous vs Poisson-clock timing |
 //! | [`scale`] | scaling extension (E15): arena-backed engine at n up to 2^20 |
+//! | [`shard`] | scaling extension (E16): sharded round engine at n up to 2^22 |
 
 pub mod asynchrony;
 pub mod baselines;
@@ -26,4 +27,5 @@ pub mod nonmonotone;
 pub mod robustness;
 pub mod scale;
 pub mod scaling;
+pub mod shard;
 pub mod subset;

@@ -48,7 +48,7 @@ impl ConvergenceCheck<ArenaGraph> for EdgesAtLeast {
 /// a random parent tree plus `extra` uniform random edges. Mirrors
 /// `generators::tree_plus_random_edges`'s workload shape without ever
 /// materializing the `O(n²/8)`-byte `AdjSet` form.
-fn sparse_arena(n: usize, extra: u64, seed: u64) -> ArenaGraph {
+pub(crate) fn sparse_arena(n: usize, extra: u64, seed: u64) -> ArenaGraph {
     use rand::Rng;
     let mut rng = gossip_core::rng::stream_rng(seed, 0xA1, n as u64);
     let mut g = ArenaGraph::new(n);

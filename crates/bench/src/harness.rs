@@ -117,13 +117,24 @@ pub struct Measurement {
     pub mean: f64,
     /// Sample standard deviation (0 for single observations).
     pub stddev: f64,
-    /// Half-width of the ~95% normal CI for the mean (0 for single
-    /// observations).
+    /// Half-width of the ~95% CI for the mean (0 for single observations).
+    /// Per-seed rows carry the normal-theory half-width; report pooling
+    /// replaces it with a percentile-bootstrap half-width computed from the
+    /// pooled raw [`samples`](Measurement::samples).
     pub ci95: f64,
     /// Smallest observation.
     pub min: f64,
     /// Largest observation.
     pub max: f64,
+    /// The raw observations behind the summary, in trial order. Report
+    /// pooling concatenates these across seeds so `RESULTS.md` CIs are
+    /// bootstrapped from per-trial samples, not merged normal-theory
+    /// moments.
+    pub samples: Vec<f64>,
+    /// Whether the row is a machine-dependent wall-clock observation.
+    /// Wall-clock rows are quarantined to the report's appendix and are
+    /// excluded from the byte-for-byte reproducibility contract.
+    pub wallclock: bool,
 }
 
 /// A named experiment result: rendered tables plus raw rows for JSON.
@@ -201,6 +212,8 @@ impl Report {
             ci95: s.ci95,
             min: s.min,
             max: s.max,
+            samples: values.to_vec(),
+            wallclock: false,
         });
     }
 
@@ -226,6 +239,25 @@ impl Report {
         value: f64,
     ) {
         self.measure(metric, algorithm, family, n, &[value]);
+    }
+
+    /// Records a single **wall-clock** observation (seconds, speedup
+    /// ratios, …). Wall-clock rows flow into the report's machine-dependent
+    /// appendix instead of the reproducible tables — keeping them out of
+    /// the byte-for-byte contract that every other row honors.
+    pub fn measure_wallclock_scalar(
+        &mut self,
+        metric: impl Into<String>,
+        algorithm: impl Into<String>,
+        family: impl Into<String>,
+        n: u64,
+        value: f64,
+    ) {
+        self.measure(metric, algorithm, family, n, &[value]);
+        self.measurements
+            .last_mut()
+            .expect("measure just pushed")
+            .wallclock = true;
     }
 
     /// Prints the report to stdout as markdown.

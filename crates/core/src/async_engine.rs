@@ -173,6 +173,23 @@ impl<G: GossipGraph, R: ProposalRule<G>> AsyncEngine<G, R> {
     }
 }
 
+impl<G: GossipGraph, R: ProposalRule<G>> crate::seam::RoundEngine for AsyncEngine<G, R> {
+    type Graph = G;
+    #[inline]
+    fn graph(&self) -> &G {
+        &self.graph
+    }
+    /// The async engine's scheduling quantum is one activation.
+    #[inline]
+    fn quanta(&self) -> u64 {
+        self.activations
+    }
+    #[inline]
+    fn step_quantum(&mut self) -> RoundStats {
+        self.step().1
+    }
+}
+
 /// Standard exponential(1) sample by inversion; guards against ln(0).
 fn exponential(rng: &mut SmallRng) -> f64 {
     let u: f64 = rng.random();

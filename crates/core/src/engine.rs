@@ -40,7 +40,55 @@ use rayon::prelude::*;
 /// balances load across these units. 1024 nodes ≈ tens of µs of propose
 /// work per chunk: coarse enough to amortize dispatch, fine enough to
 /// rebalance a skewed workload.
-const PROPOSAL_CHUNK: usize = 1024;
+///
+/// Public because the sharded engine (`gossip-shard`) reuses the exact
+/// same chunk decomposition (via [`propose_round`]) and aligns its shard
+/// boundaries to it — `gossip_graph::SHARD_ALIGN` must stay equal to this.
+pub const PROPOSAL_CHUNK: usize = 1024;
+
+/// The propose phase, shared by every round-based engine: each node
+/// evaluates `rule` against the immutable round-start `graph`, drawing from
+/// its `(seed, round, node)` counter-based RNG stream; chunk `c`'s
+/// proposals land in `bufs[c]` (cleared first), so concatenating the
+/// buffers in index order always yields the node-order proposal stream,
+/// under any scheduling. `bufs` must hold `node_count.div_ceil(PROPOSAL_CHUNK)`
+/// buffers.
+pub fn propose_round<G, R>(
+    graph: &G,
+    rule: &R,
+    seed: u64,
+    round: u64,
+    bufs: &mut [Vec<TaggedProposal>],
+    parallel: bool,
+) where
+    G: GossipGraph,
+    R: ProposalRule<G>,
+{
+    let n = graph.node_count();
+    debug_assert_eq!(bufs.len(), n.div_ceil(PROPOSAL_CHUNK));
+    let fill_chunk = |c: usize, buf: &mut Vec<TaggedProposal>| {
+        buf.clear();
+        let lo = c * PROPOSAL_CHUNK;
+        let hi = (lo + PROPOSAL_CHUNK).min(n);
+        for u in lo..hi {
+            let mut rng = stream_rng(seed, round, u as u64);
+            let node = gossip_graph::NodeId::new(u);
+            let set = rule.propose(graph, node, &mut rng);
+            for &(a, b) in set.as_slice() {
+                buf.push((node, a, b));
+            }
+        }
+    };
+    if parallel {
+        bufs.par_iter_mut()
+            .enumerate()
+            .for_each(|(c, buf)| fill_chunk(c, buf));
+    } else {
+        for (c, buf) in bufs.iter_mut().enumerate() {
+            fill_chunk(c, buf);
+        }
+    }
+}
 
 /// When to parallelize the propose phase.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -166,38 +214,19 @@ impl<G: GossipGraph, R: ProposalRule<G>> Engine<G, R> {
     where
         F: FnMut(u64, gossip_graph::NodeId, gossip_graph::NodeId, gossip_graph::NodeId),
     {
-        let n = self.graph.node_count();
-        let (seed, round) = (self.seed, self.round);
-        debug_assert_eq!(self.chunk_bufs.len(), n.div_ceil(PROPOSAL_CHUNK));
-
         // Phase 1: propose against the immutable G_t, each chunk filling
-        // its own flat buffer. The per-node work is identical either way;
-        // only the scheduling of whole chunks differs.
-        let fill_chunk = |c: usize, buf: &mut Vec<TaggedProposal>, graph: &G, rule: &R| {
-            buf.clear();
-            let lo = c * PROPOSAL_CHUNK;
-            let hi = (lo + PROPOSAL_CHUNK).min(n);
-            for u in lo..hi {
-                let mut rng = stream_rng(seed, round, u as u64);
-                let node = gossip_graph::NodeId::new(u);
-                let set = rule.propose(graph, node, &mut rng);
-                for &(a, b) in set.as_slice() {
-                    buf.push((node, a, b));
-                }
-            }
-        };
-        if self.use_parallel() {
-            let graph = &self.graph;
-            let rule = &self.rule;
-            self.chunk_bufs
-                .par_iter_mut()
-                .enumerate()
-                .for_each(|(c, buf)| fill_chunk(c, buf, graph, rule));
-        } else {
-            for (c, buf) in self.chunk_bufs.iter_mut().enumerate() {
-                fill_chunk(c, buf, &self.graph, &self.rule);
-            }
-        }
+        // its own flat buffer (the shared phase in [`propose_round`]). The
+        // per-node work is identical either way; only the scheduling of
+        // whole chunks differs.
+        let parallel = self.use_parallel();
+        propose_round(
+            &self.graph,
+            &self.rule,
+            self.seed,
+            self.round,
+            &mut self.chunk_bufs,
+            parallel,
+        );
 
         // Phase 2: hand the whole round to the graph as one batch.
         self.round += 1;
@@ -216,6 +245,8 @@ impl<G: GossipGraph, R: ProposalRule<G>> Engine<G, R> {
     }
 
     /// Runs like [`Engine::run_until`], feeding every round to `observer`.
+    /// (The loop itself lives in [`crate::seam`], shared with the async and
+    /// sharded engines.)
     pub fn run_observed<C, O>(
         &mut self,
         check: &mut C,
@@ -226,31 +257,23 @@ impl<G: GossipGraph, R: ProposalRule<G>> Engine<G, R> {
         C: ConvergenceCheck<G>,
         O: RoundObserver<G>,
     {
-        // The start graph may already satisfy the target.
-        if check.is_converged(&self.graph) {
-            return RunOutcome {
-                rounds: self.round,
-                converged: true,
-                final_edges: self.graph.edge_count(),
-            };
-        }
-        let start = self.round;
-        while self.round - start < max_rounds {
-            let stats = self.step();
-            observer.observe(self.round, &self.graph, &stats);
-            if check.is_converged(&self.graph) {
-                return RunOutcome {
-                    rounds: self.round,
-                    converged: true,
-                    final_edges: self.graph.edge_count(),
-                };
-            }
-        }
-        RunOutcome {
-            rounds: self.round,
-            converged: false,
-            final_edges: self.graph.edge_count(),
-        }
+        crate::seam::run_engine_observed(self, check, max_rounds, observer)
+    }
+}
+
+impl<G: GossipGraph, R: ProposalRule<G>> crate::seam::RoundEngine for Engine<G, R> {
+    type Graph = G;
+    #[inline]
+    fn graph(&self) -> &G {
+        &self.graph
+    }
+    #[inline]
+    fn quanta(&self) -> u64 {
+        self.round
+    }
+    #[inline]
+    fn step_quantum(&mut self) -> RoundStats {
+        self.step()
     }
 }
 

@@ -44,6 +44,7 @@ pub mod process;
 pub mod recorder;
 pub mod rng;
 pub mod rules;
+pub mod seam;
 pub mod trace;
 pub mod trials;
 pub mod variants;
@@ -57,6 +58,7 @@ pub use engine::{Engine, Parallelism, RunOutcome};
 pub use process::{GossipGraph, ProposalRule, ProposalSet, RoundStats, TaggedProposal};
 pub use recorder::{MinDegreeMilestones, NullObserver, RoundObserver, SeriesRecorder, SeriesRow};
 pub use rules::{DirectedPull, HybridPushPull, Pull, Push};
+pub use seam::{run_engine_observed, run_engine_until, RoundEngine};
 pub use trace::{DiscoveryTrace, EdgeEvent};
 pub use trials::{convergence_rounds, run_trials, stream_trials, TrialConfig};
 pub use variants::{Faulty, OnlySubset, Partial};

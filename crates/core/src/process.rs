@@ -7,7 +7,7 @@
 //! the two graph types so one engine serves the undirected and directed
 //! processes.
 
-use gossip_graph::{ArenaGraph, DirectedGraph, NodeId, UndirectedGraph};
+use gossip_graph::{ArenaGraph, DirectedGraph, NodeId, ShardedArenaGraph, UndirectedGraph};
 use rand::rngs::SmallRng;
 
 /// One proposal flowing through the engine's flat pipeline:
@@ -185,6 +185,26 @@ impl GossipGraph for ArenaGraph {
             on_new(proposers[slot], a, b);
         });
         RoundStats { proposed, added }
+    }
+}
+
+/// The plain [`Engine`](crate::engine::Engine) can also drive the sharded
+/// backend through the default one-at-a-time apply path — rows are sorted
+/// and canonical, so the result is bit-identical to `ArenaGraph` and to the
+/// mailbox-routed apply in `gossip-shard` (which is the point: the
+/// sequential run is the oracle the sharded engine is pinned against).
+impl GossipGraph for ShardedArenaGraph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.n()
+    }
+    #[inline]
+    fn apply_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.add_edge(a, b)
+    }
+    #[inline]
+    fn edge_count(&self) -> u64 {
+        self.m()
     }
 }
 

@@ -1,0 +1,130 @@
+//! The engine-selection seam: one driving loop for every engine.
+//!
+//! The repository now has three execution engines over the same
+//! [`ProposalRule`](crate::process::ProposalRule)/[`GossipGraph`] plumbing:
+//! the synchronous [`Engine`](crate::engine::Engine), the Poisson-clock
+//! [`AsyncEngine`](crate::async_engine::AsyncEngine), and the multi-shard
+//! `ShardedEngine` (crate `gossip-shard`). They differ in *how a quantum of
+//! work is scheduled*, not in what a run is: advance quanta, watch a
+//! [`ConvergenceCheck`], stop at a budget. [`RoundEngine`] captures exactly
+//! that seam, and [`run_engine_until`]/[`run_engine_observed`] are the one
+//! shared implementation of the run loop — experiments select an engine by
+//! constructing it, and everything downstream (convergence, observers,
+//! outcome reporting) is engine-agnostic.
+//!
+//! A "quantum" is one synchronous round for the round-based engines and one
+//! activation for the asynchronous engine (its natural scheduling unit);
+//! `budget` counts quanta either way.
+
+use crate::convergence::ConvergenceCheck;
+use crate::engine::RunOutcome;
+use crate::process::{GossipGraph, RoundStats};
+use crate::recorder::{NullObserver, RoundObserver};
+
+/// An engine that advances a gossip process one scheduling quantum at a
+/// time. See the [module docs](self) for what a quantum is per engine.
+pub trait RoundEngine {
+    /// The graph type the engine mutates.
+    type Graph: GossipGraph;
+
+    /// The current graph `G_t`.
+    fn graph(&self) -> &Self::Graph;
+
+    /// Quanta executed so far.
+    fn quanta(&self) -> u64;
+
+    /// Executes one quantum; returns what happened.
+    fn step_quantum(&mut self) -> RoundStats;
+}
+
+/// Runs `engine` until `check` fires or `budget` quanta have executed —
+/// the shared run loop behind every engine's `run_until`.
+pub fn run_engine_until<E, C>(engine: &mut E, check: &mut C, budget: u64) -> RunOutcome
+where
+    E: RoundEngine,
+    C: ConvergenceCheck<E::Graph>,
+{
+    run_engine_observed(engine, check, budget, &mut NullObserver)
+}
+
+/// Like [`run_engine_until`], feeding every executed quantum to `observer`.
+pub fn run_engine_observed<E, C, O>(
+    engine: &mut E,
+    check: &mut C,
+    budget: u64,
+    observer: &mut O,
+) -> RunOutcome
+where
+    E: RoundEngine,
+    C: ConvergenceCheck<E::Graph>,
+    O: RoundObserver<E::Graph>,
+{
+    // The start graph may already satisfy the target.
+    if check.is_converged(engine.graph()) {
+        return RunOutcome {
+            rounds: engine.quanta(),
+            converged: true,
+            final_edges: engine.graph().edge_count(),
+        };
+    }
+    let start = engine.quanta();
+    while engine.quanta() - start < budget {
+        let stats = engine.step_quantum();
+        observer.observe(engine.quanta(), engine.graph(), &stats);
+        if check.is_converged(engine.graph()) {
+            return RunOutcome {
+                rounds: engine.quanta(),
+                converged: true,
+                final_edges: engine.graph().edge_count(),
+            };
+        }
+    }
+    RunOutcome {
+        rounds: engine.quanta(),
+        converged: false,
+        final_edges: engine.graph().edge_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::{ComponentwiseComplete, Never};
+    use crate::engine::Engine;
+    use crate::rules::Push;
+    use gossip_graph::generators;
+
+    #[test]
+    fn seam_loop_matches_engine_run_until() {
+        let g = generators::path(16);
+        let mut a = Engine::new(g.clone(), Push, 9);
+        let mut b = Engine::new(g, Push, 9);
+        let mut ca = ComponentwiseComplete::for_graph(a.graph());
+        let mut cb = ComponentwiseComplete::for_graph(b.graph());
+        let oa = a.run_until(&mut ca, 1_000_000);
+        let ob = run_engine_until(&mut b, &mut cb, 1_000_000);
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn async_engine_drives_through_the_seam() {
+        use crate::async_engine::AsyncEngine;
+        let g = generators::star(12);
+        let mut check = ComponentwiseComplete::for_graph(&g);
+        let mut e = AsyncEngine::new(g, Push, 3);
+        // Budget counts activations for the async engine.
+        let out = run_engine_until(&mut e, &mut check, 1_000_000);
+        assert!(out.converged);
+        assert_eq!(out.rounds, e.activations());
+        assert!(e.graph().is_complete());
+    }
+
+    #[test]
+    fn budget_is_respected_across_engines() {
+        let g = generators::cycle(24);
+        let mut e = Engine::new(g, Push, 1);
+        let out = run_engine_until(&mut e, &mut Never, 7);
+        assert!(!out.converged);
+        assert_eq!(out.rounds, 7);
+    }
+}

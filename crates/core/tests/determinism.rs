@@ -5,10 +5,18 @@
 //! mixture must produce bit-identical graphs (same edge sets *and* same
 //! adjacency insertion order), and reusing the process-global worker pool
 //! across consecutive runs or experiments must leak no state between them.
+//!
+//! The sharded engine (`gossip-shard`, a dev-dependency here) extends the
+//! contract to the shard axis: a `ShardedEngine` over any shard count must
+//! reproduce the sequential arena engine's trajectory bit-for-bit. The
+//! suite pins `S ∈ {1, 2, 8}`; CI runs the whole file under
+//! `RAYON_NUM_THREADS ∈ {1, 2, 8}`, covering the `(S, threads)` grid the
+//! design promises.
 
 use gossip_core::rng::stream_rng;
 use gossip_core::{ComponentwiseComplete, Engine, Never, Parallelism, Pull, Push, RunOutcome};
-use gossip_graph::{generators, ArenaGraph, UndirectedGraph};
+use gossip_graph::{generators, ArenaGraph, ShardedArenaGraph, UndirectedGraph};
+use gossip_shard::ShardedEngine;
 
 /// The `Auto` threshold the engine ships with.
 fn default_threshold() -> usize {
@@ -178,6 +186,118 @@ fn arena_backend_pool_reuse_across_runs_leaks_no_state() {
     let all = fresh.run_until(&mut Never, 7);
     assert_eq!(all.final_edges, second.final_edges);
     assert_arena_bit_identical(fresh.graph(), resumed.graph(), "resumed vs fresh");
+}
+
+/// Sharded-vs-sequential counterpart of [`assert_arena_bit_identical`].
+fn assert_sharded_matches_arena(a: &ArenaGraph, b: &ShardedArenaGraph, ctx: &str) {
+    assert_eq!(a.m(), b.m(), "{ctx}: edge counts differ");
+    for u in a.nodes() {
+        assert_eq!(
+            a.neighbors(u),
+            b.neighbors(u),
+            "{ctx}: adjacency differs at {u:?}"
+        );
+    }
+}
+
+#[test]
+fn sharded_engine_bit_identical_to_sequential_across_shard_counts() {
+    // The sharded round engine's headline contract: for every shard count
+    // (and under whatever RAYON_NUM_THREADS this process runs with), the
+    // per-round stats and the final rows equal the sequential arena
+    // engine's exactly. Sizes straddle the Auto threshold so both the
+    // sequential and the pool path of the sharded engine are exercised.
+    fn run_ref<R>(g: &ArenaGraph, rule: R) -> (Vec<gossip_core::RoundStats>, ArenaGraph)
+    where
+        R: gossip_core::ProposalRule<ArenaGraph>,
+    {
+        let mut e = Engine::new(g.clone(), rule, 99).with_parallelism(Parallelism::Sequential);
+        let stats: Vec<_> = (0..6).map(|_| e.step()).collect();
+        (stats, e.into_graph())
+    }
+    fn run_sharded<R>(
+        g: ShardedArenaGraph,
+        rule: R,
+        policy: Parallelism,
+    ) -> (Vec<gossip_core::RoundStats>, ShardedArenaGraph)
+    where
+        R: gossip_core::ProposalRule<ShardedArenaGraph>,
+    {
+        let mut e = ShardedEngine::new(g, rule, 99).with_parallelism(policy);
+        let stats: Vec<_> = (0..6).map(|_| e.step()).collect();
+        (stats, e.into_graph())
+    }
+    fn check_rule<RA, RS>(arena: &ArenaGraph, rule_a: RA, rule_s: RS, rule_name: &str, n: usize)
+    where
+        RA: gossip_core::ProposalRule<ArenaGraph> + Copy,
+        RS: gossip_core::ProposalRule<ShardedArenaGraph> + Copy,
+    {
+        let (stats_ref, final_ref) = run_ref(arena, rule_a);
+        for shards in [1usize, 2, 8] {
+            for policy in [Parallelism::Sequential, Parallelism::Parallel] {
+                let g = ShardedArenaGraph::from_arena(arena, shards);
+                let (stats, final_g) = run_sharded(g, rule_s, policy);
+                assert_eq!(
+                    stats, stats_ref,
+                    "{rule_name} n={n} S={shards} {policy:?}: round stats diverged"
+                );
+                assert_sharded_matches_arena(
+                    &final_ref,
+                    &final_g,
+                    &format!("{rule_name} n={n} S={shards} {policy:?}"),
+                );
+                final_g.validate().unwrap();
+            }
+        }
+    }
+    let threshold = default_threshold();
+    for n in [threshold - 1, threshold + 177] {
+        let und = generators::tree_plus_random_edges(n, 2 * n as u64, &mut stream_rng(21, 0, 0));
+        let arena = ArenaGraph::from_undirected(&und);
+        check_rule(&arena, Push, Push, "push", n);
+        check_rule(&arena, Pull, Pull, "pull", n);
+    }
+}
+
+#[test]
+fn sharded_engine_matches_plain_engine_on_sharded_backend() {
+    // Cross-check through a third, independent path: the plain Engine
+    // driving ShardedArenaGraph via the default one-at-a-time apply. All
+    // three implementations must tell the same story.
+    let n = default_threshold() + 41;
+    let und = generators::tree_plus_random_edges(n, 3 * n as u64, &mut stream_rng(13, 0, 0));
+    let g = ShardedArenaGraph::from_undirected(&und, 8);
+    let mut oracle = Engine::new(g.clone(), Push, 7).with_parallelism(Parallelism::Sequential);
+    let mut sharded = ShardedEngine::new(g, Push, 7);
+    for round in 0..6 {
+        assert_eq!(oracle.step(), sharded.step(), "round {round}");
+    }
+    for u in oracle.graph().nodes() {
+        assert_eq!(
+            oracle.graph().neighbors(u),
+            sharded.graph().neighbors(u),
+            "row {u:?}"
+        );
+    }
+}
+
+#[test]
+fn sharded_engine_pool_reuse_across_runs_leaks_no_state() {
+    let n = default_threshold() + 100;
+    let und = generators::tree_plus_random_edges(n, 2 * n as u64, &mut stream_rng(7, 0, 0));
+    let g = ShardedArenaGraph::from_undirected(&und, 8);
+
+    let mut resumed = ShardedEngine::new(g.clone(), Pull, 5);
+    resumed.run_until(&mut Never, 3);
+    let second = resumed.run_until(&mut Never, 4);
+    assert_eq!(second.rounds, 7);
+
+    let mut fresh = ShardedEngine::new(g, Pull, 5);
+    let all = fresh.run_until(&mut Never, 7);
+    assert_eq!(all.final_edges, second.final_edges);
+    for u in fresh.graph().nodes() {
+        assert_eq!(fresh.graph().neighbors(u), resumed.graph().neighbors(u));
+    }
 }
 
 #[test]

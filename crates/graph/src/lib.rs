@@ -41,6 +41,7 @@ pub mod generators;
 pub mod io;
 pub mod metrics;
 pub mod node;
+pub mod sharded;
 pub mod traversal;
 pub mod undirected;
 
@@ -51,4 +52,5 @@ pub use closure::Closure;
 pub use csr::Csr;
 pub use directed::DirectedGraph;
 pub use node::{Arc, Edge, NodeId};
+pub use sharded::{HalfEdge, ShardPlan, ShardSeg, ShardedArenaGraph, SHARD_ALIGN};
 pub use undirected::UndirectedGraph;

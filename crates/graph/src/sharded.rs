@@ -1,0 +1,609 @@
+//! Owner-partitioned arena adjacency for the multi-shard round engine.
+//!
+//! [`ShardedArenaGraph`] splits the node id space into `S` contiguous,
+//! chunk-aligned ranges ([`ShardPlan`]); shard `s` **owns** the adjacency
+//! rows of its node range in a private [`SliceArena`] segment
+//! ([`ShardSeg`]). The partition is an *apply-phase* concept only:
+//!
+//! * **Reads are global.** A round's propose phase observes the immutable
+//!   round-start graph `G_t`, so any node may query any row through the
+//!   shared reference — [`ShardedArenaGraph::neighbors`] routes to the
+//!   owning segment, and cross-shard membership tests stay `O(log deg)`
+//!   binary searches on the owner's sorted row.
+//! * **Writes are owner-local.** An undirected edge `(lo, hi)` materializes
+//!   as two half-edges, one in row `lo` (owned by `owner(lo)`) and one in
+//!   row `hi` (owned by `owner(hi)`). Each shard applies the half-edges
+//!   routed to it without touching any other segment, so `S` shards apply a
+//!   round with **zero synchronization** — the engine layer
+//!   (`gossip-shard`) fans the segments out across the rayon pool.
+//!
+//! Rows are kept sorted (ascending id), exactly like [`ArenaGraph`]: the
+//! layout is canonical, so the graph after a round is independent of both
+//! the shard count and the order in which shards run. Each segment also
+//! tracks the count of **canonical** edges it owns (those whose smaller
+//! endpoint lives in the segment), making the global edge count an `O(S)`
+//! sum with no cross-shard counter to contend on.
+
+use crate::arena::{ArenaGraph, SliceArena, UniformNeighbors};
+use crate::node::{Edge, NodeId};
+use crate::undirected::UndirectedGraph;
+use rand::Rng;
+use std::ops::Range;
+
+/// Shard spans are multiples of this many nodes (the round engine's propose
+/// chunk size — `gossip-shard` asserts the two constants agree at compile
+/// time). Alignment makes every propose chunk land in exactly one source
+/// shard, so "concatenate mailboxes in (source shard, chunk index) order"
+/// is the same stream as "concatenate chunk buffers in chunk order", which
+/// is the sequential engine's node-order proposal stream.
+pub const SHARD_ALIGN: usize = 1024;
+
+/// A contiguous, chunk-aligned partition of `0..n` into `shards` ranges.
+///
+/// Every shard spans `shard_nodes` ids (the last may be ragged; with more
+/// shards than chunks the trailing shards are empty). Ownership is a pure
+/// division: `owner(u) = u / shard_nodes`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    n: usize,
+    shards: usize,
+    shard_nodes: usize,
+}
+
+impl ShardPlan {
+    /// Plans `shards` chunk-aligned ranges over `n` nodes.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(n: usize, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let chunks = n.div_ceil(SHARD_ALIGN);
+        let per_shard = chunks.div_ceil(shards).max(1);
+        ShardPlan {
+            n,
+            shards,
+            shard_nodes: per_shard * SHARD_ALIGN,
+        }
+    }
+
+    /// Total nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of shards (some may own empty ranges).
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Ids per shard span (a multiple of [`SHARD_ALIGN`]).
+    #[inline]
+    pub fn shard_nodes(&self) -> usize {
+        self.shard_nodes
+    }
+
+    /// The shard owning node `u`.
+    #[inline]
+    pub fn owner(&self, u: NodeId) -> usize {
+        u.index() / self.shard_nodes
+    }
+
+    /// The node ids shard `s` owns (empty for trailing shards when
+    /// `shards > ceil(n / SHARD_ALIGN)`).
+    #[inline]
+    pub fn span(&self, s: usize) -> Range<usize> {
+        let lo = (s * self.shard_nodes).min(self.n);
+        let hi = ((s + 1) * self.shard_nodes).min(self.n);
+        lo..hi
+    }
+
+    /// The propose-chunk indices (chunks of [`SHARD_ALIGN`] nodes) whose
+    /// proposers shard `s` owns.
+    #[inline]
+    pub fn chunk_span(&self, s: usize) -> Range<usize> {
+        let chunks = self.n.div_ceil(SHARD_ALIGN);
+        let per_shard = self.shard_nodes / SHARD_ALIGN;
+        let lo = (s * per_shard).min(chunks);
+        let hi = ((s + 1) * per_shard).min(chunks);
+        lo..hi
+    }
+}
+
+/// One routed half-edge candidate: `(slot, row, other)` — the proposal's
+/// global arrival slot in the round's node-order stream (ties in the
+/// per-shard merge break toward the earliest slot, mirroring the
+/// sequential engine's first-proposer-wins order), the owned row's global
+/// id, and the other endpoint.
+pub type HalfEdge = (u32, NodeId, NodeId);
+
+/// One shard's segment: the adjacency rows of a contiguous node range,
+/// stored locally (row `u` lives at local index `u - base`).
+#[derive(Clone, Debug)]
+pub struct ShardSeg {
+    base: usize,
+    adj: SliceArena,
+    /// Canonical edges owned here: edges whose smaller endpoint is local.
+    m_canonical: u64,
+}
+
+impl ShardSeg {
+    fn new(span: Range<usize>) -> Self {
+        ShardSeg {
+            base: span.start,
+            adj: SliceArena::new(span.len()),
+            m_canonical: 0,
+        }
+    }
+
+    /// First global node id of the segment.
+    #[inline]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Number of rows owned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.adj.lists()
+    }
+
+    /// Whether the segment owns no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row of global node `u` (must be owned here).
+    #[inline]
+    fn row(&self, u: NodeId) -> &[NodeId] {
+        self.adj.slice(u.index() - self.base)
+    }
+
+    /// Applies one round's half-edges routed to this shard, already
+    /// concatenated in global arrival order across `sources`. Returns the
+    /// number of genuinely new **canonical** edges (smaller endpoint owned
+    /// here), so summing the return values across shards counts each new
+    /// edge exactly once.
+    ///
+    /// The merge mirrors [`ArenaGraph::apply_batch`] per row: candidates
+    /// are keyed `(local row, other)`, sorted, deduplicated keeping the
+    /// earliest slot, and the survivors inserted into the sorted rows in
+    /// row order (one cache-friendly ascending pass per row, instead of the
+    /// single-arena path's proposal-order walk over random rows). `scratch`
+    /// is caller-provided so steady-state rounds allocate nothing.
+    pub fn apply_half_edges(
+        &mut self,
+        sources: &[&[HalfEdge]],
+        scratch: &mut Vec<(u64, u32)>,
+    ) -> u64 {
+        scratch.clear();
+        for src in sources {
+            for &(slot, row, other) in *src {
+                debug_assert!(
+                    row.index() >= self.base && row.index() - self.base < self.adj.lists(),
+                    "half-edge {row:?} routed to the wrong shard (base {})",
+                    self.base
+                );
+                let local = (row.index() - self.base) as u64;
+                scratch.push(((local << 32) | other.0 as u64, slot));
+            }
+        }
+        // Sort by (row, other, slot); keep the earliest arrival of each
+        // distinct half-edge. Insertion in key order means each row is
+        // filled left-to-right in ascending id order.
+        scratch.sort_unstable();
+        scratch.dedup_by_key(|&mut (key, _)| key);
+        let mut added = 0u64;
+        for &(key, _slot) in scratch.iter() {
+            let local = (key >> 32) as usize;
+            let other = NodeId(key as u32);
+            if self.adj.insert_sorted(local, other) {
+                let row_global = (self.base + local) as u32;
+                if row_global < other.0 {
+                    self.m_canonical += 1;
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+}
+
+/// An undirected graph whose sorted adjacency rows are partitioned into
+/// owner-local arena segments — the storage backend of the `gossip-shard`
+/// round engine.
+///
+/// Behaviorally a drop-in for [`ArenaGraph`]: same sorted canonical rows,
+/// same query surface, same `O(m + n)` memory — plus a shard seam
+/// ([`ShardedArenaGraph::segments_mut`]) that hands each shard's rows to a
+/// different worker with no aliasing.
+///
+/// ```
+/// use gossip_graph::{NodeId, ShardedArenaGraph};
+/// let mut g = ShardedArenaGraph::new(4000, 4);
+/// assert!(g.add_edge(NodeId(1), NodeId(3999))); // endpoints in two shards
+/// assert!(!g.add_edge(NodeId(3999), NodeId(1)));
+/// assert_eq!(g.m(), 1);
+/// assert_eq!(g.neighbors(NodeId(3999)), &[NodeId(1)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardedArenaGraph {
+    plan: ShardPlan,
+    segs: Vec<ShardSeg>,
+}
+
+impl ShardedArenaGraph {
+    /// Creates an empty graph with `n` isolated nodes across `shards`
+    /// shards.
+    pub fn new(n: usize, shards: usize) -> Self {
+        let plan = ShardPlan::new(n, shards);
+        let segs = (0..shards).map(|s| ShardSeg::new(plan.span(s))).collect();
+        ShardedArenaGraph { plan, segs }
+    }
+
+    /// Builds a graph from an edge list (duplicates ignored, self-loops
+    /// no-ops), like [`ArenaGraph::from_edges`].
+    pub fn from_edges(
+        n: usize,
+        shards: usize,
+        edges: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Self {
+        let mut g = ShardedArenaGraph::new(n, shards);
+        for (a, b) in edges {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+        g
+    }
+
+    /// Snapshots an [`UndirectedGraph`] into the sharded layout.
+    pub fn from_undirected(g: &UndirectedGraph, shards: usize) -> Self {
+        let mut out = ShardedArenaGraph::new(g.n(), shards);
+        for e in g.edges() {
+            out.add_edge(e.a, e.b);
+        }
+        out
+    }
+
+    /// Snapshots an [`ArenaGraph`] into the sharded layout.
+    pub fn from_arena(g: &ArenaGraph, shards: usize) -> Self {
+        let mut out = ShardedArenaGraph::new(g.n(), shards);
+        for e in g.edges() {
+            out.add_edge(e.a, e.b);
+        }
+        out
+    }
+
+    /// The partition.
+    #[inline]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.plan.n()
+    }
+
+    /// Number of edges (an `O(S)` sum of per-shard canonical counts).
+    #[inline]
+    pub fn m(&self) -> u64 {
+        self.segs.iter().map(|s| s.m_canonical).sum()
+    }
+
+    /// Number of edges in the complete graph on `n` nodes.
+    #[inline]
+    pub fn complete_m(&self) -> u64 {
+        let n = self.n() as u64;
+        n * n.saturating_sub(1) / 2
+    }
+
+    /// Whether the graph is complete (vacuously true for `n <= 1`).
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.m() == self.complete_m()
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Neighbors of `u`, in ascending id order (routed to the owner).
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        self.segs[self.plan.owner(u)].row(u)
+    }
+
+    /// Edge membership test: binary search on the owner's sorted row.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Adds edge `(u, v)`; returns `true` if new. Self-loops are no-ops.
+    /// The one-at-a-time path (construction, oracle tests); rounds go
+    /// through [`ShardSeg::apply_half_edges`].
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        let (su, sv) = (self.plan.owner(u), self.plan.owner(v));
+        let lu = u.index() - self.segs[su].base;
+        if !self.segs[su].adj.insert_sorted(lu, v) {
+            return false;
+        }
+        let lv = v.index() - self.segs[sv].base;
+        let ins = self.segs[sv].adj.insert_sorted(lv, u);
+        debug_assert!(ins, "asymmetric adjacency");
+        let canon = if u < v { su } else { sv };
+        self.segs[canon].m_canonical += 1;
+        true
+    }
+
+    /// The shard segments, mutably and disjointly — the apply-phase seam
+    /// the round engine fans out across workers. Segment order is shard
+    /// order; each segment only ever touches its own rows.
+    #[inline]
+    pub fn segments_mut(&mut self) -> &mut [ShardSeg] {
+        &mut self.segs
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n() as u32).map(NodeId)
+    }
+
+    /// Iterates over all edges in canonical form.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| Edge::new(u, v))
+        })
+    }
+
+    /// Bytes held by the adjacency storage (deterministic, length-based),
+    /// summed over segments.
+    pub fn memory_bytes(&self) -> usize {
+        self.segs
+            .iter()
+            .map(|s| s.adj.memory_bytes() + std::mem::size_of::<u64>())
+            .sum()
+    }
+
+    /// Debug-grade structural validation: sorted rows, cross-shard
+    /// symmetry, no self-loops, per-shard canonical counts consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut half_edges = 0u64;
+        let mut canonical = 0u64;
+        for u in self.nodes() {
+            let row = self.neighbors(u);
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("row of {u:?} not strictly sorted"));
+            }
+            for &v in row {
+                if u == v {
+                    return Err(format!("self-loop at {u:?}"));
+                }
+                if !self.has_edge(v, u) {
+                    return Err(format!("asymmetric edge {u:?}->{v:?}"));
+                }
+                half_edges += 1;
+                canonical += (u < v) as u64;
+            }
+        }
+        if half_edges != 2 * self.m() {
+            return Err(format!(
+                "edge count mismatch: m={} but half-edges={half_edges}",
+                self.m()
+            ));
+        }
+        if canonical != self.m() {
+            return Err(format!(
+                "canonical count mismatch: m={} but canonical rows hold {canonical}",
+                self.m()
+            ));
+        }
+        for (s, seg) in self.segs.iter().enumerate() {
+            if self.plan.span(s) != (seg.base..seg.base + seg.len()) {
+                return Err(format!("segment {s} does not match its planned span"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl UniformNeighbors for ShardedArenaGraph {
+    #[inline]
+    fn random_neighbor<R: Rng + ?Sized>(&self, u: NodeId, rng: &mut R) -> Option<NodeId> {
+        let row = self.neighbors(u);
+        if row.is_empty() {
+            None
+        } else {
+            Some(row[rng.random_range(0..row.len())])
+        }
+    }
+    #[inline]
+    fn random_neighbor_pair<R: Rng + ?Sized>(
+        &self,
+        u: NodeId,
+        rng: &mut R,
+    ) -> Option<(NodeId, NodeId)> {
+        let row = self.neighbors(u);
+        if row.is_empty() {
+            None
+        } else {
+            let i = rng.random_range(0..row.len());
+            let j = rng.random_range(0..row.len());
+            Some((row[i], row[j]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn plan_partitions_and_aligns() {
+        let p = ShardPlan::new(10_000, 4);
+        // 10 chunks of 1024 -> 3 chunks per shard -> 3072 nodes per span.
+        assert_eq!(p.shard_nodes(), 3 * SHARD_ALIGN);
+        assert_eq!(p.span(0), 0..3072);
+        assert_eq!(p.span(3), 9216..10_000);
+        assert_eq!(p.chunk_span(0), 0..3);
+        assert_eq!(p.chunk_span(3), 9..10);
+        // Spans tile 0..n exactly and ownership matches the span.
+        let mut covered = 0;
+        for s in 0..4 {
+            for u in p.span(s) {
+                assert_eq!(p.owner(NodeId(u as u32)), s);
+                covered += 1;
+            }
+        }
+        assert_eq!(covered, 10_000);
+    }
+
+    #[test]
+    fn plan_with_more_shards_than_chunks_leaves_trailing_empty() {
+        let p = ShardPlan::new(100, 8);
+        assert_eq!(p.shard_nodes(), SHARD_ALIGN);
+        assert_eq!(p.span(0), 0..100);
+        for s in 1..8 {
+            assert!(p.span(s).is_empty(), "shard {s} should be empty");
+            assert!(p.chunk_span(s).is_empty());
+        }
+        assert_eq!(p.owner(NodeId(99)), 0);
+    }
+
+    #[test]
+    fn matches_arena_graph_on_random_edges() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 5000; // > one chunk, so multiple shards are non-empty
+        for shards in [1, 2, 3, 8] {
+            let mut sharded = ShardedArenaGraph::new(n, shards);
+            let mut arena = ArenaGraph::new(n);
+            for _ in 0..20_000 {
+                let a = NodeId(rng.random_range(0..n as u32));
+                let b = NodeId(rng.random_range(0..n as u32));
+                assert_eq!(arena.add_edge(a, b), sharded.add_edge(a, b));
+            }
+            assert_eq!(arena.m(), sharded.m());
+            for u in arena.nodes() {
+                assert_eq!(arena.neighbors(u), sharded.neighbors(u), "row {u:?}");
+            }
+            sharded.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn apply_half_edges_matches_one_at_a_time() {
+        let n = 4000;
+        let shards = 3;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut batch = ShardedArenaGraph::new(n, shards);
+        let mut oracle = ShardedArenaGraph::new(n, shards);
+        let plan = *batch.plan();
+        for _round in 0..12 {
+            // A synthetic round: random proposals in node order.
+            let proposals: Vec<(NodeId, NodeId)> = (0..n)
+                .map(|_| {
+                    (
+                        NodeId(rng.random_range(0..n as u32)),
+                        NodeId(rng.random_range(0..n as u32)),
+                    )
+                })
+                .collect();
+            // Route both halves of each non-degenerate proposal.
+            let mut mail: Vec<Vec<HalfEdge>> = vec![Vec::new(); shards];
+            for (slot, &(a, b)) in proposals.iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                mail[plan.owner(a)].push((slot as u32, a, b));
+                mail[plan.owner(b)].push((slot as u32, b, a));
+            }
+            let mut scratch = Vec::new();
+            let mut added = 0;
+            for (s, entries) in mail.iter().enumerate() {
+                added +=
+                    batch.segments_mut()[s].apply_half_edges(&[entries.as_slice()], &mut scratch);
+            }
+            let mut oracle_added = 0;
+            for &(a, b) in &proposals {
+                oracle_added += oracle.add_edge(a, b) as u64;
+            }
+            assert_eq!(added, oracle_added);
+            assert_eq!(batch.m(), oracle.m());
+        }
+        for u in batch.nodes() {
+            assert_eq!(batch.neighbors(u), oracle.neighbors(u));
+        }
+        batch.validate().unwrap();
+    }
+
+    #[test]
+    fn from_conversions_roundtrip() {
+        let und =
+            crate::generators::tree_plus_random_edges(3000, 6000, &mut SmallRng::seed_from_u64(5));
+        let arena = ArenaGraph::from_undirected(&und);
+        let a = ShardedArenaGraph::from_undirected(&und, 4);
+        let b = ShardedArenaGraph::from_arena(&arena, 4);
+        assert_eq!(a.m(), und.m());
+        assert_eq!(b.m(), und.m());
+        let ea: BTreeSet<Edge> = a.edges().collect();
+        let eb: BTreeSet<Edge> = b.edges().collect();
+        let want: BTreeSet<Edge> = und.edges().collect();
+        assert_eq!(ea, want);
+        assert_eq!(eb, want);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let g0 = ShardedArenaGraph::new(0, 4);
+        assert_eq!((g0.n(), g0.m()), (0, 0));
+        assert!(g0.is_complete());
+        g0.validate().unwrap();
+        let g1 = ShardedArenaGraph::new(1, 1);
+        assert!(g1.is_complete());
+        assert_eq!(g1.edges().count(), 0);
+    }
+
+    #[test]
+    fn sampling_consumes_rng_like_arena() {
+        // The propose phase must draw identically on either backend: same
+        // rows, same rng stream -> same samples.
+        let und =
+            crate::generators::tree_plus_random_edges(2500, 5000, &mut SmallRng::seed_from_u64(3));
+        let arena = ArenaGraph::from_undirected(&und);
+        let sharded = ShardedArenaGraph::from_undirected(&und, 3);
+        for u in arena.nodes().take(200) {
+            let mut r1 = SmallRng::seed_from_u64(u.0 as u64);
+            let mut r2 = SmallRng::seed_from_u64(u.0 as u64);
+            assert_eq!(
+                arena.random_neighbor(u, &mut r1),
+                sharded.random_neighbor(u, &mut r2)
+            );
+            assert_eq!(
+                arena.random_neighbor_pair(u, &mut r1),
+                sharded.random_neighbor_pair(u, &mut r2)
+            );
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! # gossip-shard
+//!
+//! The **deterministic multi-shard round engine**: the synchronous-round
+//! semantics of [`gossip_core::Engine`], executed as `S` independent shards
+//! so both phases of a round — propose *and* apply — run in parallel on the
+//! rayon shim's persistent pool. This is what takes the simulation from
+//! "propose parallelizes, apply is one sequential sort" (the wall-clock
+//! ceiling at `n ≥ 2^17` after the arena work) to a pipeline with no
+//! sequential phase at all, sized for `10^7`-node graphs.
+//!
+//! One round is three steps:
+//!
+//! 1. **Propose, shard-parallel.** The exact shared propose phase of the
+//!    sequential engine ([`gossip_core::engine::propose_round`]): fixed
+//!    1024-node chunks, per-chunk flat `(proposer, a, b)` buffers, each
+//!    node drawing from its own `(seed, round, node)` RNG stream against
+//!    the immutable `G_t`.
+//! 2. **Route.** Each proposal `(u, a, b)` becomes two half-edges —
+//!    `(a, b)` owned by `owner(a)` and `(b, a)` owned by `owner(b)` — and
+//!    is appended to the mailbox `mail[source][owner]`, tagged with its
+//!    global slot in the node-order proposal stream. Sources process their
+//!    chunks in index order, so every mailbox is internally in node order.
+//! 3. **Apply, shard-parallel.** Owner `t` concatenates
+//!    `mail[0][t], mail[1][t], …` — fixed *(source shard, chunk index)*
+//!    order — which is exactly the node-order proposal stream restricted to
+//!    `t`'s rows, then merges it into its own arena segment
+//!    ([`gossip_graph::ShardSeg::apply_half_edges`]) with no locks and no
+//!    cross-shard writes.
+//!
+//! ## Determinism argument
+//!
+//! The engine is **bit-identical to the sequential engine for every
+//! `(S, thread count)`** — pinned by `crates/core/tests/determinism.rs`
+//! across `S ∈ {1, 2, 8}` and `RAYON_NUM_THREADS ∈ {1, 2, 8}`. The chain:
+//!
+//! * The propose phase is chunk-decomposed independently of thread count,
+//!   and shard spans are chunk-aligned ([`gossip_graph::SHARD_ALIGN`] ==
+//!   [`PROPOSAL_CHUNK`], asserted at compile time), so chunk `c` has
+//!   exactly one source shard and the routed stream per owner concatenates
+//!   to the same node-order stream the sequential engine applies.
+//! * Rows are sorted and canonical, so the merge result per row depends
+//!   only on the *set* of half-edges routed to it — and that set is a pure
+//!   function of the proposal stream. Shard scheduling order cannot leak in.
+//! * The round's `added` count sums each shard's count of new *canonical*
+//!   half-edges (smaller endpoint owned locally): every new edge is counted
+//!   by exactly one shard, so the sum equals the sequential dedup count.
+//!
+//! What a shard does never depends on what another shard does *in the same
+//! round* — exactly the paper's model, where every node acts against `G_t`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gossip_core::{ComponentwiseComplete, Pull};
+//! use gossip_graph::{generators, ShardedArenaGraph};
+//! use gossip_shard::ShardedEngine;
+//!
+//! let g0 = ShardedArenaGraph::from_undirected(&generators::star(64), 4);
+//! let mut check = ComponentwiseComplete::for_graph(&generators::star(64));
+//! let mut engine = ShardedEngine::new(g0, Pull, 42);
+//! let out = engine.run_until(&mut check, 1_000_000);
+//! assert!(out.converged);
+//! assert!(engine.graph().is_complete());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use gossip_core::engine::{propose_round, PROPOSAL_CHUNK};
+use gossip_core::seam::{run_engine_observed, run_engine_until, RoundEngine};
+use gossip_core::{
+    ConvergenceCheck, Parallelism, ProposalRule, RoundObserver, RoundStats, RunOutcome,
+    TaggedProposal,
+};
+use gossip_graph::{HalfEdge, ShardSeg, ShardedArenaGraph, SHARD_ALIGN};
+use rayon::prelude::*;
+use std::time::Instant;
+
+// Shard spans are aligned to propose chunks so that a chunk never straddles
+// two source shards — the mailbox ordering proof in the module docs leans
+// on this equality.
+const _: () = assert!(
+    PROPOSAL_CHUNK == SHARD_ALIGN,
+    "shard alignment must equal the engine's propose chunk"
+);
+
+/// One owner shard's apply-phase work unit: `(shard index, its segment,
+/// its merge scratch, its added-count slot)` — disjoint borrows the pool
+/// fans out with no aliasing.
+type ShardWork<'a> = (
+    usize,
+    &'a mut ShardSeg,
+    &'a mut Vec<(u64, u32)>,
+    &'a mut u64,
+);
+
+/// Cumulative per-phase wall time, in nanoseconds. Wall-clock only — these
+/// numbers feed `exp_shard`'s throughput tables and never enter
+/// reproducible measurement rows.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseNanos {
+    /// Propose phase (rule evaluation + buffer writes).
+    pub propose: u64,
+    /// Mailbox routing (canonicalize, owner lookup, append).
+    pub route: u64,
+    /// Shard-parallel apply (sort + dedup + merge per segment).
+    pub apply: u64,
+}
+
+impl PhaseNanos {
+    /// Total across phases.
+    pub fn total(&self) -> u64 {
+        self.propose + self.route + self.apply
+    }
+}
+
+/// Drives a [`ProposalRule`] over a [`ShardedArenaGraph`] in synchronous
+/// rounds with shard-parallel propose, route, and apply phases.
+///
+/// Bit-identical to [`gossip_core::Engine`] on the same `(graph, rule,
+/// seed)` for any shard count and any thread count; see the
+/// [module docs](self) for the argument.
+#[derive(Debug)]
+pub struct ShardedEngine<R> {
+    graph: ShardedArenaGraph,
+    rule: R,
+    seed: u64,
+    round: u64,
+    parallelism: Parallelism,
+    /// Flat per-chunk proposal buffers, reused across rounds (identical
+    /// decomposition to the sequential engine's).
+    chunk_bufs: Vec<Vec<TaggedProposal>>,
+    /// `mail[source][owner]`: half-edges proposed by `source`'s nodes whose
+    /// row lives in `owner`, appended in chunk order. Reused across rounds.
+    mail: Vec<Vec<Vec<HalfEdge>>>,
+    /// Per-owner merge scratch, reused across rounds.
+    scratch: Vec<Vec<(u64, u32)>>,
+    /// Per-owner added-edge counters for the current round.
+    added: Vec<u64>,
+    phases: PhaseNanos,
+}
+
+impl<R: ProposalRule<ShardedArenaGraph>> ShardedEngine<R> {
+    /// Creates an engine over `graph` with the given rule and experiment
+    /// seed. The shard count is the graph's ([`ShardedArenaGraph::shard_count`]).
+    pub fn new(graph: ShardedArenaGraph, rule: R, seed: u64) -> Self {
+        let chunks = graph.n().div_ceil(PROPOSAL_CHUNK);
+        let shards = graph.shard_count();
+        ShardedEngine {
+            graph,
+            rule,
+            seed,
+            round: 0,
+            parallelism: Parallelism::default(),
+            chunk_bufs: vec![Vec::new(); chunks],
+            mail: vec![vec![Vec::new(); shards]; shards],
+            scratch: vec![Vec::new(); shards],
+            added: vec![0; shards],
+            phases: PhaseNanos::default(),
+        }
+    }
+
+    /// Sets the parallelism policy (builder style). The policy gates all
+    /// three phases at once; results are identical either way.
+    pub fn with_parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = p;
+        self
+    }
+
+    /// The current graph `G_t`.
+    #[inline]
+    pub fn graph(&self) -> &ShardedArenaGraph {
+        &self.graph
+    }
+
+    /// Consumes the engine, returning the final graph.
+    pub fn into_graph(self) -> ShardedArenaGraph {
+        self.graph
+    }
+
+    /// Rounds executed so far (`t`).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The rule's name.
+    pub fn rule_name(&self) -> &'static str {
+        self.rule.name()
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.graph.shard_count()
+    }
+
+    /// Cumulative wall time per phase since construction (or the last
+    /// [`ShardedEngine::reset_phases`]).
+    pub fn phases(&self) -> PhaseNanos {
+        self.phases
+    }
+
+    /// Zeroes the phase timers (e.g. after warm-up rounds).
+    pub fn reset_phases(&mut self) {
+        self.phases = PhaseNanos::default();
+    }
+
+    fn use_parallel(&self) -> bool {
+        match self.parallelism {
+            Parallelism::Sequential => false,
+            Parallelism::Parallel => true,
+            Parallelism::Auto { threshold } => self.graph.n() >= threshold,
+        }
+    }
+
+    /// Executes one synchronous round; returns what happened.
+    pub fn step(&mut self) -> RoundStats {
+        let parallel = self.use_parallel();
+        let plan = *self.graph.plan();
+        let shards = self.graph.shard_count();
+
+        // Phase 1: propose — the sequential engine's shared chunk phase.
+        let t = Instant::now();
+        propose_round(
+            &self.graph,
+            &self.rule,
+            self.seed,
+            self.round,
+            &mut self.chunk_bufs,
+            parallel,
+        );
+        self.phases.propose += t.elapsed().as_nanos() as u64;
+        self.round += 1;
+
+        // Global slot base of each chunk: the proposal stream is the
+        // concatenation of the chunk buffers, so chunk c's first proposal
+        // sits at the prefix sum of the earlier buffers' lengths.
+        let t = Instant::now();
+        let proposed: u64 = self.chunk_bufs.iter().map(|b| b.len() as u64).sum();
+        assert!(
+            proposed < u32::MAX as u64,
+            "round proposal stream overflows u32 slots"
+        );
+        let mut slot_bases = Vec::with_capacity(self.chunk_bufs.len());
+        let mut acc = 0u32;
+        for buf in &self.chunk_bufs {
+            slot_bases.push(acc);
+            acc += buf.len() as u32;
+        }
+
+        // Phase 2: route — source shard s walks its own chunks in index
+        // order, appending both half-edges of each proposal to the owner
+        // mailboxes. Mailboxes end up internally ordered by (chunk, slot).
+        let chunk_bufs = &self.chunk_bufs;
+        let slot_bases = &slot_bases;
+        let route = |s: usize, boxes: &mut Vec<Vec<HalfEdge>>| {
+            for b in boxes.iter_mut() {
+                b.clear();
+            }
+            for c in plan.chunk_span(s) {
+                for (i, &(_, a, b)) in chunk_bufs[c].iter().enumerate() {
+                    let here = slot_bases[c] + i as u32;
+                    if a == b {
+                        continue;
+                    }
+                    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                    boxes[plan.owner(lo)].push((here, lo, hi));
+                    boxes[plan.owner(hi)].push((here, hi, lo));
+                }
+            }
+        };
+        if parallel {
+            self.mail
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(s, boxes)| route(s, boxes));
+        } else {
+            for (s, boxes) in self.mail.iter_mut().enumerate() {
+                route(s, boxes);
+            }
+        }
+        self.phases.route += t.elapsed().as_nanos() as u64;
+
+        // Phase 3: apply — owner t merges its mailbox column in fixed
+        // (source shard, chunk index) order into its own segment.
+        let t = Instant::now();
+        let mail = &self.mail;
+        let apply = |t_shard: usize, seg: &mut ShardSeg, scratch: &mut Vec<(u64, u32)>| -> u64 {
+            let sources: Vec<&[HalfEdge]> =
+                (0..shards).map(|s| mail[s][t_shard].as_slice()).collect();
+            seg.apply_half_edges(&sources, scratch)
+        };
+        if parallel {
+            let mut work: Vec<ShardWork<'_>> = self
+                .graph
+                .segments_mut()
+                .iter_mut()
+                .zip(self.scratch.iter_mut())
+                .zip(self.added.iter_mut())
+                .enumerate()
+                .map(|(t, ((seg, scratch), added))| (t, seg, scratch, added))
+                .collect();
+            work.par_iter_mut().for_each(|(t, seg, scratch, added)| {
+                **added = apply(*t, seg, scratch);
+            });
+        } else {
+            for (t_shard, ((seg, scratch), added)) in self
+                .graph
+                .segments_mut()
+                .iter_mut()
+                .zip(self.scratch.iter_mut())
+                .zip(self.added.iter_mut())
+                .enumerate()
+            {
+                *added = apply(t_shard, seg, scratch);
+            }
+        }
+        self.phases.apply += t.elapsed().as_nanos() as u64;
+
+        RoundStats {
+            proposed,
+            added: self.added.iter().sum(),
+        }
+    }
+
+    /// Runs until `check` fires or `max_rounds` is reached (the shared loop
+    /// from [`gossip_core::seam`]).
+    pub fn run_until<C: ConvergenceCheck<ShardedArenaGraph>>(
+        &mut self,
+        check: &mut C,
+        max_rounds: u64,
+    ) -> RunOutcome {
+        run_engine_until(self, check, max_rounds)
+    }
+
+    /// Runs like [`ShardedEngine::run_until`], feeding every round to
+    /// `observer`.
+    pub fn run_observed<C, O>(
+        &mut self,
+        check: &mut C,
+        max_rounds: u64,
+        observer: &mut O,
+    ) -> RunOutcome
+    where
+        C: ConvergenceCheck<ShardedArenaGraph>,
+        O: RoundObserver<ShardedArenaGraph>,
+    {
+        run_engine_observed(self, check, max_rounds, observer)
+    }
+}
+
+impl<R: ProposalRule<ShardedArenaGraph>> RoundEngine for ShardedEngine<R> {
+    type Graph = ShardedArenaGraph;
+    #[inline]
+    fn graph(&self) -> &ShardedArenaGraph {
+        &self.graph
+    }
+    #[inline]
+    fn quanta(&self) -> u64 {
+        self.round
+    }
+    #[inline]
+    fn step_quantum(&mut self) -> RoundStats {
+        self.step()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_core::rng::stream_rng;
+    use gossip_core::{ComponentwiseComplete, Engine, Never, Pull, Push};
+    use gossip_graph::{generators, ArenaGraph};
+
+    fn sharded(n: usize, extra: u64, seed: u64, shards: usize) -> ShardedArenaGraph {
+        let und = generators::tree_plus_random_edges(n, extra, &mut stream_rng(seed, 0, 0));
+        ShardedArenaGraph::from_undirected(&und, shards)
+    }
+
+    #[test]
+    fn completes_a_star() {
+        let und = generators::star(40);
+        let g = ShardedArenaGraph::from_undirected(&und, 4);
+        let mut check = ComponentwiseComplete::for_graph(&und);
+        let mut e = ShardedEngine::new(g, Push, 0xBEEF);
+        let out = e.run_until(&mut check, 1_000_000);
+        assert!(out.converged);
+        assert!(e.graph().is_complete());
+        assert_eq!(out.rounds, e.round());
+        e.graph().validate().unwrap();
+    }
+
+    #[test]
+    fn stats_match_sequential_engine_every_round() {
+        // The core contract, at unit-test scale: per-round stats and final
+        // rows equal the sequential arena engine's, for several shard
+        // counts, rules, and a node count that is not chunk-aligned.
+        let n = 3000;
+        for shards in [1, 2, 3, 8] {
+            let und = generators::tree_plus_random_edges(n, 2 * n as u64, &mut stream_rng(4, 0, 0));
+            let arena = ArenaGraph::from_undirected(&und);
+            let g = ShardedArenaGraph::from_undirected(&und, shards);
+            let mut seq = Engine::new(arena, Pull, 77).with_parallelism(Parallelism::Sequential);
+            let mut shd = ShardedEngine::new(g, Pull, 77);
+            for round in 0..8 {
+                assert_eq!(
+                    seq.step(),
+                    shd.step(),
+                    "S={shards} round={round}: stats diverged"
+                );
+            }
+            for u in seq.graph().nodes() {
+                assert_eq!(
+                    seq.graph().neighbors(u),
+                    shd.graph().neighbors(u),
+                    "S={shards}: row {u:?} diverged"
+                );
+            }
+            shd.graph().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_policies_agree() {
+        let g = sharded(2500, 5000, 9, 2);
+        let mut a =
+            ShardedEngine::new(g.clone(), Push, 5).with_parallelism(Parallelism::Sequential);
+        let mut b = ShardedEngine::new(g, Push, 5).with_parallelism(Parallelism::Parallel);
+        for round in 0..10 {
+            assert_eq!(a.step(), b.step(), "round {round}");
+        }
+        for u in a.graph().nodes() {
+            assert_eq!(a.graph().neighbors(u), b.graph().neighbors(u));
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs_are_noops() {
+        let mut e = ShardedEngine::new(ShardedArenaGraph::new(0, 4), Push, 1);
+        assert_eq!(e.step(), RoundStats::default());
+        let mut e1 = ShardedEngine::new(ShardedArenaGraph::new(1, 8), Pull, 1);
+        assert_eq!(e1.step(), RoundStats::default());
+        assert_eq!(e1.round(), 1);
+    }
+
+    #[test]
+    fn phase_timers_accumulate_and_reset() {
+        let g = sharded(1200, 2400, 2, 2);
+        let mut e = ShardedEngine::new(g, Push, 3);
+        for _ in 0..3 {
+            e.step();
+        }
+        let p = e.phases();
+        assert!(p.total() > 0);
+        assert!(p.propose > 0 && p.apply > 0);
+        e.reset_phases();
+        assert_eq!(e.phases(), PhaseNanos::default());
+    }
+
+    #[test]
+    fn run_until_budget_and_resume() {
+        let g = sharded(1500, 3000, 6, 3);
+        let mut resumed = ShardedEngine::new(g.clone(), Pull, 5);
+        resumed.run_until(&mut Never, 3);
+        let second = resumed.run_until(&mut Never, 4);
+        assert_eq!(second.rounds, 7);
+        let mut fresh = ShardedEngine::new(g, Pull, 5);
+        let all = fresh.run_until(&mut Never, 7);
+        assert_eq!(all.final_edges, second.final_edges);
+    }
+}

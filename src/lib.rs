@@ -6,13 +6,14 @@
 //! self-rewiring networks, with everything needed to re-derive the paper's
 //! results on a laptop.
 //!
-//! This crate is the facade: it re-exports the five member crates and a
-//! [`prelude`]. See the individual crates for the real APIs:
+//! This crate is the facade: it re-exports the six member library crates
+//! and a [`prelude`]. See the individual crates for the real APIs:
 //!
 //! | Crate | Contents |
 //! |-------|----------|
 //! | [`graph`] (`gossip-graph`) | dynamic graphs with O(1) neighbor sampling, generators incl. the paper's lower-bound constructions, traversal/SCC/closure |
 //! | [`core`] (`gossip-core`) | the push/pull/directed processes, deterministic parallel engine, Monte Carlo trials, robustness variants |
+//! | [`shard`] (`gossip-shard`) | deterministic multi-shard round engine: shard-parallel propose/apply over owner-partitioned arena segments |
 //! | [`baselines`] (`gossip-baselines`) | Name Dropper, Random Pointer Jump, throttled ND, flooding — with message-bit accounting |
 //! | [`net`] (`gossip-net`) | byte-accurate message-passing simulator: loss, churn, coverage/staleness metrics |
 //! | [`analysis`] (`gossip-analysis`) | exact Markov-chain solver (Figure 1(c)), statistics, asymptotic model fitting |
@@ -41,6 +42,7 @@ pub use gossip_baselines as baselines;
 pub use gossip_core as core;
 pub use gossip_graph as graph;
 pub use gossip_net as net;
+pub use gossip_shard as shard;
 
 /// Most-used items in one import.
 pub mod prelude {
@@ -57,9 +59,12 @@ pub mod prelude {
         MinDegreeAtLeast, Never, OnlySubset, Parallelism, Partial, Pull, Push, SubsetComplete,
         TrialConfig,
     };
-    pub use gossip_graph::{generators, ArenaGraph, Csr, DirectedGraph, NodeId, UndirectedGraph};
+    pub use gossip_graph::{
+        generators, ArenaGraph, Csr, DirectedGraph, NodeId, ShardedArenaGraph, UndirectedGraph,
+    };
     pub use gossip_net::{
         ChurnModel, HeartbeatPushProtocol, NetConfig, Network, PullProtocol as NetPull,
         PushProtocol as NetPush,
     };
+    pub use gossip_shard::ShardedEngine;
 }

@@ -33,3 +33,16 @@ fn quickstart_arena_backend_runs_the_same_engine() {
         "arena backend lost its memory advantage"
     );
 }
+
+/// The README's sharded-engine snippet, verbatim: the multi-shard engine
+/// drives the same process through the same prelude (the full 2^22 run is
+/// exercised by `exp_shard --quick` in CI).
+#[test]
+fn quickstart_sharded_engine_runs_the_same_process() {
+    let und = generators::star(64);
+    let g0 = ShardedArenaGraph::from_undirected(&und, 8);
+    let mut check = ComponentwiseComplete::for_graph(&und);
+    let mut engine = ShardedEngine::new(g0, Pull, 7);
+    assert!(engine.run_until(&mut check, 1_000_000).converged);
+    assert!(engine.graph().is_complete());
+}

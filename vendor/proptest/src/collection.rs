@@ -18,12 +18,36 @@ pub struct VecStrategy<S> {
     len: Range<usize>,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
         let n = rng.random_range(self.len.clone());
         (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+
+    /// Prefix truncation, biggest cut first, never below the strategy's
+    /// minimum length: the shortest admissible prefix, the half-length
+    /// prefix, then drop-last.
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let min = self.len.start;
+        let len = value.len();
+        let mut cuts = Vec::new();
+        if len > min {
+            cuts.push(min);
+            let half = min + (len - min) / 2;
+            if half != min && half != len {
+                cuts.push(half);
+            }
+            let prev = len - 1;
+            if prev != min && prev != half {
+                cuts.push(prev);
+            }
+        }
+        cuts.into_iter().map(|k| value[..k].to_vec()).collect()
     }
 }
 

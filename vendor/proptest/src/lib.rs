@@ -5,8 +5,17 @@
 //! strategies, [`strategy::Strategy::prop_map`], and `collection::{vec, btree_set}`.
 //! Failing cases are reported with their case number and the deterministic
 //! per-test seed (derived from the test name, overridable via the
-//! `PROPTEST_SEED` environment variable) so they replay exactly. **No
-//! shrinking**: a failure reports the raw sampled case.
+//! `PROPTEST_SEED` environment variable) so they replay exactly.
+//!
+//! **Minimal shrinking**: after a failure the runner greedily descends
+//! through [`strategy::Strategy::shrink`] candidates — binary halving
+//! toward the range start for integer/size strategies, prefix truncation
+//! (respecting the minimum length) for `collection::vec`, per-component
+//! shrinking for tuples — and reports the minimal still-failing case
+//! alongside the replay seed. Shrinking consumes no randomness, so a
+//! `PROPTEST_SEED` replay reproduces both the original failure and the
+//! identical descent. Strategies that cannot be inverted (`prop_map`,
+//! `Just`, sets) report the raw sampled case, as before.
 
 pub mod collection;
 pub mod strategy;
@@ -46,17 +55,19 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::Config = $cfg;
-            let mut runner = $crate::test_runner::Runner::new(stringify!($name), &config);
             let strategies = ($($strat,)+);
-            while runner.more_cases() {
-                let ($($pat,)+) =
-                    $crate::strategy::Strategy::sample(&strategies, runner.rng());
-                let outcome = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+            // run_cases samples, reruns the body on shrink candidates, and
+            // panics with the minimal counterexample + replay seed.
+            $crate::test_runner::run_cases(
+                stringify!($name),
+                &config,
+                strategies,
+                |__case| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    let ($($pat,)+) = __case;
                     $body
                     ::std::result::Result::Ok(())
-                })();
-                runner.record(outcome);
-            }
+                },
+            );
         }
     )*};
 }

@@ -1,8 +1,14 @@
 //! Value-generation strategies.
 //!
-//! A [`Strategy`] here is just a sampler: `sample(&self, rng)` draws one
-//! value. Upstream proptest's lazy value trees and shrinking are not
-//! reproduced.
+//! A [`Strategy`] here is a sampler — `sample(&self, rng)` draws one value —
+//! plus a **minimal shrinker**: `shrink(&self, value)` proposes smaller
+//! candidate values, ordered biggest-jump-first. Upstream proptest's lazy
+//! value trees are not reproduced; instead the runner greedily re-tests
+//! shrink candidates after a failure (binary halving for integer/size
+//! strategies, prefix truncation for vector strategies, per-component
+//! shrinking for tuples). Strategies whose values cannot be shrunk without
+//! inverting user code ([`Map`], [`Just`], sets) report no candidates and
+//! the failure is reported as sampled.
 
 use rand::rngs::SmallRng;
 use rand::Rng as _;
@@ -15,6 +21,15 @@ pub trait Strategy {
 
     /// Draws one value.
     fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing `value`, ordered so the
+    /// biggest simplification comes first (the runner takes the first
+    /// candidate that still fails and repeats). The default — no
+    /// candidates — means "cannot shrink".
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Maps produced values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -45,6 +60,10 @@ impl<S: Strategy + ?Sized> Strategy for &S {
 
     fn sample(&self, rng: &mut SmallRng) -> Self::Value {
         (**self).sample(rng)
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -92,6 +111,13 @@ where
             self.whence
         );
     }
+
+    /// Inner candidates that still satisfy the predicate.
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        let mut cands = self.inner.shrink(value);
+        cands.retain(|v| (self.pred)(v));
+        cands
+    }
 }
 
 /// Always produces a clone of the given value.
@@ -107,9 +133,55 @@ impl<T: Clone> Strategy for Just<T> {
 }
 
 /// Types with a canonical "whole domain" strategy, used by [`any`].
-pub trait Arbitrary {
+pub trait Arbitrary: Sized {
     /// Draws one value from the full domain.
     fn arbitrary(rng: &mut SmallRng) -> Self;
+
+    /// Shrink candidates for a failing full-domain value (see
+    /// [`Strategy::shrink`]). Defaults to none.
+    fn shrink_arbitrary(value: &Self) -> Vec<Self> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+/// Binary-halving candidates for an integer failing value `v`, shrinking
+/// toward `lo` (the range start, or zero for full-domain draws): the jump
+/// all the way to `lo`, the midpoint, then the immediate predecessor —
+/// biggest simplification first. Used by every integer/size strategy.
+macro_rules! int_shrink_toward {
+    ($v:expr, $lo:expr) => {{
+        let (v, lo) = ($v, $lo);
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(lo);
+            // Overflow-free floor average — `lo + (v - lo) / 2` would
+            // overflow for signed ranges wider than the type's MAX
+            // (e.g. `-1.5e9i32..1.5e9`).
+            let mid = (lo & v) + ((lo ^ v) >> 1);
+            if mid != lo && mid != v {
+                out.push(mid);
+            }
+            let prev = v - 1;
+            if prev != lo && prev != mid {
+                out.push(prev);
+            }
+        }
+        out
+    }};
+}
+
+macro_rules! arbitrary_uints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.random_range(<$t>::MIN..=<$t>::MAX)
+            }
+            fn shrink_arbitrary(v: &Self) -> Vec<Self> {
+                int_shrink_toward!(*v, 0)
+            }
+        }
+    )*};
 }
 
 macro_rules! arbitrary_ints {
@@ -118,15 +190,43 @@ macro_rules! arbitrary_ints {
             fn arbitrary(rng: &mut SmallRng) -> Self {
                 rng.random_range(<$t>::MIN..=<$t>::MAX)
             }
+            /// Signed full-domain values halve toward zero from either side.
+            fn shrink_arbitrary(v: &Self) -> Vec<Self> {
+                let v = *v;
+                if v > 0 {
+                    int_shrink_toward!(v, 0)
+                } else if v < 0 {
+                    let mut out = vec![0];
+                    let mid = v / 2; // rounds toward zero
+                    if mid != 0 && mid != v {
+                        out.push(mid);
+                    }
+                    let next = v + 1;
+                    if next != 0 && next != mid {
+                        out.push(next);
+                    }
+                    out
+                } else {
+                    Vec::new()
+                }
+            }
         }
     )*};
 }
 
-arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+arbitrary_uints!(u8, u16, u32, u64, usize);
+arbitrary_ints!(i8, i16, i32, i64, isize);
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut SmallRng) -> Self {
         rng.random()
+    }
+    fn shrink_arbitrary(v: &Self) -> Vec<Self> {
+        if *v {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -153,6 +253,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn sample(&self, rng: &mut SmallRng) -> T {
         T::arbitrary(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_arbitrary(value)
+    }
 }
 
 macro_rules! range_strategies {
@@ -163,6 +267,11 @@ macro_rules! range_strategies {
             fn sample(&self, rng: &mut SmallRng) -> $t {
                 rng.random_range(self.clone())
             }
+
+            /// Binary halving toward the range start.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_toward!(*value, self.start)
+            }
         }
 
         impl Strategy for RangeInclusive<$t> {
@@ -170,6 +279,11 @@ macro_rules! range_strategies {
 
             fn sample(&self, rng: &mut SmallRng) -> $t {
                 rng.random_range(self.clone())
+            }
+
+            /// Binary halving toward the range start.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_toward!(*value, *self.start())
             }
         }
     )*};
@@ -186,28 +300,44 @@ impl Strategy for Range<f64> {
 }
 
 macro_rules! tuple_strategies {
-    ($(($($s:ident),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+    ($(($($s:ident => $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
 
-            #[allow(non_snake_case)]
             fn sample(&self, rng: &mut SmallRng) -> Self::Value {
-                let ($($s,)+) = self;
-                ($($s.sample(rng),)+)
+                ($(self.$idx.sample(rng),)+)
+            }
+
+            /// Shrinks one component at a time (the others cloned), in
+            /// component order — so the runner's greedy descent minimizes
+            /// earlier arguments first.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 
 tuple_strategies! {
-    (A)
-    (A, B)
-    (A, B, C)
-    (A, B, C, D)
-    (A, B, C, D, E)
-    (A, B, C, D, E, F)
-    (A, B, C, D, E, F, G)
-    (A, B, C, D, E, F, G, H)
+    (A => 0)
+    (A => 0, B => 1)
+    (A => 0, B => 1, C => 2)
+    (A => 0, B => 1, C => 2, D => 3)
+    (A => 0, B => 1, C => 2, D => 3, E => 4)
+    (A => 0, B => 1, C => 2, D => 3, E => 4, F => 5)
+    (A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6)
+    (A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7)
 }
 
 #[cfg(test)]
@@ -224,6 +354,65 @@ mod tests {
             assert!((1..=10).contains(&a));
             assert!((5..=6).contains(&b));
         }
+    }
+
+    #[test]
+    fn int_range_shrinks_toward_start_biggest_jump_first() {
+        let strat = 5u32..100;
+        assert_eq!(strat.shrink(&80), vec![5, 42, 79]);
+        assert_eq!(strat.shrink(&6), vec![5]);
+        assert_eq!(strat.shrink(&5), Vec::<u32>::new());
+        let incl = 0usize..=10;
+        assert_eq!(incl.shrink(&10), vec![0, 5, 9]);
+    }
+
+    #[test]
+    fn wide_signed_ranges_shrink_without_overflow() {
+        // Regression: `lo + (v - lo) / 2` overflowed when the range spans
+        // more than the type's MAX.
+        let strat = -1_500_000_000i32..1_500_000_000;
+        let cands = strat.shrink(&1_400_000_000);
+        assert_eq!(cands[0], -1_500_000_000);
+        assert!(cands
+            .iter()
+            .all(|&c| (-1_500_000_000..1_500_000_000).contains(&c)));
+        // Midpoint really is the floor average.
+        assert!(cands.contains(&-50_000_000), "{cands:?}");
+        let full = i64::MIN..=i64::MAX;
+        let c = full.shrink(&i64::MAX);
+        assert!(c.contains(&i64::MIN) && c.contains(&-1));
+    }
+
+    #[test]
+    fn any_shrinks_toward_zero_from_both_sides() {
+        assert_eq!(any::<u64>().shrink(&9), vec![0, 4, 8]);
+        assert_eq!(any::<i32>().shrink(&-9), vec![0, -4, -8]);
+        assert_eq!(any::<i32>().shrink(&0), Vec::<i32>::new());
+        assert_eq!(any::<bool>().shrink(&true), vec![false]);
+        assert_eq!(any::<bool>().shrink(&false), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        let strat = (0u32..10, 0u32..10);
+        let cands = strat.shrink(&(4, 2));
+        // Component 0 candidates first (others cloned), then component 1.
+        assert_eq!(cands, vec![(0, 2), (2, 2), (3, 2), (4, 0), (4, 1)]);
+    }
+
+    #[test]
+    fn filter_shrink_respects_predicate() {
+        let even = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        let cands = even.shrink(&80);
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|v| v % 2 == 0), "{cands:?}");
+    }
+
+    #[test]
+    fn map_and_just_do_not_shrink() {
+        let mapped = (0u32..10).prop_map(|v| v + 1);
+        assert!(mapped.shrink(&5).is_empty());
+        assert!(Just(41).shrink(&41).is_empty());
     }
 
     #[test]
