@@ -9,7 +9,9 @@
 use criterion::{
     criterion_group, criterion_main, BatchSize, Bencher, BenchmarkId, Criterion, Throughput,
 };
-use gossip_core::{Engine, GossipGraph, Parallelism, ProposalRule, Pull, Push};
+use gossip_core::{
+    run_engine_listened, Engine, GossipGraph, NullListener, Parallelism, ProposalRule, Pull, Push,
+};
 use gossip_graph::{generators, ArenaGraph, ShardedArenaGraph};
 use gossip_shard::ShardedEngine;
 use std::time::Duration;
@@ -117,6 +119,39 @@ fn bench_rounds(c: &mut Criterion) {
                     for _ in 0..8 {
                         std::hint::black_box(engine.step());
                     }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+
+    // The listener seam with no listeners registered against the raw step
+    // loop, same engine and graph: these two rows must stay within noise of
+    // each other — the seam's per-round cost is one no-op dynamic call. The
+    // n = 4096 IDs put both rows under the CI perf ratchet.
+    let mut group = c.benchmark_group("round_listened");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    {
+        let n = 4096usize;
+        let mut rng = gossip_core::rng::stream_rng(1, 0, n as u64);
+        let g = ArenaGraph::from_undirected(&generators::tree_plus_random_edges(
+            n,
+            4 * n as u64,
+            &mut rng,
+        ));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("pull_direct", n), &g, |b, g| {
+            eight_rounds(b, g, Pull, Parallelism::Sequential)
+        });
+        group.bench_with_input(BenchmarkId::new("pull_seam_null", n), &g, |b, g| {
+            b.iter_batched(
+                || Engine::new(g.clone(), Pull, 7),
+                |mut engine| {
+                    std::hint::black_box(run_engine_listened(&mut engine, &mut NullListener, 8));
                 },
                 BatchSize::LargeInput,
             )

@@ -1,0 +1,16 @@
+//! E17: the serving surface under load, `n` up to `2^20`.
+//!
+//! Serves a live sharded engine to concurrent reader threads sustaining a
+//! who-knows-whom / membership / coverage query mix against epoch
+//! snapshots, and checks that serving never perturbs the trajectory and
+//! that snapshots stay O(S) copy-on-write clones. `--quick` runs the
+//! `n = 2^14` configuration only; the full run's `n = 2^20` row is the
+//! acceptance run (QPS × round-latency in the wall-clock appendix).
+
+use gossip_bench::experiments::serve_load;
+use gossip_bench::parse_args;
+
+fn main() {
+    let args = parse_args();
+    serve_load::run(&args).finish(&args);
+}

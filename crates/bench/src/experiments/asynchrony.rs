@@ -11,7 +11,7 @@
 use crate::harness::{Args, Report};
 use gossip_analysis::{fmt_f64, ks_statistic, ks_threshold_95, Ecdf, Summary, Table};
 use gossip_core::rng::trial_seed;
-use gossip_core::{AsyncEngine, ComponentwiseComplete, Engine, ProposalRule, Pull, Push};
+use gossip_core::{ComponentwiseComplete, EngineBuilder, ProposalRule, Pull, Push};
 use gossip_graph::{generators, UndirectedGraph};
 use rayon::prelude::*;
 
@@ -25,7 +25,8 @@ fn sync_rounds<R: ProposalRule<UndirectedGraph> + Clone>(
         .into_par_iter()
         .map(|t| {
             let mut check = ComponentwiseComplete::for_graph(g);
-            let mut e = Engine::new(g.clone(), rule.clone(), trial_seed(base_seed, t));
+            let mut e =
+                EngineBuilder::new(g.clone(), rule.clone(), trial_seed(base_seed, t)).build();
             let out = e.run_until(&mut check, u64::MAX);
             assert!(out.converged);
             out.rounds as f64
@@ -43,7 +44,8 @@ fn async_times<R: ProposalRule<UndirectedGraph> + Clone>(
         .into_par_iter()
         .map(|t| {
             let mut check = ComponentwiseComplete::for_graph(g);
-            let mut e = AsyncEngine::new(g.clone(), rule.clone(), trial_seed(base_seed, t));
+            let mut e =
+                EngineBuilder::new(g.clone(), rule.clone(), trial_seed(base_seed, t)).build_async();
             let out = e.run_until(&mut check, f64::INFINITY);
             assert!(out.converged);
             out.time

@@ -15,6 +15,7 @@
 //! | [`asynchrony`] | model extension (E14): synchronous vs Poisson-clock timing |
 //! | [`scale`] | scaling extension (E15): arena-backed engine at n up to 2^20 |
 //! | [`shard`] | scaling extension (E16): sharded round engine at n up to 2^22 |
+//! | [`serve_load`] | serving extension (E17): live engine under sustained query load |
 
 pub mod asynchrony;
 pub mod baselines;
@@ -27,5 +28,6 @@ pub mod nonmonotone;
 pub mod robustness;
 pub mod scale;
 pub mod scaling;
+pub mod serve_load;
 pub mod shard;
 pub mod subset;

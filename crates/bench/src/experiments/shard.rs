@@ -29,16 +29,16 @@
 use crate::harness::{Args, Report};
 use gossip_analysis::{fmt_f64, Table};
 use gossip_core::engine::{propose_round, PROPOSAL_CHUNK};
-use gossip_core::{GossipGraph, ProposalRule, Pull, Push, RoundStats};
+use gossip_core::{EngineBuilder, GossipGraph, ProposalRule, Pull, Push, RoundStats};
 use gossip_graph::{NodeId, ShardedArenaGraph};
-use gossip_shard::ShardedEngine;
+use gossip_shard::{BuildSharded, ShardedEngine};
 use std::time::Instant;
 
 /// Connected sparse start graph built directly in the sharded layout: a
 /// random parent tree plus `extra` uniform random edges — the same stream
 /// and workload shape as `exp_scale`'s `sparse_arena`, so edge sets match
 /// across experiments at the same `(n, seed)`.
-fn sparse_sharded(n: usize, extra: u64, seed: u64, shards: usize) -> ShardedArenaGraph {
+pub(crate) fn sparse_sharded(n: usize, extra: u64, seed: u64, shards: usize) -> ShardedArenaGraph {
     use rand::Rng;
     let mut rng = gossip_core::rng::stream_rng(seed, 0xA1, n as u64);
     let mut g = ShardedArenaGraph::new(n, shards);
@@ -59,7 +59,7 @@ fn sparse_sharded(n: usize, extra: u64, seed: u64, shards: usize) -> ShardedAren
 /// equal `m` are (with overwhelming probability) identical, which is how
 /// trajectory invariance across `S` is measured without holding two
 /// million-node graphs at once.
-fn row_checksum(g: &ShardedArenaGraph) -> u64 {
+pub(crate) fn row_checksum(g: &ShardedArenaGraph) -> u64 {
     let mut h = gossip_analysis::Fnv1a::new();
     for u in g.nodes() {
         for &v in g.neighbors(u) {
@@ -110,20 +110,37 @@ struct RunResult {
 }
 
 /// One fixed-horizon pull run at `(n, shards)`: one warm-up round, then
-/// `horizon` timed rounds.
+/// `horizon` timed rounds. Phase timing and per-round stats both ride the
+/// unified listener seam ([`gossip_core::RoundListener`]) — a
+/// [`PhaseAccumulator`] absorbs the engine's `PhaseEvent`s and a small
+/// stats collector captures each `RoundEvent`, replacing the engine's
+/// bespoke cumulative-timer accessors this experiment used to poke.
 fn drive<R: ProposalRule<ShardedArenaGraph>>(
     mut e: ShardedEngine<R>,
     horizon: u64,
 ) -> (ShardedArenaGraph, Vec<RoundStats>, (f64, f64, f64), f64) {
+    use gossip_core::listener::{PhaseAccumulator, RoundControl, RoundEvent, RoundListener};
+    use gossip_core::run_engine_listened;
+
+    struct CollectStats<'a>(&'a mut Vec<RoundStats>);
+    impl RoundListener<ShardedArenaGraph> for CollectStats<'_> {
+        fn on_round(&mut self, ev: &RoundEvent<'_, ShardedArenaGraph>) -> RoundControl {
+            self.0.push(ev.stats);
+            RoundControl::Continue
+        }
+    }
+
     let mut stats = Vec::new();
     stats.push(e.step()); // warm-up: buffers sized, pool spun up
-    e.reset_phases();
+    let mut phases = PhaseAccumulator::new();
     let t = Instant::now();
-    for _ in 0..horizon {
-        stats.push(e.step());
-    }
+    run_engine_listened(
+        &mut e,
+        &mut gossip_core::Chain(CollectStats(&mut stats), &mut phases),
+        horizon,
+    );
     let wall = t.elapsed().as_nanos() as f64 / horizon as f64;
-    let p = e.phases();
+    let p = phases.totals();
     let per = |x: u64| x as f64 / horizon as f64;
     (
         e.into_graph(),
@@ -179,9 +196,15 @@ fn arena_baseline(n: usize, horizon: u64, seed: u64) -> (f64, f64, f64, u64) {
 fn one_run(n: usize, shards: usize, horizon: u64, seed: u64, pull: bool) -> RunResult {
     let g = sparse_sharded(n, 2 * n as u64, seed, shards);
     let (final_g, stats, phase_ns, wall_ns_per_round) = if pull {
-        drive(ShardedEngine::new(g, Pull, seed ^ 0x5A4D), horizon)
+        drive(
+            EngineBuilder::new(g, Pull, seed ^ 0x5A4D).build_sharded(),
+            horizon,
+        )
     } else {
-        drive(ShardedEngine::new(g, Push, seed ^ 0x5A4D), horizon)
+        drive(
+            EngineBuilder::new(g, Push, seed ^ 0x5A4D).build_sharded(),
+            horizon,
+        )
     };
     RunResult {
         stats,

@@ -1,0 +1,154 @@
+//! One construction path for every engine variant.
+//!
+//! Before this module, every call site that wanted an engine hand-assembled
+//! it: `Engine::new(graph, rule, seed).with_parallelism(..)` here, an
+//! `AsyncEngine::new` there, a `ShardedEngine` with a shard plan somewhere
+//! else — and anything generic over "an engine" (the serve loop, the trial
+//! runners, the exp_* bins) had to duplicate that choice. [`EngineBuilder`]
+//! centralizes it: collect the ingredients (graph, rule, seed, parallelism
+//! policy), then pick the execution variant at the end — statically
+//! ([`EngineBuilder::build`], [`EngineBuilder::build_async`]) or as a
+//! trait object behind the [`RoundEngine`] seam
+//! ([`EngineBuilder::build_boxed`]) when the variant is a runtime choice.
+//!
+//! The sharded variant lives downstream (crate `gossip-shard`, which this
+//! crate cannot depend on); it plugs in through the same builder via an
+//! extension trait (`gossip_shard::BuildSharded`), using
+//! [`EngineBuilder::into_parts`] to take the ingredients.
+
+use crate::async_engine::AsyncEngine;
+use crate::engine::{Engine, Parallelism};
+use crate::process::{GossipGraph, ProposalRule};
+use crate::seam::RoundEngine;
+
+/// Collects the ingredients of a run — initial graph, proposal rule,
+/// experiment seed, parallelism policy — and builds whichever engine
+/// variant the caller selects last.
+///
+/// ```
+/// use gossip_core::{ComponentwiseComplete, EngineBuilder, Push};
+/// use gossip_graph::generators;
+///
+/// let g0 = generators::star(32);
+/// let mut check = ComponentwiseComplete::for_graph(&g0);
+/// let mut engine = EngineBuilder::new(g0, Push, 7).build();
+/// assert!(engine.run_until(&mut check, 1_000_000).converged);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EngineBuilder<G, R> {
+    graph: G,
+    rule: R,
+    seed: u64,
+    parallelism: Parallelism,
+}
+
+impl<G: GossipGraph, R: ProposalRule<G>> EngineBuilder<G, R> {
+    /// Starts a builder from the three mandatory ingredients.
+    pub fn new(graph: G, rule: R, seed: u64) -> Self {
+        EngineBuilder {
+            graph,
+            rule,
+            seed,
+            parallelism: Parallelism::default(),
+        }
+    }
+
+    /// Sets the parallelism policy (defaults to [`Parallelism::default`];
+    /// applies to the engines that have a parallel phase — the synchronous
+    /// and sharded variants).
+    pub fn parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = p;
+        self
+    }
+
+    /// The configured seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Decomposes the builder into `(graph, rule, seed, parallelism)` —
+    /// the hook downstream crates use to add variants (the sharded
+    /// engine's `BuildSharded` extension).
+    pub fn into_parts(self) -> (G, R, u64, Parallelism) {
+        (self.graph, self.rule, self.seed, self.parallelism)
+    }
+
+    /// Builds the synchronous round engine.
+    pub fn build(self) -> Engine<G, R> {
+        Engine::new(self.graph, self.rule, self.seed).with_parallelism(self.parallelism)
+    }
+
+    /// Builds the Poisson-clock asynchronous engine (parallelism does not
+    /// apply: activations are inherently one node at a time).
+    pub fn build_async(self) -> AsyncEngine<G, R> {
+        AsyncEngine::new(self.graph, self.rule, self.seed)
+    }
+
+    /// Builds the synchronous engine as a boxed [`RoundEngine`] trait
+    /// object — for callers that select the variant at runtime.
+    pub fn build_boxed(self) -> Box<dyn RoundEngine<Graph = G> + Send>
+    where
+        G: 'static,
+        R: 'static,
+    {
+        Box::new(self.build())
+    }
+
+    /// Builds the asynchronous engine as a boxed [`RoundEngine`] trait
+    /// object (one quantum = one activation).
+    pub fn build_async_boxed(self) -> Box<dyn RoundEngine<Graph = G> + Send>
+    where
+        G: 'static,
+        R: 'static,
+    {
+        Box::new(self.build_async())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::{ComponentwiseComplete, Never};
+    use crate::rules::{Pull, Push};
+    use crate::seam::run_engine_until;
+    use gossip_graph::generators;
+
+    #[test]
+    fn built_engine_matches_hand_assembly() {
+        let g = generators::tree_plus_random_edges(300, 600, &mut crate::rng::stream_rng(3, 0, 0));
+        let mut hand = Engine::new(g.clone(), Push, 11).with_parallelism(Parallelism::Sequential);
+        let mut built = EngineBuilder::new(g, Push, 11)
+            .parallelism(Parallelism::Sequential)
+            .build();
+        for round in 0..20 {
+            assert_eq!(hand.step(), built.step(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn boxed_sync_engine_is_bit_identical_to_static() {
+        let g = generators::star(48);
+        let mut fixed = EngineBuilder::new(g.clone(), Pull, 5).build();
+        let mut boxed = EngineBuilder::new(g, Pull, 5).build_boxed();
+        let a = run_engine_until(&mut fixed, &mut Never, 25);
+        let b = run_engine_until(&mut boxed, &mut Never, 25);
+        assert_eq!(a, b);
+        for u in fixed.graph().nodes() {
+            assert_eq!(
+                fixed.graph().neighbors(u).as_slice(),
+                boxed.graph().neighbors(u).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn boxed_async_engine_counts_activations() {
+        let g = generators::star(12);
+        let mut check = ComponentwiseComplete::for_graph(&g);
+        let mut e = EngineBuilder::new(g, Push, 3).build_async_boxed();
+        let out = run_engine_until(&mut e, &mut check, 1_000_000);
+        assert!(out.converged);
+        assert!(e.graph().is_complete());
+        assert_eq!(out.rounds, e.quanta());
+    }
+}

@@ -37,9 +37,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod async_engine;
+pub mod builder;
 pub mod convergence;
 pub mod diagnostics;
 pub mod engine;
+pub mod listener;
 pub mod process;
 pub mod recorder;
 pub mod rng;
@@ -50,15 +52,20 @@ pub mod trials;
 pub mod variants;
 
 pub use async_engine::{AsyncEngine, AsyncOutcome};
+pub use builder::EngineBuilder;
 pub use convergence::{
     ClosureReached, ComponentwiseComplete, ConvergenceCheck, MinDegreeAtLeast, Never,
     SubsetComplete,
 };
 pub use engine::{Engine, Parallelism, RunOutcome};
+pub use listener::{
+    Chain, ListenerSet, NullListener, Observe, PhaseAccumulator, PhaseEvent, PhaseNanos,
+    RoundControl, RoundEvent, RoundListener, RoundPhase, StopWhen,
+};
 pub use process::{GossipGraph, ProposalRule, ProposalSet, RoundStats, TaggedProposal};
 pub use recorder::{MinDegreeMilestones, NullObserver, RoundObserver, SeriesRecorder, SeriesRow};
 pub use rules::{DirectedPull, HybridPushPull, Pull, Push};
-pub use seam::{run_engine_observed, run_engine_until, RoundEngine};
+pub use seam::{run_engine_listened, run_engine_observed, run_engine_until, RoundEngine};
 pub use trace::{DiscoveryTrace, EdgeEvent};
 pub use trials::{convergence_rounds, run_trials, stream_trials, TrialConfig};
 pub use variants::{Faulty, OnlySubset, Partial};

@@ -18,8 +18,9 @@
 
 use crate::convergence::ConvergenceCheck;
 use crate::engine::RunOutcome;
+use crate::listener::{Chain, Observe, RoundControl, RoundEvent, RoundListener, StopWhen};
 use crate::process::{GossipGraph, RoundStats};
-use crate::recorder::{NullObserver, RoundObserver};
+use crate::recorder::RoundObserver;
 
 /// An engine that advances a gossip process one scheduling quantum at a
 /// time. See the [module docs](self) for what a quantum is per engine.
@@ -35,19 +36,94 @@ pub trait RoundEngine {
 
     /// Executes one quantum; returns what happened.
     fn step_quantum(&mut self) -> RoundStats;
+
+    /// Executes one quantum, delivering any
+    /// [`PhaseEvent`](crate::listener::PhaseEvent)s the engine's step
+    /// decomposes into to `listener`. The default forwards to
+    /// [`RoundEngine::step_quantum`] with no events — engines without a
+    /// phase breakdown (sequential, async) pay nothing for the seam.
+    fn step_listened(&mut self, listener: &mut dyn RoundListener<Self::Graph>) -> RoundStats {
+        let _ = listener;
+        self.step_quantum()
+    }
+}
+
+// A boxed engine is an engine: `Box<dyn RoundEngine<Graph = G>>` is what
+// `EngineBuilder::build_boxed` hands to callers (gossip-serve, the CLI)
+// that select an engine variant at runtime.
+impl<E: RoundEngine + ?Sized> RoundEngine for Box<E> {
+    type Graph = E::Graph;
+    #[inline]
+    fn graph(&self) -> &E::Graph {
+        (**self).graph()
+    }
+    #[inline]
+    fn quanta(&self) -> u64 {
+        (**self).quanta()
+    }
+    #[inline]
+    fn step_quantum(&mut self) -> RoundStats {
+        (**self).step_quantum()
+    }
+    #[inline]
+    fn step_listened(&mut self, listener: &mut dyn RoundListener<E::Graph>) -> RoundStats {
+        (**self).step_listened(listener)
+    }
+}
+
+/// The one shared run loop: advances `engine` until `listener` votes
+/// [`RoundControl::Stop`] or `budget` quanta have executed. `converged` in
+/// the outcome means "a listener stopped the run".
+///
+/// Event order per quantum: the engine's phase events (from inside
+/// `step_listened`), then one [`RoundEvent`] with the post-round graph.
+pub fn run_engine_listened<E, L>(engine: &mut E, listener: &mut L, budget: u64) -> RunOutcome
+where
+    E: RoundEngine + ?Sized,
+    L: RoundListener<E::Graph> + ?Sized,
+{
+    let outcome = |engine: &E, converged: bool| RunOutcome {
+        rounds: engine.quanta(),
+        converged,
+        final_edges: engine.graph().edge_count(),
+    };
+    // The start graph may already satisfy a listener's target.
+    if listener.on_start(engine.graph()) == RoundControl::Stop {
+        return outcome(engine, true);
+    }
+    let start = engine.quanta();
+    while engine.quanta() - start < budget {
+        let stats = {
+            // Re-borrow as a Sized forwarder so the ?Sized listener can be
+            // handed to the engine's dyn phase hook.
+            let mut fwd: &mut L = &mut *listener;
+            engine.step_listened(&mut fwd)
+        };
+        let ev = RoundEvent {
+            round: engine.quanta(),
+            graph: engine.graph(),
+            stats,
+        };
+        if listener.on_round(&ev) == RoundControl::Stop {
+            return outcome(engine, true);
+        }
+    }
+    outcome(engine, false)
 }
 
 /// Runs `engine` until `check` fires or `budget` quanta have executed —
-/// the shared run loop behind every engine's `run_until`.
+/// the pre-listener entry point, now a thin adapter over
+/// [`run_engine_listened`] (the check rides as a [`StopWhen`] listener).
 pub fn run_engine_until<E, C>(engine: &mut E, check: &mut C, budget: u64) -> RunOutcome
 where
     E: RoundEngine,
     C: ConvergenceCheck<E::Graph>,
 {
-    run_engine_observed(engine, check, budget, &mut NullObserver)
+    run_engine_listened(engine, &mut StopWhen(check), budget)
 }
 
-/// Like [`run_engine_until`], feeding every executed quantum to `observer`.
+/// Like [`run_engine_until`], feeding every executed quantum to `observer`
+/// (delivered before the check sees the round, as it always was).
 pub fn run_engine_observed<E, C, O>(
     engine: &mut E,
     check: &mut C,
@@ -59,31 +135,11 @@ where
     C: ConvergenceCheck<E::Graph>,
     O: RoundObserver<E::Graph>,
 {
-    // The start graph may already satisfy the target.
-    if check.is_converged(engine.graph()) {
-        return RunOutcome {
-            rounds: engine.quanta(),
-            converged: true,
-            final_edges: engine.graph().edge_count(),
-        };
-    }
-    let start = engine.quanta();
-    while engine.quanta() - start < budget {
-        let stats = engine.step_quantum();
-        observer.observe(engine.quanta(), engine.graph(), &stats);
-        if check.is_converged(engine.graph()) {
-            return RunOutcome {
-                rounds: engine.quanta(),
-                converged: true,
-                final_edges: engine.graph().edge_count(),
-            };
-        }
-    }
-    RunOutcome {
-        rounds: engine.quanta(),
-        converged: false,
-        final_edges: engine.graph().edge_count(),
-    }
+    run_engine_listened(
+        engine,
+        &mut Chain(Observe(observer), StopWhen(check)),
+        budget,
+    )
 }
 
 #[cfg(test)]

@@ -7,8 +7,9 @@
 //! independent, so they parallelize across rayon with zero coordination;
 //! within a trial the engine stays sequential (per-round work is O(n)).
 
+use crate::builder::EngineBuilder;
 use crate::convergence::ConvergenceCheck;
-use crate::engine::{Engine, Parallelism, RunOutcome};
+use crate::engine::{Parallelism, RunOutcome};
 use crate::process::{GossipGraph, ProposalRule};
 use crate::rng::trial_seed;
 use rayon::prelude::*;
@@ -55,8 +56,9 @@ where
     let run_one = |t: usize| -> RunOutcome {
         let seed = trial_seed(cfg.base_seed, t);
         let mut check = make_check(g0);
-        let mut engine =
-            Engine::new(g0.clone(), rule.clone(), seed).with_parallelism(Parallelism::Sequential);
+        let mut engine = EngineBuilder::new(g0.clone(), rule.clone(), seed)
+            .parallelism(Parallelism::Sequential)
+            .build();
         engine.run_until(&mut check, cfg.max_rounds)
     };
 
@@ -94,7 +96,9 @@ pub fn stream_trials<G, R, C>(
     for t in 0..cfg.trials {
         let seed = trial_seed(cfg.base_seed, t);
         let mut check = make_check(g0);
-        let mut engine = Engine::new(g0.clone(), rule.clone(), seed).with_parallelism(parallelism);
+        let mut engine = EngineBuilder::new(g0.clone(), rule.clone(), seed)
+            .parallelism(parallelism)
+            .build();
         let outcome = engine.run_until(&mut check, cfg.max_rounds);
         consume(t, outcome);
     }

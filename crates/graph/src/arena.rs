@@ -75,6 +75,9 @@ pub struct SliceArena {
     cap: Vec<u32>,
     /// Sum of `cap` — everything in `data` that is *not* dead space.
     reserved: usize,
+    /// Sum of `len` — maintained incrementally so [`SliceArena::total_len`]
+    /// is O(1); snapshot stat reads must never pay an O(n) scan.
+    live: usize,
 }
 
 impl SliceArena {
@@ -86,6 +89,7 @@ impl SliceArena {
             len: vec![0; n],
             cap: vec![0; n],
             reserved: 0,
+            live: 0,
         }
     }
 
@@ -113,9 +117,12 @@ impl SliceArena {
         &self.data[self.start[u]..self.start[u] + self.len[u] as usize]
     }
 
-    /// Total live entries across all lists.
+    /// Total live entries across all lists — O(1), read from the counter
+    /// maintained by every mutation (pinned by the `total_len_is_cached`
+    /// test against a recount).
+    #[inline]
     pub fn total_len(&self) -> usize {
-        self.len.iter().map(|&l| l as usize).sum()
+        self.live
     }
 
     /// Bytes held in the backing buffers (lengths, not allocator capacity,
@@ -136,6 +143,7 @@ impl SliceArena {
         }
         self.data[self.start[u] + self.len[u] as usize] = v;
         self.len[u] += 1;
+        self.live += 1;
     }
 
     /// Inserts `v` into the sorted list `u`; returns `false` if present.
@@ -152,6 +160,7 @@ impl SliceArena {
         self.data.copy_within(s + pos..s + l, s + pos + 1);
         self.data[s + pos] = v;
         self.len[u] += 1;
+        self.live += 1;
         true
     }
 
@@ -171,6 +180,7 @@ impl SliceArena {
         };
         self.data.copy_within(s + pos + 1..s + l, s + pos);
         self.len[u] -= 1;
+        self.live -= 1;
         true
     }
 
@@ -507,6 +517,34 @@ mod tests {
             &[NodeId(3), NodeId(1), NodeId(1), NodeId(5)],
             "first match removed, order stable"
         );
+    }
+
+    #[test]
+    fn total_len_is_cached() {
+        // The counter must track every mutation path — push, sorted insert
+        // (including rejected duplicates), remove (including misses),
+        // relocation, and compaction — so stat reads never pay a recount.
+        let n = 48;
+        let mut a = SliceArena::new(n);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let recount = |a: &SliceArena| (0..n).map(|u| a.len(u)).sum::<usize>();
+        for step in 0..30_000 {
+            let u = rng.random_range(0..n);
+            let v = NodeId(rng.random_range(0..500u32));
+            match step % 3 {
+                0 => a.push(u, v),
+                1 => {
+                    a.insert_sorted(u, v);
+                }
+                _ => {
+                    a.remove(u, v);
+                }
+            }
+            if step % 4096 == 0 {
+                assert_eq!(a.total_len(), recount(&a), "step {step}");
+            }
+        }
+        assert_eq!(a.total_len(), recount(&a));
     }
 
     #[test]

@@ -23,12 +23,29 @@
 //! tracks the count of **canonical** edges it owns (those whose smaller
 //! endpoint lives in the segment), making the global edge count an `O(S)`
 //! sum with no cross-shard counter to contend on.
+//!
+//! ## Copy-on-write snapshots
+//!
+//! Segments are held behind [`Arc`]s, so [`Clone`]-ing a
+//! [`ShardedArenaGraph`] is `O(S)` — one reference-count bump per segment,
+//! no matter how many edges the graph holds. The clone *is* the snapshot:
+//! a segment's storage is physically shared until the **owner shard next
+//! writes it**, at which point the write path (`Arc::make_mut` inside
+//! [`ShardedArenaGraph::segments_mut`] / [`ShardedArenaGraph::add_edge`])
+//! deep-copies that one segment and leaves the snapshot's copy untouched.
+//! Readers of a snapshot therefore see the exact round the snapshot was
+//! taken at, forever, while the live graph advances — the seam
+//! `gossip-serve` builds its epoch-snapshot query surface on. Stat reads
+//! on a snapshot stay `O(S)` too: [`ShardedArenaGraph::m`] and
+//! [`ShardedArenaGraph::half_edge_count`] sum per-segment counters that
+//! every mutation maintains incrementally.
 
 use crate::arena::{ArenaGraph, SliceArena, UniformNeighbors};
 use crate::node::{Edge, NodeId};
 use crate::undirected::UndirectedGraph;
 use rand::Rng;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Shard spans are multiples of this many nodes (the round engine's propose
 /// chunk size — `gossip-shard` asserts the two constants agree at compile
@@ -155,6 +172,20 @@ impl ShardSeg {
         self.len() == 0
     }
 
+    /// Canonical edges owned here (smaller endpoint local) — the cached
+    /// counter behind the graph's `O(S)` [`ShardedArenaGraph::m`].
+    #[inline]
+    pub fn m_canonical(&self) -> u64 {
+        self.m_canonical
+    }
+
+    /// Half-edges stored in this segment's rows — O(1), from the arena's
+    /// cached live-entry counter.
+    #[inline]
+    pub fn half_edge_count(&self) -> usize {
+        self.adj.total_len()
+    }
+
     /// Row of global node `u` (must be owned here).
     #[inline]
     fn row(&self, u: NodeId) -> &[NodeId] {
@@ -218,7 +249,9 @@ impl ShardSeg {
 /// Behaviorally a drop-in for [`ArenaGraph`]: same sorted canonical rows,
 /// same query surface, same `O(m + n)` memory — plus a shard seam
 /// ([`ShardedArenaGraph::segments_mut`]) that hands each shard's rows to a
-/// different worker with no aliasing.
+/// different worker with no aliasing, and `O(S)` copy-on-write snapshots
+/// (`clone()` bumps one [`Arc`] per segment; a segment is deep-copied only
+/// when its owner next writes — see the [module docs](self)).
 ///
 /// ```
 /// use gossip_graph::{NodeId, ShardedArenaGraph};
@@ -227,11 +260,17 @@ impl ShardSeg {
 /// assert!(!g.add_edge(NodeId(3999), NodeId(1)));
 /// assert_eq!(g.m(), 1);
 /// assert_eq!(g.neighbors(NodeId(3999)), &[NodeId(1)]);
+///
+/// let snap = g.clone(); // O(S): shares every segment
+/// assert!(snap.shares_segment(&g, 0));
+/// g.add_edge(NodeId(1), NodeId(2)); // owner write un-shares shard 0 only
+/// assert!(!snap.shares_segment(&g, 0));
+/// assert_eq!(snap.m(), 1); // the snapshot still sees the old round
 /// ```
 #[derive(Clone, Debug)]
 pub struct ShardedArenaGraph {
     plan: ShardPlan,
-    segs: Vec<ShardSeg>,
+    segs: Vec<Arc<ShardSeg>>,
 }
 
 impl ShardedArenaGraph {
@@ -239,7 +278,9 @@ impl ShardedArenaGraph {
     /// shards.
     pub fn new(n: usize, shards: usize) -> Self {
         let plan = ShardPlan::new(n, shards);
-        let segs = (0..shards).map(|s| ShardSeg::new(plan.span(s))).collect();
+        let segs = (0..shards)
+            .map(|s| Arc::new(ShardSeg::new(plan.span(s))))
+            .collect();
         ShardedArenaGraph { plan, segs }
     }
 
@@ -339,23 +380,54 @@ impl ShardedArenaGraph {
         }
         let (su, sv) = (self.plan.owner(u), self.plan.owner(v));
         let lu = u.index() - self.segs[su].base;
-        if !self.segs[su].adj.insert_sorted(lu, v) {
+        // Membership pre-check keeps duplicate adds from deep-copying a
+        // snapshot-shared segment: only a genuinely new edge pays make_mut.
+        if self.segs[su].adj.contains_sorted(lu, v) {
             return false;
         }
+        let ins = Arc::make_mut(&mut self.segs[su]).adj.insert_sorted(lu, v);
+        debug_assert!(ins, "membership pre-check and insert disagree");
         let lv = v.index() - self.segs[sv].base;
-        let ins = self.segs[sv].adj.insert_sorted(lv, u);
+        let ins = Arc::make_mut(&mut self.segs[sv]).adj.insert_sorted(lv, u);
         debug_assert!(ins, "asymmetric adjacency");
         let canon = if u < v { su } else { sv };
-        self.segs[canon].m_canonical += 1;
+        Arc::make_mut(&mut self.segs[canon]).m_canonical += 1;
         true
     }
 
     /// The shard segments, mutably and disjointly — the apply-phase seam
     /// the round engine fans out across workers. Segment order is shard
     /// order; each segment only ever touches its own rows.
+    ///
+    /// This is the copy-on-write commit point: a segment still shared with
+    /// a snapshot is deep-copied here (`Arc::make_mut`) before the caller
+    /// sees `&mut`, so snapshots never observe in-flight writes. Segments
+    /// not shared are handed out with zero copying.
     #[inline]
-    pub fn segments_mut(&mut self) -> &mut [ShardSeg] {
-        &mut self.segs
+    pub fn segments_mut(&mut self) -> Vec<&mut ShardSeg> {
+        self.segs.iter_mut().map(Arc::make_mut).collect()
+    }
+
+    /// Read access to one segment.
+    #[inline]
+    pub fn segment(&self, s: usize) -> &ShardSeg {
+        &self.segs[s]
+    }
+
+    /// Whether shard `s`'s storage is physically shared between `self` and
+    /// `other` — i.e. neither side has written the segment since one was
+    /// cloned from the other. The observable CoW contract, used by the
+    /// snapshot aliasing tests.
+    #[inline]
+    pub fn shares_segment(&self, other: &Self, s: usize) -> bool {
+        Arc::ptr_eq(&self.segs[s], &other.segs[s])
+    }
+
+    /// Half-edges stored across all segments (`2m`) — an `O(S)` sum of the
+    /// per-segment cached counters, like [`ShardedArenaGraph::m`].
+    #[inline]
+    pub fn half_edge_count(&self) -> u64 {
+        self.segs.iter().map(|s| s.half_edge_count() as u64).sum()
     }
 
     /// Iterates over all nodes.
@@ -408,6 +480,12 @@ impl ShardedArenaGraph {
             return Err(format!(
                 "edge count mismatch: m={} but half-edges={half_edges}",
                 self.m()
+            ));
+        }
+        if half_edges != self.half_edge_count() {
+            return Err(format!(
+                "cached half-edge count {} != recount {half_edges}",
+                self.half_edge_count()
             ));
         }
         if canonical != self.m() {
@@ -555,6 +633,72 @@ mod tests {
             assert_eq!(batch.neighbors(u), oracle.neighbors(u));
         }
         batch.validate().unwrap();
+    }
+
+    #[test]
+    fn cow_clone_is_shared_until_owner_writes() {
+        let mut g = ShardedArenaGraph::from_edges(4000, 4, [(0, 1), (2000, 3000)]);
+        let snap = g.clone();
+        for s in 0..4 {
+            assert!(snap.shares_segment(&g, s), "shard {s} should share");
+        }
+        // A write whose endpoints live in shards 0 and 1 must un-share
+        // exactly those segments (plus nothing else).
+        assert!(g.add_edge(NodeId(5), NodeId(1500)));
+        assert!(!snap.shares_segment(&g, 0));
+        assert!(!snap.shares_segment(&g, 1));
+        assert!(snap.shares_segment(&g, 2));
+        assert!(snap.shares_segment(&g, 3));
+        // The snapshot still reads the old round; the live graph advanced.
+        assert_eq!(snap.m(), 2);
+        assert_eq!(g.m(), 3);
+        assert_eq!(snap.neighbors(NodeId(5)), &[] as &[NodeId]);
+        assert_eq!(g.neighbors(NodeId(5)), &[NodeId(1500)]);
+        snap.validate().unwrap();
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn cow_snapshot_isolated_from_apply_phase() {
+        // The engine's batch path (segments_mut + apply_half_edges) is the
+        // hot write seam; a snapshot taken before a round must be
+        // untouched by it.
+        let n = 3000;
+        let shards = 3;
+        let mut g = ShardedArenaGraph::new(n, shards);
+        let mut rng = SmallRng::seed_from_u64(23);
+        for _ in 0..4000 {
+            let a = NodeId(rng.random_range(0..n as u32));
+            let b = NodeId(rng.random_range(0..n as u32));
+            g.add_edge(a, b);
+        }
+        let snap = g.clone();
+        let before_m = snap.m();
+        let before_rows: Vec<Vec<NodeId>> =
+            snap.nodes().map(|u| snap.neighbors(u).to_vec()).collect();
+        // One synthetic applied round touching every shard.
+        let plan = *g.plan();
+        let mut mail: Vec<Vec<HalfEdge>> = vec![Vec::new(); shards];
+        for slot in 0..2000u32 {
+            let a = NodeId(rng.random_range(0..n as u32));
+            let b = NodeId(rng.random_range(0..n as u32));
+            if a == b {
+                continue;
+            }
+            mail[plan.owner(a)].push((slot, a, b));
+            mail[plan.owner(b)].push((slot, b, a));
+        }
+        let mut scratch = Vec::new();
+        for (s, seg) in g.segments_mut().into_iter().enumerate() {
+            seg.apply_half_edges(&[mail[s].as_slice()], &mut scratch);
+        }
+        assert!(g.m() > before_m, "round added nothing; test is vacuous");
+        assert_eq!(snap.m(), before_m, "snapshot edge count moved");
+        for (u, row) in snap.nodes().zip(before_rows.iter()) {
+            assert_eq!(snap.neighbors(u), &row[..], "snapshot row {u:?} moved");
+        }
+        snap.validate().unwrap();
+        g.validate().unwrap();
     }
 
     #[test]

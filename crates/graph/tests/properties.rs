@@ -268,3 +268,70 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Copy-on-write discipline of the sharded store: after `clone()`, a
+    /// segment stays shared with the snapshot **exactly until** its owner
+    /// shard actually mutates it. Successful writes un-share precisely the
+    /// touched segments; rejected writes (duplicate edges, self-loops)
+    /// never deep-copy anything; and the snapshot's contents stay frozen
+    /// at clone time throughout.
+    #[test]
+    fn cow_snapshots_never_alias_mutated_segments(
+        seed in any::<u64>(),
+        n in 8usize..200,
+        shards in 1usize..6,
+        writes in 1usize..80,
+    ) {
+        use gossip_graph::ShardedArenaGraph;
+
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0_37);
+        let mut g = ShardedArenaGraph::new(n, shards);
+        for _ in 0..n {
+            let a = rng.random_range(0..n as u32);
+            let b = rng.random_range(0..n as u32);
+            if a != b {
+                g.add_edge(NodeId(a), NodeId(b));
+            }
+        }
+
+        let snap = g.clone();
+        let frozen_m = snap.m();
+        let frozen: Vec<Vec<NodeId>> = (0..n)
+            .map(|u| snap.neighbors(NodeId(u as u32)).to_vec())
+            .collect();
+        let mut dirtied = vec![false; g.shard_count()];
+        for s in 0..g.shard_count() {
+            prop_assert!(g.shares_segment(&snap, s), "fresh clone must share segment {}", s);
+        }
+
+        for _ in 0..writes {
+            let a = rng.random_range(0..n as u32);
+            let b = rng.random_range(0..n as u32);
+            if a == b {
+                continue;
+            }
+            if g.add_edge(NodeId(a), NodeId(b)) {
+                dirtied[g.plan().owner(NodeId(a))] = true;
+                dirtied[g.plan().owner(NodeId(b))] = true;
+            }
+            for (s, &dirty) in dirtied.iter().enumerate() {
+                prop_assert_eq!(
+                    !g.shares_segment(&snap, s),
+                    dirty,
+                    "segment {} sharing state wrong (dirtied={})", s, dirty
+                );
+            }
+        }
+
+        // The snapshot never moved.
+        prop_assert_eq!(snap.m(), frozen_m);
+        for (u, want) in frozen.iter().enumerate() {
+            prop_assert_eq!(snap.neighbors(NodeId(u as u32)), &want[..]);
+        }
+        g.validate().unwrap();
+        snap.validate().unwrap();
+    }
+}

@@ -1,0 +1,177 @@
+//! Stock listeners for the serve loop.
+//!
+//! Each plugin is an ordinary [`RoundListener`] plus a thread-safe handle
+//! to its output: the listener rides the worker thread inside the
+//! service's [`ListenerSet`](gossip_core::ListenerSet), the handle stays
+//! with the caller. Three are provided — live counters
+//! ([`MetricsCounters`]), a growth-curve recorder
+//! ([`TrajectoryRecorder`]), and a JSON-lines replay log ([`ReplayLog`]) —
+//! and anything else that implements [`RoundListener`] plugs in the same
+//! way via [`GossipService::spawn_with`](crate::GossipService::spawn_with).
+
+use gossip_core::listener::{RoundControl, RoundEvent, RoundListener};
+use gossip_core::GossipGraph;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Live counters updated once per round; read them from any thread while
+/// the engine runs.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Rounds executed.
+    pub rounds: AtomicU64,
+    /// Edges proposed, cumulative (duplicates included).
+    pub proposed: AtomicU64,
+    /// Edges actually added, cumulative.
+    pub added: AtomicU64,
+    /// Current edge count.
+    pub edges: AtomicU64,
+}
+
+/// Listener half of the metrics plugin.
+pub struct MetricsCounters {
+    out: Arc<ServiceMetrics>,
+}
+
+impl MetricsCounters {
+    /// Creates the listener and the shared counters it updates.
+    pub fn new() -> (Self, Arc<ServiceMetrics>) {
+        let out = Arc::new(ServiceMetrics::default());
+        (MetricsCounters { out: out.clone() }, out)
+    }
+}
+
+impl<G: GossipGraph> RoundListener<G> for MetricsCounters {
+    fn on_round(&mut self, ev: &RoundEvent<'_, G>) -> RoundControl {
+        self.out.rounds.store(ev.round, Ordering::Release);
+        self.out
+            .proposed
+            .fetch_add(ev.stats.proposed, Ordering::Relaxed);
+        self.out.added.fetch_add(ev.stats.added, Ordering::Relaxed);
+        self.out
+            .edges
+            .store(ev.graph.edge_count(), Ordering::Release);
+        RoundControl::Continue
+    }
+}
+
+/// One point on the discovery growth curve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrajectoryPoint {
+    /// Round the sample was taken after.
+    pub round: u64,
+    /// Edge count at that round.
+    pub edges: u64,
+    /// Edges added in that round.
+    pub added: u64,
+}
+
+/// Records `(round, edges, added)` every `every` rounds — the serve-side
+/// equivalent of the batch `SeriesRecorder`, but backend-agnostic and
+/// readable mid-run through its handle.
+pub struct TrajectoryRecorder {
+    out: Arc<Mutex<Vec<TrajectoryPoint>>>,
+    every: u64,
+}
+
+impl TrajectoryRecorder {
+    /// Creates the listener and the shared series it appends to.
+    /// `every` is clamped to ≥ 1.
+    pub fn new(every: u64) -> (Self, Arc<Mutex<Vec<TrajectoryPoint>>>) {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        (
+            TrajectoryRecorder {
+                out: out.clone(),
+                every: every.max(1),
+            },
+            out,
+        )
+    }
+}
+
+impl<G: GossipGraph> RoundListener<G> for TrajectoryRecorder {
+    fn on_round(&mut self, ev: &RoundEvent<'_, G>) -> RoundControl {
+        if ev.round.is_multiple_of(self.every) {
+            self.out
+                .lock()
+                .expect("trajectory lock poisoned")
+                .push(TrajectoryPoint {
+                    round: ev.round,
+                    edges: ev.graph.edge_count(),
+                    added: ev.stats.added,
+                });
+        }
+        RoundControl::Continue
+    }
+}
+
+/// Appends one JSON object per round to a shared string buffer —
+/// `{"round":..,"proposed":..,"added":..,"edges":..}` — enough to audit or
+/// replay a served run round by round.
+pub struct ReplayLog {
+    out: Arc<Mutex<String>>,
+}
+
+impl ReplayLog {
+    /// Creates the listener and the shared JSON-lines buffer.
+    pub fn new() -> (Self, Arc<Mutex<String>>) {
+        let out = Arc::new(Mutex::new(String::new()));
+        (ReplayLog { out: out.clone() }, out)
+    }
+}
+
+impl<G: GossipGraph> RoundListener<G> for ReplayLog {
+    fn on_round(&mut self, ev: &RoundEvent<'_, G>) -> RoundControl {
+        let mut log = self.out.lock().expect("replay lock poisoned");
+        writeln!(
+            log,
+            "{{\"round\":{},\"proposed\":{},\"added\":{},\"edges\":{}}}",
+            ev.round,
+            ev.stats.proposed,
+            ev.stats.added,
+            ev.graph.edge_count()
+        )
+        .expect("write to in-memory replay log");
+        RoundControl::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{GossipService, ServeConfig};
+    use gossip_core::{EngineBuilder, ListenerSet, Push};
+    use gossip_graph::generators;
+
+    #[test]
+    fn plugins_ride_the_serve_loop() {
+        let g = generators::star(32);
+        let engine = EngineBuilder::new(g, Push, 17).build();
+        let (metrics_l, metrics) = MetricsCounters::new();
+        let (traj_l, traj) = TrajectoryRecorder::new(5);
+        let (log_l, log) = ReplayLog::new();
+        let listeners = ListenerSet::new().with(metrics_l).with(traj_l).with(log_l);
+        let svc = GossipService::spawn_with(
+            engine,
+            ServeConfig {
+                snapshot_every: 10,
+                budget: 20,
+            },
+            listeners,
+        );
+        let (engine, out) = svc.join();
+        assert_eq!(out.rounds, 20);
+        assert_eq!(metrics.rounds.load(Ordering::Acquire), 20);
+        assert_eq!(
+            metrics.edges.load(Ordering::Acquire),
+            engine.graph().edge_count()
+        );
+        let traj = traj.lock().unwrap();
+        assert_eq!(traj.len(), 4); // rounds 5, 10, 15, 20
+        assert!(traj.windows(2).all(|w| w[0].edges <= w[1].edges));
+        let log = log.lock().unwrap();
+        assert_eq!(log.lines().count(), 20);
+        assert!(log.lines().next().unwrap().starts_with("{\"round\":1,"));
+    }
+}

@@ -67,14 +67,17 @@
 #![warn(rust_2018_idioms)]
 
 use gossip_core::engine::{propose_round, PROPOSAL_CHUNK};
+use gossip_core::listener::{PhaseEvent, RoundListener, RoundPhase};
 use gossip_core::seam::{run_engine_observed, run_engine_until, RoundEngine};
 use gossip_core::{
-    ConvergenceCheck, Parallelism, ProposalRule, RoundObserver, RoundStats, RunOutcome,
-    TaggedProposal,
+    ConvergenceCheck, EngineBuilder, Parallelism, ProposalRule, RoundObserver, RoundStats,
+    RunOutcome, TaggedProposal,
 };
 use gossip_graph::{HalfEdge, ShardSeg, ShardedArenaGraph, SHARD_ALIGN};
 use rayon::prelude::*;
 use std::time::Instant;
+
+pub use gossip_core::listener::PhaseNanos;
 
 // Shard spans are aligned to propose chunks so that a chunk never straddles
 // two source shards — the mailbox ordering proof in the module docs leans
@@ -93,26 +96,6 @@ type ShardWork<'a> = (
     &'a mut Vec<(u64, u32)>,
     &'a mut u64,
 );
-
-/// Cumulative per-phase wall time, in nanoseconds. Wall-clock only — these
-/// numbers feed `exp_shard`'s throughput tables and never enter
-/// reproducible measurement rows.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PhaseNanos {
-    /// Propose phase (rule evaluation + buffer writes).
-    pub propose: u64,
-    /// Mailbox routing (canonicalize, owner lookup, append).
-    pub route: u64,
-    /// Shard-parallel apply (sort + dedup + merge per segment).
-    pub apply: u64,
-}
-
-impl PhaseNanos {
-    /// Total across phases.
-    pub fn total(&self) -> u64 {
-        self.propose + self.route + self.apply
-    }
-}
 
 /// Drives a [`ProposalRule`] over a [`ShardedArenaGraph`] in synchronous
 /// rounds with shard-parallel propose, route, and apply phases.
@@ -216,6 +199,17 @@ impl<R: ProposalRule<ShardedArenaGraph>> ShardedEngine<R> {
 
     /// Executes one synchronous round; returns what happened.
     pub fn step(&mut self) -> RoundStats {
+        self.step_inner(None)
+    }
+
+    /// One round, with per-phase [`PhaseEvent`]s delivered to `listener` as
+    /// each phase completes (the cumulative [`ShardedEngine::phases`]
+    /// timers absorb the same events). [`RoundEngine::step_listened`]
+    /// routes here.
+    fn step_inner(
+        &mut self,
+        mut listener: Option<&mut dyn RoundListener<ShardedArenaGraph>>,
+    ) -> RoundStats {
         let parallel = self.use_parallel();
         let plan = *self.graph.plan();
         let shards = self.graph.shard_count();
@@ -230,8 +224,24 @@ impl<R: ProposalRule<ShardedArenaGraph>> ShardedEngine<R> {
             &mut self.chunk_bufs,
             parallel,
         );
-        self.phases.propose += t.elapsed().as_nanos() as u64;
         self.round += 1;
+        let mut emit = |phases: &mut PhaseNanos, phase: RoundPhase, nanos: u64, round: u64| {
+            let ev = PhaseEvent {
+                round,
+                phase,
+                nanos,
+            };
+            phases.absorb(&ev);
+            if let Some(l) = listener.as_deref_mut() {
+                l.on_phase(&ev);
+            }
+        };
+        emit(
+            &mut self.phases,
+            RoundPhase::Propose,
+            t.elapsed().as_nanos() as u64,
+            self.round,
+        );
 
         // Global slot base of each chunk: the proposal stream is the
         // concatenation of the chunk buffers, so chunk c's first proposal
@@ -280,7 +290,12 @@ impl<R: ProposalRule<ShardedArenaGraph>> ShardedEngine<R> {
                 route(s, boxes);
             }
         }
-        self.phases.route += t.elapsed().as_nanos() as u64;
+        emit(
+            &mut self.phases,
+            RoundPhase::Route,
+            t.elapsed().as_nanos() as u64,
+            self.round,
+        );
 
         // Phase 3: apply — owner t merges its mailbox column in fixed
         // (source shard, chunk index) order into its own segment.
@@ -291,11 +306,12 @@ impl<R: ProposalRule<ShardedArenaGraph>> ShardedEngine<R> {
                 (0..shards).map(|s| mail[s][t_shard].as_slice()).collect();
             seg.apply_half_edges(&sources, scratch)
         };
+        // segments_mut is the CoW commit point: any segment still shared
+        // with an epoch snapshot is deep-copied here, before the fan-out.
+        let segs = self.graph.segments_mut();
         if parallel {
-            let mut work: Vec<ShardWork<'_>> = self
-                .graph
-                .segments_mut()
-                .iter_mut()
+            let mut work: Vec<ShardWork<'_>> = segs
+                .into_iter()
                 .zip(self.scratch.iter_mut())
                 .zip(self.added.iter_mut())
                 .enumerate()
@@ -305,10 +321,8 @@ impl<R: ProposalRule<ShardedArenaGraph>> ShardedEngine<R> {
                 **added = apply(*t, seg, scratch);
             });
         } else {
-            for (t_shard, ((seg, scratch), added)) in self
-                .graph
-                .segments_mut()
-                .iter_mut()
+            for (t_shard, ((seg, scratch), added)) in segs
+                .into_iter()
                 .zip(self.scratch.iter_mut())
                 .zip(self.added.iter_mut())
                 .enumerate()
@@ -316,7 +330,12 @@ impl<R: ProposalRule<ShardedArenaGraph>> ShardedEngine<R> {
                 *added = apply(t_shard, seg, scratch);
             }
         }
-        self.phases.apply += t.elapsed().as_nanos() as u64;
+        emit(
+            &mut self.phases,
+            RoundPhase::Apply,
+            t.elapsed().as_nanos() as u64,
+            self.round,
+        );
 
         RoundStats {
             proposed,
@@ -363,6 +382,52 @@ impl<R: ProposalRule<ShardedArenaGraph>> RoundEngine for ShardedEngine<R> {
     #[inline]
     fn step_quantum(&mut self) -> RoundStats {
         self.step()
+    }
+    #[inline]
+    fn step_listened(&mut self, listener: &mut dyn RoundListener<ShardedArenaGraph>) -> RoundStats {
+        self.step_inner(Some(listener))
+    }
+}
+
+/// Builds the sharded variant from a [`gossip_core::EngineBuilder`] —
+/// the downstream extension of the core construction path (core cannot
+/// name `ShardedEngine`). The shard count is carried by the graph itself
+/// ([`ShardedArenaGraph::shard_count`]), so no extra plan parameter is
+/// needed here.
+///
+/// ```
+/// use gossip_core::{ComponentwiseComplete, EngineBuilder, Pull};
+/// use gossip_graph::{generators, ShardedArenaGraph};
+/// use gossip_shard::BuildSharded;
+///
+/// let und = generators::star(64);
+/// let mut check = ComponentwiseComplete::for_graph(&und);
+/// let mut engine =
+///     EngineBuilder::new(ShardedArenaGraph::from_undirected(&und, 8), Pull, 7).build_sharded();
+/// assert!(engine.run_until(&mut check, 1_000_000).converged);
+/// ```
+pub trait BuildSharded<R> {
+    /// Builds the multi-shard round engine.
+    fn build_sharded(self) -> ShardedEngine<R>;
+
+    /// Builds the multi-shard engine as a boxed [`RoundEngine`] trait
+    /// object — for callers selecting the variant at runtime.
+    fn build_sharded_boxed(self) -> Box<dyn RoundEngine<Graph = ShardedArenaGraph> + Send>
+    where
+        R: Send + 'static;
+}
+
+impl<R: ProposalRule<ShardedArenaGraph>> BuildSharded<R> for EngineBuilder<ShardedArenaGraph, R> {
+    fn build_sharded(self) -> ShardedEngine<R> {
+        let (graph, rule, seed, parallelism) = self.into_parts();
+        ShardedEngine::new(graph, rule, seed).with_parallelism(parallelism)
+    }
+
+    fn build_sharded_boxed(self) -> Box<dyn RoundEngine<Graph = ShardedArenaGraph> + Send>
+    where
+        R: Send + 'static,
+    {
+        Box::new(self.build_sharded())
     }
 }
 
@@ -456,6 +521,38 @@ mod tests {
         assert!(p.propose > 0 && p.apply > 0);
         e.reset_phases();
         assert_eq!(e.phases(), PhaseNanos::default());
+    }
+
+    #[test]
+    fn phase_events_mirror_cumulative_timers() {
+        use gossip_core::listener::{PhaseAccumulator, RoundPhase};
+        use gossip_core::seam::run_engine_listened;
+        let g = sharded(1500, 3000, 4, 3);
+        let mut e = ShardedEngine::new(g, Pull, 8);
+        let mut acc = PhaseAccumulator::new();
+        run_engine_listened(&mut e, &mut acc, 5);
+        // The listener saw exactly what the engine's own timers absorbed.
+        assert_eq!(acc.totals(), e.phases());
+        assert!(acc.totals().propose > 0 && acc.totals().apply > 0);
+        let _ = RoundPhase::Route; // all three variants flow through absorb
+    }
+
+    #[test]
+    fn builder_extension_matches_hand_assembly() {
+        use gossip_core::EngineBuilder;
+        let g = sharded(2000, 4000, 3, 4);
+        let mut hand = ShardedEngine::new(g.clone(), Push, 21);
+        let mut built = EngineBuilder::new(g.clone(), Push, 21).build_sharded();
+        let mut boxed = EngineBuilder::new(g, Push, 21).build_sharded_boxed();
+        for round in 0..6 {
+            let s = hand.step();
+            assert_eq!(s, built.step(), "round {round}");
+            assert_eq!(s, boxed.step_quantum(), "round {round} (boxed)");
+        }
+        for u in hand.graph().nodes() {
+            assert_eq!(hand.graph().neighbors(u), built.graph().neighbors(u));
+            assert_eq!(hand.graph().neighbors(u), boxed.graph().neighbors(u));
+        }
     }
 
     #[test]

@@ -8,9 +8,13 @@
 use gossip_analysis::{exact_expected_rounds, ProcessKind, Summary};
 use gossip_core::{
     convergence_rounds, ClosureReached, ComponentwiseComplete, DirectedPull, DiscoveryTrace,
-    Engine, HybridPushPull, Pull, Push, TrialConfig,
+    Engine, EngineBuilder, HybridPushPull, ListenerSet, Pull, Push, RoundEngine, TrialConfig,
 };
-use gossip_graph::{generators, io as gio, DirectedGraph, UndirectedGraph};
+use gossip_graph::{
+    generators, io as gio, ArenaGraph, DirectedGraph, ShardedArenaGraph, UndirectedGraph,
+};
+use gossip_serve::{GossipService, GraphQuery, MetricsCounters, ServeConfig};
+use gossip_shard::BuildSharded;
 use std::fmt::Write as _;
 
 /// A parsed invocation.
@@ -77,6 +81,27 @@ pub enum Command {
         /// Seed.
         seed: u64,
     },
+    /// `gossip serve --process P --family F --n N [--rounds R] [--shards K]
+    /// [--snapshot-every E] [--seed S]`
+    Serve {
+        /// `push`, `pull`, or `hybrid`.
+        process: String,
+        /// Family name.
+        family: String,
+        /// Family size.
+        n: usize,
+        /// Round budget for the resident engine.
+        rounds: u64,
+        /// Shard count; 1 selects the sequential arena engine, >1 the
+        /// multi-shard engine.
+        shards: usize,
+        /// Snapshot publication cadence, in rounds.
+        snapshot_every: u64,
+        /// Seed.
+        seed: u64,
+        /// Family parameter.
+        param: Option<u64>,
+    },
     /// `gossip help`
     Help,
 }
@@ -94,6 +119,9 @@ USAGE:
   gossip exact --process push|pull --n N --edges \"0-1,1-2\"  exact E[rounds] (n<=5)
   gossip directed --family cycle|thm14|thm15|gnp --n N [--seed S]
                                                             directed two-hop walk
+  gossip serve --process P --family F --n N [--rounds R] [--shards K]
+               [--snapshot-every E] [--seed S]              resident engine behind
+                                                            epoch snapshots
   gossip help
 
 FAMILIES: path cycle star double-star complete binary-tree random-tree
@@ -115,6 +143,9 @@ impl Command {
         let mut trials = 16usize;
         let mut trace = false;
         let mut param: Option<u64> = None;
+        let mut rounds = 128u64;
+        let mut shards = 1usize;
+        let mut snapshot_every = 1u64;
 
         while let Some(flag) = it.next() {
             let mut take = || -> Result<&String, String> {
@@ -129,6 +160,17 @@ impl Command {
                 "--seed" => seed = take()?.parse().map_err(|_| "--seed needs an integer")?,
                 "--trials" => trials = take()?.parse().map_err(|_| "--trials needs an integer")?,
                 "--param" => param = Some(take()?.parse().map_err(|_| "--param needs an integer")?),
+                "--rounds" => {
+                    rounds = take()?.parse().map_err(|_| "--rounds needs an integer")?;
+                }
+                "--shards" => {
+                    shards = take()?.parse().map_err(|_| "--shards needs an integer")?;
+                }
+                "--snapshot-every" => {
+                    snapshot_every = take()?
+                        .parse()
+                        .map_err(|_| "--snapshot-every needs an integer")?;
+                }
                 "--trace" => trace = true,
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -172,6 +214,16 @@ impl Command {
                 family: family.ok_or("directed needs --family")?,
                 n: n.ok_or("directed needs --n")?,
                 seed,
+            }),
+            "serve" => Ok(Command::Serve {
+                process: process.ok_or("serve needs --process")?,
+                family: family.ok_or("serve needs --family")?,
+                n: n.ok_or("serve needs --n")?,
+                rounds,
+                shards,
+                snapshot_every,
+                seed,
+                param,
             }),
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(format!("unknown subcommand {other}")),
@@ -244,6 +296,34 @@ fn parse_edges(spec: &str, n: usize) -> Result<UndirectedGraph, String> {
         g.add_edge(gossip_graph::NodeId(a), gossip_graph::NodeId(b));
     }
     Ok(g)
+}
+
+/// Runs an engine behind a [`GossipService`] for the configured budget and
+/// summarizes what the final snapshot serves. One metrics plugin rides the
+/// loop to demonstrate the listener surface end to end.
+fn serve_report<E>(engine: E, cfg: ServeConfig) -> String
+where
+    E: RoundEngine + Send + 'static,
+    E::Graph: GraphQuery + 'static,
+{
+    let (metrics_listener, metrics) = MetricsCounters::new();
+    let svc = GossipService::spawn_with(engine, cfg, ListenerSet::new().with(metrics_listener));
+    let handle = svc.handle();
+    let (_, outcome) = svc.join();
+    let snap = handle.snapshot();
+    let stats = snap.stats();
+    format!(
+        "rounds = {}, epochs = {}, edges = {}, coverage = {:.4}, \
+         degree min/mean/max = {}/{:.1}/{}, added = {}",
+        outcome.rounds,
+        outcome.epochs,
+        stats.edges,
+        stats.coverage,
+        stats.min_degree,
+        stats.mean_degree,
+        stats.max_degree,
+        metrics.added.load(std::sync::atomic::Ordering::Acquire),
+    )
 }
 
 /// Executes a command, returning its stdout payload.
@@ -348,6 +428,49 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             }
             let e = exact_expected_rounds(&g, kind);
             let _ = writeln!(out, "exact E[rounds to fixed point] = {e:.6}");
+        }
+
+        Command::Serve {
+            process,
+            family,
+            n,
+            rounds,
+            shards,
+            snapshot_every,
+            seed,
+            param,
+        } => {
+            let g = make_graph(family, *n, *seed, *param)?;
+            let cfg = ServeConfig {
+                snapshot_every: *snapshot_every,
+                budget: *rounds,
+            };
+            let line = if *shards > 1 {
+                let g = ShardedArenaGraph::from_undirected(&g, *shards);
+                match process.as_str() {
+                    "push" => serve_report(EngineBuilder::new(g, Push, *seed).build_sharded(), cfg),
+                    "pull" => serve_report(EngineBuilder::new(g, Pull, *seed).build_sharded(), cfg),
+                    "hybrid" => serve_report(
+                        EngineBuilder::new(g, HybridPushPull, *seed).build_sharded(),
+                        cfg,
+                    ),
+                    other => return Err(format!("unknown process {other}")),
+                }
+            } else {
+                let g = ArenaGraph::from_undirected(&g);
+                match process.as_str() {
+                    "push" => serve_report(EngineBuilder::new(g, Push, *seed).build(), cfg),
+                    "pull" => serve_report(EngineBuilder::new(g, Pull, *seed).build(), cfg),
+                    "hybrid" => {
+                        serve_report(EngineBuilder::new(g, HybridPushPull, *seed).build(), cfg)
+                    }
+                    other => return Err(format!("unknown process {other}")),
+                }
+            };
+            let _ = writeln!(
+                out,
+                "serve {process} on {family}(n={n}, shards={shards}): {line}"
+            );
         }
 
         Command::Directed { family, n, seed } => {
@@ -504,6 +627,53 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains("closure arcs = 56"));
+    }
+
+    #[test]
+    fn serve_reports_final_snapshot_for_both_engines() {
+        // Sequential (shards = 1) and sharded (shards = 4) behind the same
+        // subcommand; 4 rounds of push on a 64-star is deterministic.
+        let mut lines = Vec::new();
+        for shards in [1usize, 4] {
+            let out = execute(&Command::Serve {
+                process: "push".into(),
+                family: "star".into(),
+                n: 64,
+                rounds: 4,
+                shards,
+                snapshot_every: 2,
+                seed: 11,
+                param: None,
+            })
+            .unwrap();
+            assert!(out.contains("rounds = 4"), "{out}");
+            assert!(out.contains("coverage ="), "{out}");
+            // budget 4, cadence 2 → epochs 0 (initial), 2, 4, final = 4
+            assert!(out.contains("epochs = 4"), "{out}");
+            lines.push(out.split_once("): ").unwrap().1.to_string());
+        }
+        // Same trajectory regardless of the engine serving it.
+        assert_eq!(lines[0], lines[1]);
+    }
+
+    #[test]
+    fn parse_serve_flags() {
+        let cmd = Command::parse(&argv(
+            "serve --process pull --family sparse --n 100 --rounds 9 --shards 2 --snapshot-every 3",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                rounds,
+                shards,
+                snapshot_every,
+                ..
+            } => {
+                assert_eq!((rounds, shards, snapshot_every), (9, 2, 3));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(Command::parse(&argv("serve --family star --n 8")).is_err());
     }
 
     #[test]

@@ -6,14 +6,15 @@
 //! self-rewiring networks, with everything needed to re-derive the paper's
 //! results on a laptop.
 //!
-//! This crate is the facade: it re-exports the six member library crates
+//! This crate is the facade: it re-exports the seven member library crates
 //! and a [`prelude`]. See the individual crates for the real APIs:
 //!
 //! | Crate | Contents |
 //! |-------|----------|
 //! | [`graph`] (`gossip-graph`) | dynamic graphs with O(1) neighbor sampling, generators incl. the paper's lower-bound constructions, traversal/SCC/closure |
-//! | [`core`] (`gossip-core`) | the push/pull/directed processes, deterministic parallel engine, Monte Carlo trials, robustness variants |
+//! | [`core`] (`gossip-core`) | the push/pull/directed processes, deterministic parallel engine, engine builder, unified round-listener seam, Monte Carlo trials, robustness variants |
 //! | [`shard`] (`gossip-shard`) | deterministic multi-shard round engine: shard-parallel propose/apply over owner-partitioned arena segments |
+//! | [`serve`] (`gossip-serve`) | resident service: a live engine behind cheap epoch snapshots, a concurrent query surface, and pluggable listeners |
 //! | [`baselines`] (`gossip-baselines`) | Name Dropper, Random Pointer Jump, throttled ND, flooding — with message-bit accounting |
 //! | [`net`] (`gossip-net`) | byte-accurate message-passing simulator: loss, churn, coverage/staleness metrics |
 //! | [`analysis`] (`gossip-analysis`) | exact Markov-chain solver (Figure 1(c)), statistics, asymptotic model fitting |
@@ -42,6 +43,7 @@ pub use gossip_baselines as baselines;
 pub use gossip_core as core;
 pub use gossip_graph as graph;
 pub use gossip_net as net;
+pub use gossip_serve as serve;
 pub use gossip_shard as shard;
 
 /// Most-used items in one import.
@@ -54,9 +56,10 @@ pub mod prelude {
         DiscoveryAlgorithm, Flooding, Knowledge, NameDropper, PointerJump, ThrottledNameDropper,
     };
     pub use gossip_core::{
-        convergence_rounds, run_trials, stream_trials, ClosureReached, ComponentwiseComplete,
-        ConvergenceCheck, DirectedPull, DiscoveryTrace, Engine, Faulty, HybridPushPull,
-        MinDegreeAtLeast, Never, OnlySubset, Parallelism, Partial, Pull, Push, SubsetComplete,
+        convergence_rounds, run_engine_listened, run_engine_until, run_trials, stream_trials,
+        ClosureReached, ComponentwiseComplete, ConvergenceCheck, DirectedPull, DiscoveryTrace,
+        Engine, EngineBuilder, Faulty, HybridPushPull, ListenerSet, MinDegreeAtLeast, Never,
+        OnlySubset, Parallelism, Partial, Pull, Push, RoundEngine, RoundListener, SubsetComplete,
         TrialConfig,
     };
     pub use gossip_graph::{
@@ -66,5 +69,9 @@ pub mod prelude {
         ChurnModel, HeartbeatPushProtocol, NetConfig, Network, PullProtocol as NetPull,
         PushProtocol as NetPush,
     };
-    pub use gossip_shard::ShardedEngine;
+    pub use gossip_serve::{
+        GossipService, GraphQuery, MetricsCounters, ReplayLog, ServeConfig, Snapshot,
+        TrajectoryRecorder,
+    };
+    pub use gossip_shard::{BuildSharded, ShardedEngine};
 }

@@ -46,3 +46,25 @@ fn quickstart_sharded_engine_runs_the_same_process() {
     assert!(engine.run_until(&mut check, 1_000_000).converged);
     assert!(engine.graph().is_complete());
 }
+
+/// The README's serving snippet, verbatim: any engine behind the resident
+/// service, queried live through epoch snapshots, engine returned on join
+/// (the full 2^20 run under concurrent query load is `exp_serve` in CI).
+#[test]
+fn quickstart_serve_queries_a_live_engine() {
+    let und = generators::star(64);
+    let engine =
+        EngineBuilder::new(ShardedArenaGraph::from_undirected(&und, 8), Pull, 7).build_sharded();
+    let svc = GossipService::spawn(
+        engine,
+        ServeConfig {
+            snapshot_every: 4,
+            budget: 32,
+        },
+    );
+    let snap = svc.handle().snapshot();
+    assert!(snap.stats().coverage <= 1.0);
+    let (engine, out) = svc.join();
+    assert_eq!(out.rounds, 32);
+    assert!(engine.graph().m() >= snap.edge_count());
+}
