@@ -6,6 +6,7 @@
 
 use crate::algorithm::{id_bits, DiscoveryAlgorithm, RoundIO};
 use crate::knowledge::Knowledge;
+use gossip_core::{Effects, FloodingKernel, LocalView, NoDraws, NodeState, ProtocolKernel};
 use gossip_graph::{NodeId, UndirectedGraph};
 
 /// Flooding state. Floods along the fixed initial topology (flooding over
@@ -38,11 +39,25 @@ impl DiscoveryAlgorithm for Flooding {
         // not n bitmap copies.
         let snapshot = self.knowledge.sorted_snapshot();
         let mut io = RoundIO::default();
+        let mut effects = Effects::default();
         #[allow(clippy::needless_range_loop)] // u is simultaneously a NodeId
         for u in 0..n {
             let payload = snapshot.slice(u);
             let msg_bits = (payload.len() as u64 + 1) * self.id_bits;
-            for v in self.topology.neighbors(NodeId::new(u)).iter() {
+            // The kernel decides the fan-out (every topology neighbor, in
+            // row order); the runtime materializes each `KnownList` share
+            // as the round-start payload.
+            effects.clear();
+            FloodingKernel.on_round(
+                &mut NodeState::Stateless,
+                &LocalView {
+                    me: NodeId::new(u),
+                    contacts: self.topology.neighbors(NodeId::new(u)).as_slice(),
+                },
+                &mut NoDraws,
+                &mut effects,
+            );
+            for &(v, _) in &effects.shares {
                 io.messages += 1;
                 io.bits += msg_bits;
                 io.max_message_bits = io.max_message_bits.max(msg_bits);

@@ -9,6 +9,7 @@
 use crate::algorithm::{id_bits, DiscoveryAlgorithm, RoundIO};
 use crate::knowledge::Knowledge;
 use gossip_core::rng::stream_rng;
+use gossip_core::{Effects, LocalView, NameDropperKernel, NodeState, ProtocolKernel, RngChooser};
 use gossip_graph::NodeId;
 
 /// Name Dropper state.
@@ -40,9 +41,21 @@ impl DiscoveryAlgorithm for NameDropper {
     fn step(&mut self) -> RoundIO {
         let n = self.knowledge.n();
         // Phase 1: every node picks its receiver against round-start state.
+        // The decision is the kernel's; the pick is `shares[0]`'s target.
+        let mut effects = Effects::default();
         for u in 0..n {
             let mut rng = stream_rng(self.seed, self.round, u as u64);
-            self.picks[u] = self.knowledge.random_contact(NodeId::new(u), &mut rng);
+            effects.clear();
+            NameDropperKernel.on_round(
+                &mut NodeState::Stateless,
+                &LocalView {
+                    me: NodeId::new(u),
+                    contacts: self.knowledge.contacts(NodeId::new(u)),
+                },
+                &mut RngChooser(&mut rng),
+                &mut effects,
+            );
+            self.picks[u] = effects.shares.first().map(|&(v, _)| v);
         }
         // Phase 2: deliver. Contents are the round-start contact lists, so
         // we snapshot the sorted arena before merging (synchronous

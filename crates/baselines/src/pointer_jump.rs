@@ -5,6 +5,7 @@
 use crate::algorithm::{id_bits, DiscoveryAlgorithm, RoundIO};
 use crate::knowledge::Knowledge;
 use gossip_core::rng::stream_rng;
+use gossip_core::{Effects, LocalView, NodeState, PointerJumpKernel, ProtocolKernel, RngChooser};
 use gossip_graph::NodeId;
 
 /// Random Pointer Jump state.
@@ -32,12 +33,24 @@ impl PointerJump {
 impl DiscoveryAlgorithm for PointerJump {
     fn step(&mut self) -> RoundIO {
         let n = self.knowledge.n();
-        // Phase 1: pick the contact to pull from; snapshot payloads.
+        // Phase 1: the kernel picks the contact to pull from (a
+        // `Share::PullRequest` aimed at the pick); snapshot payloads.
         let mut pulls: Vec<Option<NodeId>> = vec![None; n];
+        let mut effects = Effects::default();
         #[allow(clippy::needless_range_loop)] // u is simultaneously a NodeId
         for u in 0..n {
             let mut rng = stream_rng(self.seed, self.round, u as u64);
-            pulls[u] = self.knowledge.random_contact(NodeId::new(u), &mut rng);
+            effects.clear();
+            PointerJumpKernel.on_round(
+                &mut NodeState::Stateless,
+                &LocalView {
+                    me: NodeId::new(u),
+                    contacts: self.knowledge.contacts(NodeId::new(u)),
+                },
+                &mut RngChooser(&mut rng),
+                &mut effects,
+            );
+            pulls[u] = effects.shares.first().map(|&(v, _)| v);
         }
         // Round-start snapshot: one O(pairs) clone of the sorted arena,
         // not n bitmap copies.

@@ -10,6 +10,9 @@
 use crate::algorithm::{id_bits, DiscoveryAlgorithm, RoundIO};
 use crate::knowledge::Knowledge;
 use gossip_core::rng::stream_rng;
+use gossip_core::{
+    Effects, LocalView, NodeState, ProtocolKernel, RngChooser, Share, ThrottledKernel,
+};
 use gossip_graph::NodeId;
 
 /// Throttled Name Dropper state.
@@ -19,12 +22,12 @@ pub struct ThrottledNameDropper {
     seed: u64,
     round: u64,
     id_bits: u64,
-    budget: usize,
-    /// `cursor[u][v]` = how many of `u`'s contacts (in arrival order, a
-    /// stable prefix because knowledge rows only append) have been shipped
-    /// to `v`. O(n²) u32s of state — the cost of coordination the paper
-    /// mentions.
-    cursor: Vec<Vec<u32>>,
+    kernel: ThrottledKernel,
+    /// Per-node kernel state: `NodeState::Cursors`, where node `u`'s entry
+    /// `v` counts how many of `u`'s contacts (in arrival order, a stable
+    /// prefix because knowledge rows only append) have been shipped to `v`.
+    /// O(n²) u32s of state — the cost of coordination the paper mentions.
+    states: Vec<NodeState>,
 }
 
 impl ThrottledNameDropper {
@@ -38,8 +41,8 @@ impl ThrottledNameDropper {
             seed,
             round: 0,
             id_bits: id_bits(n),
-            budget,
-            cursor: vec![vec![0; n]; n],
+            kernel: ThrottledKernel { budget },
+            states: vec![NodeState::Cursors(vec![0; n]); n],
         }
     }
 }
@@ -47,26 +50,41 @@ impl ThrottledNameDropper {
 impl DiscoveryAlgorithm for ThrottledNameDropper {
     fn step(&mut self) -> RoundIO {
         let n = self.knowledge.n();
-        let mut sends: Vec<Option<NodeId>> = vec![None; n];
+        // Phase 1: each node's kernel picks a destination and the next
+        // cursor window of its *round-start* list (the row it sees is the
+        // pre-round prefix, so the clamp is synchronous by construction),
+        // advancing its per-destination cursor.
+        let mut sends: Vec<Option<(NodeId, Share)>> = vec![None; n];
+        let mut effects = Effects::default();
         #[allow(clippy::needless_range_loop)] // u is simultaneously a NodeId
         for u in 0..n {
             let mut rng = stream_rng(self.seed, self.round, u as u64);
-            sends[u] = self.knowledge.random_contact(NodeId::new(u), &mut rng);
+            effects.clear();
+            self.kernel.on_round(
+                &mut self.states[u],
+                &LocalView {
+                    me: NodeId::new(u),
+                    contacts: self.knowledge.contacts(NodeId::new(u)),
+                },
+                &mut RngChooser(&mut rng),
+                &mut effects,
+            );
+            sends[u] = effects.shares.first().copied();
         }
-        // Snapshot senders' round-start list lengths for synchrony: only the
-        // prefix that existed at round start may be shipped.
-        let list_lens: Vec<usize> = (0..n)
-            .map(|u| self.knowledge.count(NodeId::new(u)))
-            .collect();
+        // Phase 2: materialize each window against the arrival-ordered
+        // lists (stable prefixes: entries only append, so the phase-1
+        // window still denotes the same contacts) and deliver.
         let mut io = RoundIO::default();
+        #[allow(clippy::needless_range_loop)] // u is simultaneously a NodeId
         for u in 0..n {
-            let Some(v) = sends[u] else { continue };
-            let cur = self.cursor[u][v.index()] as usize;
-            let end = (cur + self.budget).min(list_lens[u]);
+            let Some((v, Share::Slice { start, len })) = sends[u] else {
+                continue;
+            };
+            let (start, len) = (start as usize, len as usize);
             // Copy the slice out to appease the borrow checker; at most
             // `budget` ids.
-            let chunk: Vec<NodeId> = self.knowledge.contacts(NodeId::new(u))[cur..end].to_vec();
-            self.cursor[u][v.index()] = end as u32;
+            let chunk: Vec<NodeId> =
+                self.knowledge.contacts(NodeId::new(u))[start..start + len].to_vec();
             let msg_bits = (chunk.len() as u64 + 1) * self.id_bits;
             io.messages += 1;
             io.bits += msg_bits;

@@ -11,7 +11,7 @@
 use crate::harness::{Args, Report};
 use gossip_analysis::{fmt_f64, ks_statistic, ks_threshold_95, Ecdf, Summary, Table};
 use gossip_core::rng::trial_seed;
-use gossip_core::{ComponentwiseComplete, EngineBuilder, ProposalRule, Pull, Push};
+use gossip_core::{with_rule, ComponentwiseComplete, EngineBuilder, ProposalRule, RuleId};
 use gossip_graph::{generators, UndirectedGraph};
 use rayon::prelude::*;
 
@@ -86,17 +86,12 @@ pub fn run(args: &Args) -> Report {
             ("random-tree", generators::random_tree(n, &mut rng)),
         ];
         for (fam, g) in &families {
-            for proc_name in ["push", "pull"] {
-                let (sync, asynch) = match proc_name {
-                    "push" => (
-                        sync_rounds(g, Push, trials, args.seed ^ n as u64),
-                        async_times(g, Push, trials, args.seed ^ n as u64 ^ 0xA5),
-                    ),
-                    _ => (
-                        sync_rounds(g, Pull, trials, args.seed ^ n as u64),
-                        async_times(g, Pull, trials, args.seed ^ n as u64 ^ 0xA5),
-                    ),
-                };
+            for id in [RuleId::Push, RuleId::Pull] {
+                let proc_name = id.name();
+                let (sync, asynch) = with_rule!(id, |rule| (
+                    sync_rounds(g, rule, trials, args.seed ^ n as u64),
+                    async_times(g, rule, trials, args.seed ^ n as u64 ^ 0xA5),
+                ));
                 report.measure("rounds", format!("{proc_name}-sync"), *fam, n as u64, &sync);
                 report.measure(
                     "time",

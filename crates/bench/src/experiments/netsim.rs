@@ -6,9 +6,7 @@
 use crate::harness::{Args, Report};
 use gossip_analysis::{fmt_f64, Table};
 use gossip_graph::generators;
-use gossip_net::{
-    ChurnModel, NameDropperProtocol, NetConfig, Network, Protocol, PullProtocol, PushProtocol,
-};
+use gossip_net::{wire_protocol, ChurnModel, NetConfig, Network, Protocol, PushProtocol};
 
 fn wire_row(
     report: &mut Report,
@@ -68,33 +66,18 @@ pub fn run(args: &Args) -> Report {
     for &n in &sizes {
         let mut rng = gossip_core::rng::stream_rng(args.seed, 0xE7, n as u64);
         let g = generators::tree_plus_random_edges(n, 2 * n as u64, &mut rng);
-        wire_row(
-            &mut report,
-            &mut wire,
-            n,
-            &mut PushProtocol,
-            "push",
-            &g,
-            args.seed,
-        );
-        wire_row(
-            &mut report,
-            &mut wire,
-            n,
-            &mut PullProtocol,
-            "pull",
-            &g,
-            args.seed,
-        );
-        wire_row(
-            &mut report,
-            &mut wire,
-            n,
-            &mut NameDropperProtocol,
-            "name-dropper",
-            &g,
-            args.seed,
-        );
+        for name in ["push", "pull", "name-dropper"] {
+            let mut proto = wire_protocol(name).unwrap();
+            wire_row(
+                &mut report,
+                &mut wire,
+                n,
+                proto.as_mut(),
+                name,
+                &g,
+                args.seed,
+            );
+        }
     }
     report.note(
         "push/pull max message is 5 bytes at every n (one address + tag): the O(log n)-bit \
@@ -118,16 +101,8 @@ pub fn run(args: &Args) -> Report {
                     seed: args.seed,
                 },
             );
-            let (rounds, done) = match proto_name {
-                "push" => {
-                    let (r, d, _) = net.run_until_coverage(&mut PushProtocol, 1.0, 50_000_000);
-                    (r, d)
-                }
-                _ => {
-                    let (r, d, _) = net.run_until_coverage(&mut PullProtocol, 1.0, 50_000_000);
-                    (r, d)
-                }
-            };
+            let mut proto = wire_protocol(proto_name).unwrap();
+            let (rounds, done, _) = net.run_until_coverage(proto.as_mut(), 1.0, 50_000_000);
             assert!(done, "{proto_name} under loss {p} did not converge");
             report.measure_scalar(
                 "rounds",

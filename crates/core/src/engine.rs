@@ -30,7 +30,6 @@
 
 use crate::convergence::ConvergenceCheck;
 use crate::process::{GossipGraph, ProposalRule, RoundStats, TaggedProposal};
-use crate::recorder::RoundObserver;
 use crate::rng::stream_rng;
 use rayon::prelude::*;
 
@@ -235,29 +234,17 @@ impl<G: GossipGraph, R: ProposalRule<G>> Engine<G, R> {
             .apply_proposals(&self.chunk_bufs, &mut |u, a, b| on_edge(round_now, u, a, b))
     }
 
-    /// Runs until `check` fires or `max_rounds` is reached.
+    /// Runs until `check` fires or `max_rounds` is reached. (The loop
+    /// itself lives in [`crate::seam`], shared with the async and sharded
+    /// engines; recorders ride the same loop as
+    /// [`crate::listener::RoundListener`]s via
+    /// [`crate::seam::run_engine_listened`].)
     pub fn run_until<C: ConvergenceCheck<G>>(
         &mut self,
         check: &mut C,
         max_rounds: u64,
     ) -> RunOutcome {
-        self.run_observed(check, max_rounds, &mut crate::recorder::NullObserver)
-    }
-
-    /// Runs like [`Engine::run_until`], feeding every round to `observer`.
-    /// (The loop itself lives in [`crate::seam`], shared with the async and
-    /// sharded engines.)
-    pub fn run_observed<C, O>(
-        &mut self,
-        check: &mut C,
-        max_rounds: u64,
-        observer: &mut O,
-    ) -> RunOutcome
-    where
-        C: ConvergenceCheck<G>,
-        O: RoundObserver<G>,
-    {
-        crate::seam::run_engine_observed(self, check, max_rounds, observer)
+        crate::seam::run_engine_until(self, check, max_rounds)
     }
 }
 

@@ -41,9 +41,11 @@ pub mod builder;
 pub mod convergence;
 pub mod diagnostics;
 pub mod engine;
+pub mod kernel;
 pub mod listener;
 pub mod process;
 pub mod recorder;
+pub mod registry;
 pub mod rng;
 pub mod rules;
 pub mod seam;
@@ -58,14 +60,20 @@ pub use convergence::{
     SubsetComplete,
 };
 pub use engine::{Engine, Parallelism, RunOutcome};
+pub use kernel::{
+    kernel_propose, Chooser, Effects, FloodingKernel, GraphView, HybridKernel, KernelMsg,
+    LocalView, NameDropperKernel, NoDraws, NodeState, NodeView, PointerJumpKernel, ProtocolKernel,
+    PullKernel, PushKernel, RngChooser, Share, ThrottledKernel,
+};
 pub use listener::{
-    Chain, ListenerSet, NullListener, Observe, PhaseAccumulator, PhaseEvent, PhaseNanos,
-    RoundControl, RoundEvent, RoundListener, RoundPhase, StopWhen,
+    Chain, ListenerSet, NullListener, PhaseAccumulator, PhaseEvent, PhaseNanos, RoundControl,
+    RoundEvent, RoundListener, RoundPhase, StopWhen,
 };
 pub use process::{GossipGraph, ProposalRule, ProposalSet, RoundStats, TaggedProposal};
-pub use recorder::{MinDegreeMilestones, NullObserver, RoundObserver, SeriesRecorder, SeriesRow};
+pub use recorder::{MinDegreeMilestones, SeriesRecorder, SeriesRow};
+pub use registry::{AnyKernel, RuleId};
 pub use rules::{DirectedPull, HybridPushPull, Pull, Push};
-pub use seam::{run_engine_listened, run_engine_observed, run_engine_until, RoundEngine};
+pub use seam::{run_engine_listened, run_engine_until, RoundEngine};
 pub use trace::{DiscoveryTrace, EdgeEvent};
 pub use trials::{convergence_rounds, run_trials, stream_trials, TrialConfig};
 pub use variants::{Faulty, OnlySubset, Partial};

@@ -1,10 +1,9 @@
 //! The unified observation surface: one listener trait for every engine.
 //!
-//! The repository grew three overlapping ways to watch a run: the
-//! [`RoundObserver`] recorders, the stop-deciding [`ConvergenceCheck`]
-//! predicates, and the sharded engine's ad-hoc cumulative phase timers.
-//! [`RoundListener`] collapses them into a single trait with **typed
-//! events**:
+//! The repository grew three overlapping ways to watch a run: observer
+//! recorders, the stop-deciding [`ConvergenceCheck`] predicates, and the
+//! sharded engine's ad-hoc cumulative phase timers. [`RoundListener`]
+//! collapses them into a single trait with **typed events**:
 //!
 //! * [`RoundEvent`] — fired once per executed quantum with the post-round
 //!   graph `G_{t+1}` and the round's [`RoundStats`]. The listener's return
@@ -16,12 +15,13 @@
 //!   phase's wall-clock nanoseconds. Wall-clock only: these feed throughput
 //!   tables and live-service metrics, never reproducible measurement rows.
 //!
-//! The old traits did not go away — they are re-expressed as thin adapters
-//! ([`StopWhen`], [`Observe`]) so every existing recorder, check, and
-//! experiment compiles unchanged, while the engines themselves route
-//! through [`crate::seam::run_engine_listened`] exclusively. Multiple
-//! listeners compose with [`Chain`] (two, statically) or [`ListenerSet`]
-//! (N, boxed — the plugin fan-out `gossip-serve` drives).
+//! [`ConvergenceCheck`] survives as the *predicate vocabulary* and rides
+//! the seam through the [`StopWhen`] adapter; the recorders in
+//! [`crate::recorder`] are themselves listeners. Nothing outside this
+//! module observes a run any other way — the engines route through
+//! [`crate::seam::run_engine_listened`] exclusively. Multiple listeners
+//! compose with [`Chain`] (two, statically) or [`ListenerSet`] (N, boxed —
+//! the plugin fan-out `gossip-serve` drives).
 //!
 //! The no-listener path costs nothing: `run_until` wraps the check in a
 //! zero-size adapter and the default
@@ -31,7 +31,6 @@
 
 use crate::convergence::ConvergenceCheck;
 use crate::process::{GossipGraph, RoundStats};
-use crate::recorder::RoundObserver;
 
 /// The phases a round decomposes into (the sharded engine's pipeline;
 /// engines without a phase breakdown simply never emit [`PhaseEvent`]s).
@@ -164,19 +163,6 @@ impl<G: GossipGraph, C: ConvergenceCheck<G> + ?Sized> RoundListener<G> for StopW
         } else {
             RoundControl::Continue
         }
-    }
-}
-
-/// Adapter: a [`RoundObserver`] as a (never-stopping) listener, so every
-/// existing recorder keeps compiling and plugs into the unified loop.
-#[derive(Debug)]
-pub struct Observe<'a, O: ?Sized>(pub &'a mut O);
-
-impl<G: GossipGraph, O: RoundObserver<G> + ?Sized> RoundListener<G> for Observe<'_, O> {
-    #[inline]
-    fn on_round(&mut self, ev: &RoundEvent<'_, G>) -> RoundControl {
-        self.0.observe(ev.round, ev.graph, &ev.stats);
-        RoundControl::Continue
     }
 }
 
@@ -358,14 +344,14 @@ mod tests {
     }
 
     #[test]
-    fn observe_adapter_feeds_legacy_recorders() {
+    fn recorders_are_listeners() {
         let g = generators::path(16);
         let mut check = ComponentwiseComplete::for_graph(&g);
         let mut rec = SeriesRecorder::every(3);
         let mut engine = Engine::new(g, Push, 42);
         let out = run_engine_listened(
             &mut engine,
-            &mut Chain(Observe(&mut rec), StopWhen(&mut check)),
+            &mut Chain(&mut rec, StopWhen(&mut check)),
             100_000,
         );
         assert!(out.converged);

@@ -1,24 +1,30 @@
-//! Round observers: time-series capture without slowing the hot loop.
+//! Round recorders: time-series capture without slowing the hot loop.
+//!
+//! Recorders are plain [`RoundListener`]s — the single observation seam
+//! ([`crate::listener`]) every engine reports through. Chain one next to a
+//! stopping listener to record a run:
+//!
+//! ```
+//! use gossip_core::{
+//!     run_engine_listened, Chain, ComponentwiseComplete, Engine, Push, SeriesRecorder, StopWhen,
+//! };
+//! use gossip_graph::generators;
+//!
+//! let g = generators::path(12);
+//! let mut check = ComponentwiseComplete::for_graph(&g);
+//! let mut rec = SeriesRecorder::every(2);
+//! let mut engine = Engine::new(g, Push, 7);
+//! let out = run_engine_listened(
+//!     &mut engine,
+//!     &mut Chain(&mut rec, StopWhen(&mut check)),
+//!     100_000,
+//! );
+//! assert!(out.converged && !rec.rows().is_empty());
+//! ```
 
-use crate::process::{GossipGraph, RoundStats};
+use crate::listener::{RoundControl, RoundEvent, RoundListener};
+use crate::process::RoundStats;
 use gossip_graph::UndirectedGraph;
-
-/// Receives each executed round. The engine calls this after applying
-/// proposals, with the post-round graph `G_{t+1}` and the round's stats.
-pub trait RoundObserver<G: GossipGraph> {
-    /// Observes round `round` (1-based: the value of `Engine::round()` after
-    /// the step).
-    fn observe(&mut self, round: u64, g: &G, stats: &RoundStats);
-}
-
-/// Observer that records nothing (the default for timing-sensitive runs).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct NullObserver;
-
-impl<G: GossipGraph> RoundObserver<G> for NullObserver {
-    #[inline]
-    fn observe(&mut self, _round: u64, _g: &G, _stats: &RoundStats) {}
-}
 
 /// One sampled row of an undirected run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -64,10 +70,9 @@ impl SeriesRecorder {
     pub fn into_rows(self) -> Vec<SeriesRow> {
         self.rows
     }
-}
 
-impl RoundObserver<UndirectedGraph> for SeriesRecorder {
-    fn observe(&mut self, round: u64, g: &UndirectedGraph, stats: &RoundStats) {
+    /// Observes round `round` (1-based) with the post-round graph.
+    pub fn observe(&mut self, round: u64, g: &UndirectedGraph, stats: &RoundStats) {
         if round == 1 || round.is_multiple_of(self.stride) {
             self.rows.push(SeriesRow {
                 round,
@@ -77,6 +82,13 @@ impl RoundObserver<UndirectedGraph> for SeriesRecorder {
                 added: stats.added,
             });
         }
+    }
+}
+
+impl RoundListener<UndirectedGraph> for SeriesRecorder {
+    fn on_round(&mut self, ev: &RoundEvent<'_, UndirectedGraph>) -> RoundControl {
+        self.observe(ev.round, ev.graph, &ev.stats);
+        RoundControl::Continue
     }
 }
 
@@ -118,10 +130,9 @@ impl MinDegreeMilestones {
     pub fn delta0(&self) -> usize {
         self.delta0
     }
-}
 
-impl RoundObserver<UndirectedGraph> for MinDegreeMilestones {
-    fn observe(&mut self, round: u64, g: &UndirectedGraph, _stats: &RoundStats) {
+    /// Observes round `round` (1-based) with the post-round graph.
+    pub fn observe(&mut self, round: u64, g: &UndirectedGraph, _stats: &RoundStats) {
         if self.capped {
             return; // ceiling milestone already recorded; nothing can change
         }
@@ -143,12 +154,21 @@ impl RoundObserver<UndirectedGraph> for MinDegreeMilestones {
     }
 }
 
+impl RoundListener<UndirectedGraph> for MinDegreeMilestones {
+    fn on_round(&mut self, ev: &RoundEvent<'_, UndirectedGraph>) -> RoundControl {
+        self.observe(ev.round, ev.graph, &ev.stats);
+        RoundControl::Continue
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::convergence::ComponentwiseComplete;
     use crate::engine::Engine;
+    use crate::listener::{Chain, StopWhen};
     use crate::rules::Push;
+    use crate::seam::run_engine_listened;
     use gossip_graph::generators;
 
     #[test]
@@ -157,7 +177,11 @@ mod tests {
         let mut check = ComponentwiseComplete::for_graph(&g);
         let mut rec = SeriesRecorder::every(5);
         let mut engine = Engine::new(g, Push, 42);
-        let out = engine.run_observed(&mut check, 100_000, &mut rec);
+        let out = run_engine_listened(
+            &mut engine,
+            &mut Chain(&mut rec, StopWhen(&mut check)),
+            100_000,
+        );
         assert!(out.converged);
         let rows = rec.rows();
         assert!(!rows.is_empty());
@@ -178,7 +202,11 @@ mod tests {
         let mut check = ComponentwiseComplete::for_graph(&g);
         let mut ms = MinDegreeMilestones::new(2, 1.5);
         let mut engine = Engine::new(g, Push, 9);
-        let out = engine.run_observed(&mut check, 1_000_000, &mut ms);
+        let out = run_engine_listened(
+            &mut engine,
+            &mut Chain(&mut ms, StopWhen(&mut check)),
+            1_000_000,
+        );
         assert!(out.converged);
         let milestones = ms.milestones();
         assert!(

@@ -1,5 +1,12 @@
 //! The paper's two discovery processes, verbatim.
+//!
+//! Each rule is a thin [`ProposalRule`] adapter over its state-machine
+//! kernel in [`crate::kernel`]: the kernel makes every decision through
+//! the chooser/view seam, and [`kernel_propose`] maps it onto the batch
+//! engines' per-node RNG stream — bit-identical to the pre-kernel
+//! hand-written rules (same draws, same order, same guards).
 
+use crate::kernel::{kernel_propose, HybridKernel, ProtocolKernel, PullKernel, PushKernel};
 use crate::process::{GossipGraph, ProposalRule, ProposalSet};
 use gossip_graph::{DirectedGraph, NodeId, UniformNeighbors};
 use rand::rngs::SmallRng;
@@ -21,14 +28,11 @@ pub struct Push;
 impl<G: GossipGraph + UniformNeighbors> ProposalRule<G> for Push {
     #[inline]
     fn propose(&self, g: &G, u: NodeId, rng: &mut SmallRng) -> ProposalSet {
-        match g.random_neighbor_pair(u, rng) {
-            Some((v, w)) if v != w => ProposalSet::one(v, w),
-            _ => ProposalSet::empty(),
-        }
+        kernel_propose(&PushKernel, g, u, rng)
     }
 
     fn name(&self) -> &'static str {
-        "push"
+        PushKernel.name()
     }
 }
 
@@ -43,21 +47,11 @@ pub struct Pull;
 impl<G: GossipGraph + UniformNeighbors> ProposalRule<G> for Pull {
     #[inline]
     fn propose(&self, g: &G, u: NodeId, rng: &mut SmallRng) -> ProposalSet {
-        let Some(v) = g.random_neighbor(u, rng) else {
-            return ProposalSet::empty();
-        };
-        let Some(w) = g.random_neighbor(v, rng) else {
-            return ProposalSet::empty();
-        };
-        if w == u {
-            ProposalSet::empty()
-        } else {
-            ProposalSet::one(u, w)
-        }
+        kernel_propose(&PullKernel, g, u, rng)
     }
 
     fn name(&self) -> &'static str {
-        "pull"
+        PullKernel.name()
     }
 }
 
@@ -72,17 +66,10 @@ pub struct DirectedPull;
 impl ProposalRule<DirectedGraph> for DirectedPull {
     #[inline]
     fn propose(&self, g: &DirectedGraph, u: NodeId, rng: &mut SmallRng) -> ProposalSet {
-        let Some(v) = g.random_out_neighbor(u, rng) else {
-            return ProposalSet::empty();
-        };
-        let Some(w) = g.random_out_neighbor(v, rng) else {
-            return ProposalSet::empty();
-        };
-        if w == u {
-            ProposalSet::empty()
-        } else {
-            ProposalSet::one(u, w)
-        }
+        // Same walk kernel as the undirected pull; the directed graph's
+        // `UniformNeighbors` row is its out-neighbor list, so the walk
+        // follows arcs and dies on sinks exactly as before.
+        kernel_propose(&PullKernel, g, u, rng)
     }
 
     fn name(&self) -> &'static str {
@@ -99,24 +86,11 @@ pub struct HybridPushPull;
 impl<G: GossipGraph + UniformNeighbors> ProposalRule<G> for HybridPushPull {
     #[inline]
     fn propose(&self, g: &G, u: NodeId, rng: &mut SmallRng) -> ProposalSet {
-        let mut out = ProposalSet::empty();
-        if let Some((v, w)) = g.random_neighbor_pair(u, rng) {
-            if v != w {
-                out.push((v, w));
-            }
-        }
-        if let Some(v) = g.random_neighbor(u, rng) {
-            if let Some(w) = g.random_neighbor(v, rng) {
-                if w != u {
-                    out.push((u, w));
-                }
-            }
-        }
-        out
+        kernel_propose(&HybridKernel, g, u, rng)
     }
 
     fn name(&self) -> &'static str {
-        "hybrid"
+        HybridKernel.name()
     }
 }
 

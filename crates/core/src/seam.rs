@@ -7,10 +7,10 @@
 //! `ShardedEngine` (crate `gossip-shard`). They differ in *how a quantum of
 //! work is scheduled*, not in what a run is: advance quanta, watch a
 //! [`ConvergenceCheck`], stop at a budget. [`RoundEngine`] captures exactly
-//! that seam, and [`run_engine_until`]/[`run_engine_observed`] are the one
-//! shared implementation of the run loop — experiments select an engine by
-//! constructing it, and everything downstream (convergence, observers,
-//! outcome reporting) is engine-agnostic.
+//! that seam, and [`run_engine_listened`] is the one shared implementation
+//! of the run loop — experiments select an engine by constructing it, and
+//! everything downstream (convergence, recorders, outcome reporting) is
+//! engine-agnostic and rides the [`RoundListener`] seam.
 //!
 //! A "quantum" is one synchronous round for the round-based engines and one
 //! activation for the asynchronous engine (its natural scheduling unit);
@@ -18,9 +18,8 @@
 
 use crate::convergence::ConvergenceCheck;
 use crate::engine::RunOutcome;
-use crate::listener::{Chain, Observe, RoundControl, RoundEvent, RoundListener, StopWhen};
+use crate::listener::{RoundControl, RoundEvent, RoundListener, StopWhen};
 use crate::process::{GossipGraph, RoundStats};
-use crate::recorder::RoundObserver;
 
 /// An engine that advances a gossip process one scheduling quantum at a
 /// time. See the [module docs](self) for what a quantum is per engine.
@@ -120,26 +119,6 @@ where
     C: ConvergenceCheck<E::Graph>,
 {
     run_engine_listened(engine, &mut StopWhen(check), budget)
-}
-
-/// Like [`run_engine_until`], feeding every executed quantum to `observer`
-/// (delivered before the check sees the round, as it always was).
-pub fn run_engine_observed<E, C, O>(
-    engine: &mut E,
-    check: &mut C,
-    budget: u64,
-    observer: &mut O,
-) -> RunOutcome
-where
-    E: RoundEngine,
-    C: ConvergenceCheck<E::Graph>,
-    O: RoundObserver<E::Graph>,
-{
-    run_engine_listened(
-        engine,
-        &mut Chain(Observe(observer), StopWhen(check)),
-        budget,
-    )
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 use crate::convergence::ConvergenceCheck;
 use crate::engine::Engine;
 use crate::process::{GossipGraph, ProposalRule};
+use crate::seam::RoundEngine;
 use gossip_graph::NodeId;
 use std::fmt::Write as _;
 
@@ -100,36 +101,40 @@ impl<G: GossipGraph, R: ProposalRule<G>> Engine<G, R> {
         })
     }
 
-    /// Runs to convergence while tracing every edge birth.
+    /// Runs to convergence while tracing every edge birth. The loop is the
+    /// shared [`crate::seam::run_engine_listened`] — the traced engine is
+    /// just a [`RoundEngine`] whose quantum appends edge events, and the
+    /// check rides the listener seam like everywhere else.
     pub fn run_traced<C: ConvergenceCheck<G>>(
         &mut self,
         check: &mut C,
         max_rounds: u64,
         trace: &mut DiscoveryTrace,
     ) -> crate::engine::RunOutcome {
-        if check.is_converged(self.graph()) {
-            return crate::engine::RunOutcome {
-                rounds: self.round(),
-                converged: true,
-                final_edges: self.graph().edge_count(),
-            };
-        }
-        let start = self.round();
-        while self.round() - start < max_rounds {
-            self.step_traced(trace);
-            if check.is_converged(self.graph()) {
-                return crate::engine::RunOutcome {
-                    rounds: self.round(),
-                    converged: true,
-                    final_edges: self.graph().edge_count(),
-                };
-            }
-        }
-        crate::engine::RunOutcome {
-            rounds: self.round(),
-            converged: false,
-            final_edges: self.graph().edge_count(),
-        }
+        let mut traced = Traced {
+            engine: self,
+            trace,
+        };
+        crate::seam::run_engine_until(&mut traced, check, max_rounds)
+    }
+}
+
+/// [`RoundEngine`] adapter: one quantum = one traced round.
+struct Traced<'a, G, R> {
+    engine: &'a mut Engine<G, R>,
+    trace: &'a mut DiscoveryTrace,
+}
+
+impl<G: GossipGraph, R: ProposalRule<G>> RoundEngine for Traced<'_, G, R> {
+    type Graph = G;
+    fn graph(&self) -> &G {
+        self.engine.graph()
+    }
+    fn quanta(&self) -> u64 {
+        self.engine.round()
+    }
+    fn step_quantum(&mut self) -> crate::process::RoundStats {
+        self.engine.step_traced(self.trace)
     }
 }
 

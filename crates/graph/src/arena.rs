@@ -29,33 +29,56 @@ use rand::Rng;
 /// Uniform random access to a graph's neighbor lists — the only interface
 /// the paper's undirected proposal rules need (node enumeration belongs to
 /// the engine's `GossipGraph`, so it is deliberately not duplicated here).
-/// Implemented by the mutable [`UndirectedGraph`] and by [`ArenaGraph`],
-/// so one generic rule runs on either backend.
+/// Implemented by the mutable [`UndirectedGraph`], by [`ArenaGraph`], and
+/// (over out-edges) by [`crate::DirectedGraph`], so one generic rule runs
+/// on any backend.
+///
+/// The trait is *row-based*: a backend exposes each node's neighbor list as
+/// a slice in its native sampling order, and the sampling methods are
+/// provided on top of it (guard empty, then one `random_range` draw per
+/// neighbor). This keeps every backend's draw sequence identical by
+/// construction, which is what lets the protocol kernels in `gossip-core`
+/// replay the exact same RNG stream through an index-choosing seam.
 pub trait UniformNeighbors {
+    /// The neighbor list of `u` in the backend's sampling order (insertion
+    /// order for `AdjSet`-backed graphs, sorted row order for the arenas;
+    /// out-neighbors for directed graphs).
+    fn neighbor_row(&self, u: NodeId) -> &[NodeId];
+
     /// Uniformly random neighbor of `u`, or `None` if `u` is isolated.
-    fn random_neighbor<R: Rng + ?Sized>(&self, u: NodeId, rng: &mut R) -> Option<NodeId>;
+    #[inline]
+    fn random_neighbor<R: Rng + ?Sized>(&self, u: NodeId, rng: &mut R) -> Option<NodeId> {
+        let row = self.neighbor_row(u);
+        if row.is_empty() {
+            None
+        } else {
+            Some(row[rng.random_range(0..row.len())])
+        }
+    }
 
     /// Two i.i.d. uniform neighbors of `u` (with replacement — the paper's
     /// push process draws an ordered pair; `v == w` is allowed).
-    fn random_neighbor_pair<R: Rng + ?Sized>(
-        &self,
-        u: NodeId,
-        rng: &mut R,
-    ) -> Option<(NodeId, NodeId)>;
-}
-
-impl UniformNeighbors for UndirectedGraph {
-    #[inline]
-    fn random_neighbor<R: Rng + ?Sized>(&self, u: NodeId, rng: &mut R) -> Option<NodeId> {
-        UndirectedGraph::random_neighbor(self, u, rng)
-    }
     #[inline]
     fn random_neighbor_pair<R: Rng + ?Sized>(
         &self,
         u: NodeId,
         rng: &mut R,
     ) -> Option<(NodeId, NodeId)> {
-        UndirectedGraph::random_neighbor_pair(self, u, rng)
+        let row = self.neighbor_row(u);
+        if row.is_empty() {
+            None
+        } else {
+            let i = rng.random_range(0..row.len());
+            let j = rng.random_range(0..row.len());
+            Some((row[i], row[j]))
+        }
+    }
+}
+
+impl UniformNeighbors for UndirectedGraph {
+    #[inline]
+    fn neighbor_row(&self, u: NodeId) -> &[NodeId] {
+        self.neighbors(u).as_slice()
     }
 }
 
@@ -448,28 +471,8 @@ impl ArenaGraph {
 
 impl UniformNeighbors for ArenaGraph {
     #[inline]
-    fn random_neighbor<R: Rng + ?Sized>(&self, u: NodeId, rng: &mut R) -> Option<NodeId> {
-        let row = self.neighbors(u);
-        if row.is_empty() {
-            None
-        } else {
-            Some(row[rng.random_range(0..row.len())])
-        }
-    }
-    #[inline]
-    fn random_neighbor_pair<R: Rng + ?Sized>(
-        &self,
-        u: NodeId,
-        rng: &mut R,
-    ) -> Option<(NodeId, NodeId)> {
-        let row = self.neighbors(u);
-        if row.is_empty() {
-            None
-        } else {
-            let i = rng.random_range(0..row.len());
-            let j = rng.random_range(0..row.len());
-            Some((row[i], row[j]))
-        }
+    fn neighbor_row(&self, u: NodeId) -> &[NodeId] {
+        self.neighbors(u)
     }
 }
 

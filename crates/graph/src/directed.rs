@@ -1,6 +1,7 @@
 //! The mutable directed graph for the directed two-hop walk (Section 5).
 
 use crate::adjacency::AdjSet;
+use crate::arena::UniformNeighbors;
 use crate::node::{Arc, NodeId};
 use rand::Rng;
 
@@ -13,6 +14,16 @@ use rand::Rng;
 pub struct DirectedGraph {
     out: Vec<AdjSet>,
     arcs: u64,
+}
+
+/// For directed graphs the "neighbor" row is the **out**-neighbor list —
+/// the surface the directed two-hop walk samples along. `random_neighbor`
+/// therefore draws exactly like [`DirectedGraph::random_out_neighbor`].
+impl UniformNeighbors for DirectedGraph {
+    #[inline]
+    fn neighbor_row(&self, u: NodeId) -> &[NodeId] {
+        self.out_row(u)
+    }
 }
 
 impl DirectedGraph {
@@ -86,6 +97,13 @@ impl DirectedGraph {
     /// Iterates over all nodes.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
         (0..self.out.len() as u32).map(NodeId)
+    }
+
+    /// Out-neighbor list in sampling (insertion) order — the directed
+    /// graph's [`UniformNeighbors`] row.
+    #[inline]
+    pub fn out_row(&self, u: NodeId) -> &[NodeId] {
+        self.out[u.index()].as_slice()
     }
 
     /// Iterates over all arcs.

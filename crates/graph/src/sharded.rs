@@ -43,7 +43,6 @@
 use crate::arena::{ArenaGraph, SliceArena, UniformNeighbors};
 use crate::node::{Edge, NodeId};
 use crate::undirected::UndirectedGraph;
-use rand::Rng;
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -505,28 +504,8 @@ impl ShardedArenaGraph {
 
 impl UniformNeighbors for ShardedArenaGraph {
     #[inline]
-    fn random_neighbor<R: Rng + ?Sized>(&self, u: NodeId, rng: &mut R) -> Option<NodeId> {
-        let row = self.neighbors(u);
-        if row.is_empty() {
-            None
-        } else {
-            Some(row[rng.random_range(0..row.len())])
-        }
-    }
-    #[inline]
-    fn random_neighbor_pair<R: Rng + ?Sized>(
-        &self,
-        u: NodeId,
-        rng: &mut R,
-    ) -> Option<(NodeId, NodeId)> {
-        let row = self.neighbors(u);
-        if row.is_empty() {
-            None
-        } else {
-            let i = rng.random_range(0..row.len());
-            let j = rng.random_range(0..row.len());
-            Some((row[i], row[j]))
-        }
+    fn neighbor_row(&self, u: NodeId) -> &[NodeId] {
+        self.neighbors(u)
     }
 }
 
@@ -534,7 +513,7 @@ impl UniformNeighbors for ShardedArenaGraph {
 mod tests {
     use super::*;
     use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
     use std::collections::BTreeSet;
 
     #[test]

@@ -1,0 +1,57 @@
+//! Deliberately broken kernels: mutation tests for the checker itself.
+//!
+//! A model checker that never fails proves nothing. These kernels plant
+//! one violation each — a safety bug (phantom contact) and a liveness bug
+//! (permanent stall) — so the test suite can confirm the checker catches
+//! both and reports a minimal, replayable counterexample trace.
+
+use gossip_core::{Chooser, Effects, NodeState, NodeView, ProtocolKernel};
+use gossip_graph::NodeId;
+
+/// Push with an off-by-a-mile bug: it draws a pair like [`gossip_core::PushKernel`]
+/// but introduces the second pick to an id far outside the world — a
+/// phantom contact the safety scan must reject in round one.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhantomPush;
+
+impl ProtocolKernel for PhantomPush {
+    fn name(&self) -> &'static str {
+        "push-phantom"
+    }
+
+    fn on_round<V: NodeView + ?Sized, C: Chooser + ?Sized>(
+        &self,
+        _state: &mut NodeState,
+        view: &V,
+        choose: &mut C,
+        out: &mut Effects,
+    ) {
+        let row = view.contacts();
+        if row.is_empty() {
+            return;
+        }
+        let v = row[choose.choose(row.len())];
+        let w = row[choose.choose(row.len())];
+        out.connect(v, NodeId(w.0 + 100));
+    }
+}
+
+/// Push that never proposes anything: every incomplete instance is a
+/// stuck state, which the liveness check must flag immediately.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StallingPush;
+
+impl ProtocolKernel for StallingPush {
+    fn name(&self) -> &'static str {
+        "push-stalling"
+    }
+
+    fn on_round<V: NodeView + ?Sized, C: Chooser + ?Sized>(
+        &self,
+        _state: &mut NodeState,
+        _view: &V,
+        _choose: &mut C,
+        _out: &mut Effects,
+    ) {
+    }
+}

@@ -1,0 +1,549 @@
+//! The bounded exhaustive checker: BFS over the joint state space of one
+//! instance, scanning every reachable state for safety violations and
+//! stuck states, with minimal counterexample traces.
+//!
+//! A joint state packs the five per-node contact rows into one `u64` key.
+//! For each reachable state the checker derives every node's outcome
+//! *menu* (see [`crate::enumerate`]), scans each outcome against the
+//! safety properties, checks that some outcome still makes progress
+//! (liveness: no reachable incomplete state is stuck), and folds the
+//! menus node-by-node — deduplicating intermediate accumulations, which
+//! is sound because effects are monotone bit-unions over the round-start
+//! rows — to produce the successor set. BFS parent pointers make every
+//! reported counterexample minimal in rounds.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use crate::enumerate::{node_menu, rows_to_lists, Outcome, World};
+use crate::instance::{all_instances, Instance, MAX_N};
+use gossip_core::{ProtocolKernel, Share};
+use gossip_graph::NodeId;
+
+/// Which round schedules the adversary may play.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Every node's chosen outcome is delivered every round.
+    Lossless,
+    /// The adversary may additionally drop any node's entire round output
+    /// (crash-like omission); dropping everyone forever is the unfair
+    /// schedule the liveness check deliberately ignores.
+    Omission,
+}
+
+impl Schedule {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Schedule::Lossless => "lossless",
+            Schedule::Omission => "omission",
+        }
+    }
+}
+
+/// Aggregate exploration statistics for one or more checked instances.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckStats {
+    /// Distinct joint states visited.
+    pub states: u64,
+    /// Successor transitions enumerated (after intermediate dedup).
+    pub transitions: u64,
+    /// Deepest BFS level reached (rounds from the initial state).
+    pub max_depth: usize,
+    /// True if any instance hit the round bound with states unexplored.
+    pub truncated: bool,
+    /// Largest per-message payload (in node ids) any enumerated message
+    /// carried — the empirical side of the `O(log n)`-bits claim.
+    pub max_payload_ids: u64,
+}
+
+impl CheckStats {
+    /// Fold another instance's stats into this aggregate.
+    pub fn absorb(&mut self, other: CheckStats) {
+        self.states += other.states;
+        self.transitions += other.transitions;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.truncated |= other.truncated;
+        self.max_payload_ids = self.max_payload_ids.max(other.max_payload_ids);
+    }
+}
+
+/// What went wrong, for a counterexample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A node proposed a connection involving an id outside its closed
+    /// two-hop view (or outside the world entirely) — a phantom contact.
+    PhantomConnect {
+        /// The proposing node.
+        node: u32,
+        /// Proposed endpoints (normalized `min, max`).
+        a: u32,
+        /// Second endpoint.
+        b: u32,
+    },
+    /// A node addressed a payload to someone outside its contact row.
+    PhantomShare {
+        /// The sending node.
+        node: u32,
+        /// The phantom destination.
+        to: u32,
+    },
+    /// A message carried more node ids than the kernel's declared
+    /// [`ProtocolKernel::max_message_ids`] budget.
+    OverBudget {
+        /// The sending node.
+        node: u32,
+        /// Ids the message carried.
+        ids: u64,
+        /// The declared budget it exceeded.
+        budget: u64,
+    },
+    /// An incomplete state where no outcome of any node makes progress:
+    /// by monotonicity no schedule can ever finish from here.
+    Stuck,
+}
+
+/// One round of a counterexample trace.
+#[derive(Clone, Debug)]
+pub struct TraceStep {
+    /// Contact rows at the start of the round.
+    pub state: [u8; MAX_N],
+    /// One line per node: the outcome the adversary scheduled (witness
+    /// choices and effects), or a drop.
+    pub actions: Vec<String>,
+}
+
+/// A minimal failing run: the instance, the adversary's schedule round by
+/// round, and the violation at the end.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The starting topology.
+    pub instance: Instance,
+    /// The kernel's registry name.
+    pub kernel: &'static str,
+    /// The world the kernel was checked in.
+    pub world: World,
+    /// The schedule family the adversary played.
+    pub schedule: Schedule,
+    /// The property that failed.
+    pub violation: Violation,
+    /// Description of the offending node outcome (empty for [`Violation::Stuck`]).
+    pub offender: String,
+    /// Contact rows of the violating state.
+    pub state: [u8; MAX_N],
+    /// Minimal (in rounds) path from the initial state to [`Self::state`].
+    pub trace: Vec<TraceStep>,
+}
+
+fn rows_str(rows: &[u8; MAX_N], n: usize) -> String {
+    (0..n)
+        .map(|i| {
+            let row: Vec<String> = (0..n)
+                .filter(|&j| rows[i] >> j & 1 == 1)
+                .map(|j| j.to_string())
+                .collect();
+            format!("{i}:{{{}}}", row.join(","))
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "model-check violation: kernel={} world={:?} schedule={}",
+            self.kernel,
+            self.world,
+            self.schedule.name()
+        )?;
+        writeln!(f, "instance: {}", self.instance.describe())?;
+        writeln!(f, "violation: {:?}", self.violation)?;
+        if !self.offender.is_empty() {
+            writeln!(f, "offender: {}", self.offender)?;
+        }
+        writeln!(f, "trace ({} rounds to reach the state):", self.trace.len())?;
+        for (r, step) in self.trace.iter().enumerate() {
+            writeln!(
+                f,
+                "  round {}: {}",
+                r + 1,
+                rows_str(&step.state, self.instance.n)
+            )?;
+            for a in &step.actions {
+                writeln!(f, "    {a}")?;
+            }
+        }
+        write!(
+            f,
+            "state at violation: {}",
+            rows_str(&self.state, self.instance.n)
+        )
+    }
+}
+
+fn pack(rows: &[u8; MAX_N]) -> u64 {
+    rows.iter()
+        .enumerate()
+        .fold(0u64, |k, (i, &r)| k | (r as u64) << (8 * i))
+}
+
+fn unpack(key: u64) -> [u8; MAX_N] {
+    let mut rows = [0u8; MAX_N];
+    for (i, r) in rows.iter_mut().enumerate() {
+        *r = (key >> (8 * i)) as u8;
+    }
+    rows
+}
+
+/// Apply one node's outcome on top of `acc`, reading round-start data
+/// from `start`/`lists` (synchronous semantics: all nodes act on the
+/// round-start world, deliveries union). Out-of-range ids are skipped
+/// here — the safety scan reports them; application stays total.
+fn apply_outcome(
+    start: &[u8; MAX_N],
+    acc: &mut [u8; MAX_N],
+    n: usize,
+    u: usize,
+    o: &Outcome,
+    lists: &[Vec<NodeId>],
+) {
+    for &(a, b) in &o.connects {
+        let (a, b) = (a as usize, b as usize);
+        if a >= n || b >= n || a == b {
+            continue;
+        }
+        acc[a] |= 1 << b;
+        acc[b] |= 1 << a;
+    }
+    for &(to, s) in &o.shares {
+        let to = to as usize;
+        if to >= n {
+            continue;
+        }
+        match s {
+            Share::KnownList => {
+                acc[to] |= (start[u] | 1 << u) & !(1 << to);
+            }
+            Share::PullRequest => {
+                acc[u] |= (start[to] | 1 << to) & !(1 << u);
+            }
+            Share::Slice { start: s0, len } => {
+                let row = &lists[u];
+                let lo = (s0 as usize).min(row.len());
+                let hi = (s0 as usize).saturating_add(len as usize).min(row.len());
+                let mut bits = 1u8 << u;
+                for v in &row[lo..hi] {
+                    bits |= 1 << v.index();
+                }
+                acc[to] |= bits & !(1 << to);
+            }
+        }
+    }
+}
+
+fn describe_outcome(u: usize, o: &Outcome) -> String {
+    let connects: Vec<String> = o
+        .connects
+        .iter()
+        .map(|&(a, b)| format!("{a}-{b}"))
+        .collect();
+    let shares: Vec<String> = o
+        .shares
+        .iter()
+        .map(|&(to, s)| match s {
+            Share::KnownList => format!("KnownList->{to}"),
+            Share::PullRequest => format!("PullRequest->{to}"),
+            Share::Slice { start, len } => format!("Slice[{start}+{len}]->{to}"),
+        })
+        .collect();
+    format!(
+        "node {u}: choices {:?} connects [{}] shares [{}]",
+        o.choices,
+        connects.join(","),
+        shares.join(",")
+    )
+}
+
+/// Scan one outcome against the safety properties. Returns the violation
+/// and an offender description, and tracks the payload-size statistic.
+fn scan_outcome(
+    budget: Option<u64>,
+    world: World,
+    start: &[u8; MAX_N],
+    n: usize,
+    u: usize,
+    o: &Outcome,
+    stats: &mut CheckStats,
+) -> Option<(Violation, String)> {
+    let closed1: u8 = start[u] | 1 << u;
+    let closed2: u8 = match world {
+        World::Graph => (0..n)
+            .filter(|&v| start[u] >> v & 1 == 1)
+            .fold(closed1, |acc, v| acc | start[v] | 1 << v),
+        World::Knowledge => closed1,
+    };
+    let fail = |v: Violation| Some((v, describe_outcome(u, o)));
+
+    for &(a, b) in &o.connects {
+        let in_world = (a as usize) < n && (b as usize) < n;
+        let in_two_hop = in_world && closed2 >> a & 1 == 1 && closed2 >> b & 1 == 1;
+        let anchors_one_hop = in_world && (closed1 >> a & 1 == 1 || closed1 >> b & 1 == 1);
+        if !(in_two_hop && anchors_one_hop) {
+            return fail(Violation::PhantomConnect {
+                node: u as u32,
+                a,
+                b,
+            });
+        }
+        // A connect materializes as two introductions of one id each.
+        stats.max_payload_ids = stats.max_payload_ids.max(1);
+        if let Some(k) = budget {
+            if 1 > k {
+                return fail(Violation::OverBudget {
+                    node: u as u32,
+                    ids: 1,
+                    budget: k,
+                });
+            }
+        }
+    }
+    for &(to, s) in &o.shares {
+        if (to as usize) >= n || start[u] >> to & 1 == 0 {
+            return fail(Violation::PhantomShare { node: u as u32, to });
+        }
+        let ids: u64 = match s {
+            // Own full list plus the sender's id.
+            Share::KnownList => (start[u].count_ones() + 1) as u64,
+            // The request carries one id; the induced reply carries the
+            // target's full list, which counts against the same budget.
+            Share::PullRequest => ((start[to as usize].count_ones() + 1) as u64).max(1),
+            // The window itself; the sender id rides in the envelope,
+            // matching `ThrottledKernel`'s declared `Some(budget)`.
+            Share::Slice { len, .. } => len as u64,
+        };
+        stats.max_payload_ids = stats.max_payload_ids.max(ids);
+        if let Some(k) = budget {
+            if ids > k {
+                return fail(Violation::OverBudget {
+                    node: u as u32,
+                    ids,
+                    budget: k,
+                });
+            }
+        }
+    }
+    None
+}
+
+type Combo = Vec<Option<u16>>;
+type ParentMap = HashMap<u64, Option<(u64, Combo)>>;
+
+/// Rebuild the minimal path from the initial state to `end`, re-deriving
+/// each predecessor's menus to render the scheduled actions.
+fn build_trace<K: ProtocolKernel + ?Sized>(
+    kernel: &K,
+    world: World,
+    n: usize,
+    parent: &ParentMap,
+    end: u64,
+) -> Vec<TraceStep> {
+    let mut path: Vec<(u64, Combo)> = Vec::new();
+    let mut k = end;
+    while let Some(Some((prev, combo))) = parent.get(&k) {
+        path.push((*prev, combo.clone()));
+        k = *prev;
+    }
+    path.reverse();
+    path.into_iter()
+        .map(|(prev, combo)| {
+            let rows = unpack(prev);
+            let lists = rows_to_lists(&rows, n);
+            let actions = (0..n)
+                .map(|u| match combo.get(u).copied().flatten() {
+                    None => format!("node {u}: (dropped)"),
+                    Some(idx) => {
+                        let menu = node_menu(kernel, world, &lists, u);
+                        describe_outcome(u, &menu[idx as usize])
+                    }
+                })
+                .collect();
+            TraceStep {
+                state: rows,
+                actions,
+            }
+        })
+        .collect()
+}
+
+/// Exhaustively check one kernel on one instance: BFS every reachable
+/// joint state under `schedule`, verifying safety on every enumerated
+/// outcome and liveness (no stuck incomplete state) on every state.
+pub fn check_kernel<K: ProtocolKernel + ?Sized>(
+    kernel: &K,
+    world: World,
+    schedule: Schedule,
+    inst: Instance,
+    max_rounds: usize,
+) -> Result<CheckStats, Box<Counterexample>> {
+    let n = inst.n;
+    let budget = kernel.max_message_ids();
+    let full: Vec<u8> = (0..n)
+        .map(|i| (((1u16 << n) - 1) as u8) & !(1 << i))
+        .collect();
+    let init = inst.initial_rows();
+    let init_key = pack(&init);
+
+    let mut stats = CheckStats::default();
+    let mut parent: ParentMap = HashMap::new();
+    parent.insert(init_key, None);
+    let mut queue: VecDeque<(u64, usize)> = VecDeque::new();
+    queue.push_back((init_key, 0));
+
+    let fail = |violation, offender, rows, key: u64, parent: &ParentMap| {
+        Box::new(Counterexample {
+            instance: inst,
+            kernel: kernel.name(),
+            world,
+            schedule,
+            violation,
+            offender,
+            state: rows,
+            trace: build_trace(kernel, world, n, parent, key),
+        })
+    };
+
+    while let Some((key, depth)) = queue.pop_front() {
+        stats.states += 1;
+        stats.max_depth = stats.max_depth.max(depth);
+        let rows = unpack(key);
+        let lists = rows_to_lists(&rows, n);
+        let menus: Vec<Vec<Outcome>> = (0..n)
+            .map(|u| node_menu(kernel, world, &lists, u))
+            .collect();
+
+        for (u, menu) in menus.iter().enumerate() {
+            for o in menu {
+                if let Some((violation, offender)) =
+                    scan_outcome(budget, world, &rows, n, u, o, &mut stats)
+                {
+                    return Err(fail(violation, offender, rows, key, &parent));
+                }
+            }
+        }
+
+        let complete = (0..n).all(|i| rows[i] == full[i]);
+        if complete {
+            continue;
+        }
+
+        // Liveness: some single outcome must change the state. Effects
+        // are monotone unions, so if every single outcome is a no-op,
+        // every combination is too — the state is permanently stuck.
+        let progress = menus.iter().enumerate().any(|(u, menu)| {
+            menu.iter().any(|o| {
+                let mut acc = rows;
+                apply_outcome(&rows, &mut acc, n, u, o, &lists);
+                acc != rows
+            })
+        });
+        if !progress {
+            return Err(fail(Violation::Stuck, String::new(), rows, key, &parent));
+        }
+
+        if depth >= max_rounds {
+            stats.truncated = true;
+            continue;
+        }
+
+        // Successors: fold node menus left to right, deduplicating the
+        // accumulated state after each node (sound: unions commute), and
+        // keep one witness combo per accumulation for parent pointers.
+        let mut frontier: HashMap<u64, Combo> = HashMap::new();
+        frontier.insert(key, Vec::new());
+        for (u, menu) in menus.iter().enumerate() {
+            let mut next: HashMap<u64, Combo> = HashMap::new();
+            for (acc_key, combo) in &frontier {
+                let acc0 = unpack(*acc_key);
+                if schedule == Schedule::Omission {
+                    let mut c = combo.clone();
+                    c.push(None);
+                    next.entry(*acc_key).or_insert(c);
+                }
+                for (idx, o) in menu.iter().enumerate() {
+                    let mut acc = acc0;
+                    apply_outcome(&rows, &mut acc, n, u, o, &lists);
+                    let mut c = combo.clone();
+                    c.push(Some(idx as u16));
+                    next.entry(pack(&acc)).or_insert(c);
+                }
+            }
+            frontier = next;
+        }
+        for (succ, combo) in frontier {
+            stats.transitions += 1;
+            if succ == key {
+                continue;
+            }
+            if let std::collections::hash_map::Entry::Vacant(slot) = parent.entry(succ) {
+                slot.insert(Some((key, combo)));
+                queue.push_back((succ, depth + 1));
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Check a kernel over **every** connected instance with `n <= max_n`,
+/// aggregating statistics; the first violation aborts the sweep.
+pub fn check_all<K: ProtocolKernel + ?Sized>(
+    kernel: &K,
+    world: World,
+    schedule: Schedule,
+    max_n: usize,
+    max_rounds: usize,
+) -> Result<CheckStats, Box<Counterexample>> {
+    let mut total = CheckStats::default();
+    for inst in all_instances(max_n) {
+        total.absorb(check_kernel(kernel, world, schedule, inst, max_rounds)?);
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_core::PushKernel;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let rows = [0b10110, 0b00001, 0, 0b11111, 0b01010];
+        assert_eq!(unpack(pack(&rows)), rows);
+    }
+
+    #[test]
+    fn push_on_path3_reaches_triangle() {
+        // Path 0-1-2 (mask: edges 0-1 and 1-2).
+        let inst = crate::instance::connected_instances(3)
+            .into_iter()
+            .find(|i| i.edges().len() == 2)
+            .unwrap();
+        let stats = check_kernel(&PushKernel, World::Graph, Schedule::Lossless, inst, 32).unwrap();
+        // States: path and triangle (the only strict superset).
+        assert_eq!(stats.states, 2);
+        assert!(!stats.truncated);
+        assert_eq!(stats.max_depth, 1);
+    }
+
+    #[test]
+    fn complete_instance_is_one_state() {
+        // Triangle: complete from the start, nothing to explore.
+        let inst = crate::instance::connected_instances(3)
+            .into_iter()
+            .find(|i| i.edges().len() == 3)
+            .unwrap();
+        let stats = check_kernel(&PushKernel, World::Graph, Schedule::Omission, inst, 32).unwrap();
+        assert_eq!(stats.states, 1);
+        assert_eq!(stats.transitions, 0);
+    }
+}

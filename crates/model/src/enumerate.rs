@@ -1,0 +1,240 @@
+//! Choice-tree enumeration: every outcome a kernel can produce for one
+//! node in one round.
+//!
+//! The kernel seam makes this possible: a [`ProtocolKernel`] draws every
+//! random decision through [`Chooser::choose`], so substituting a chooser
+//! that *replays a prefix and records the first unconstrained domain*
+//! turns one pure function into an enumerable choice tree. Depth-first
+//! search over prefixes visits each leaf exactly once; the leaves are the
+//! node's **menu** — the set of distinct effect bundles it can emit, each
+//! tagged with a witness choice vector for counterexample traces.
+
+use crate::instance::MAX_N;
+use gossip_core::{Chooser, Effects, NodeState, NodeView, ProtocolKernel, Share};
+use gossip_graph::NodeId;
+
+/// How the model world interprets views and effects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum World {
+    /// The batch engines' world: state is an undirected graph, kernels may
+    /// read a peer's row (two-hop walks), `connect` adds an edge.
+    Graph,
+    /// The message-passing world: state is directed knowledge, a node sees
+    /// only its own row (peer probes panic, as in the simulator), payload
+    /// descriptors move contact lists.
+    Knowledge,
+}
+
+/// A per-node view over the model state's contact rows.
+pub(crate) struct ModelView<'a> {
+    pub me: NodeId,
+    pub rows: &'a [Vec<NodeId>],
+    pub world: World,
+}
+
+impl NodeView for ModelView<'_> {
+    fn me(&self) -> NodeId {
+        self.me
+    }
+    fn contacts(&self) -> &[NodeId] {
+        &self.rows[self.me.index()]
+    }
+    fn peer_contacts(&self, v: NodeId) -> &[NodeId] {
+        match self.world {
+            World::Graph => &self.rows[v.index()],
+            World::Knowledge => panic!("knowledge world has no remote visibility"),
+        }
+    }
+}
+
+/// Chooser that replays a recorded prefix, then flags the first
+/// unconstrained draw's domain instead of choosing.
+struct ReplayChooser<'a> {
+    prefix: &'a [usize],
+    pos: usize,
+    /// Domain size of the first draw past the prefix, if any.
+    overflow: Option<usize>,
+}
+
+impl Chooser for ReplayChooser<'_> {
+    fn choose(&mut self, n: usize) -> usize {
+        assert!(n > 0, "kernel drew from an empty domain");
+        if self.pos < self.prefix.len() {
+            let c = self.prefix[self.pos];
+            self.pos += 1;
+            c
+        } else {
+            // Past the prefix: record the first free domain (the DFS
+            // branches on it) and return an arbitrary in-range value —
+            // the run's effects are discarded.
+            if self.overflow.is_none() {
+                self.overflow = Some(n);
+            }
+            0
+        }
+    }
+}
+
+/// One reachable per-node round outcome: the choices that produce it and
+/// the (canonicalized) effects it emits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// The choice vector (one entry per `choose` call) that witnesses
+    /// this outcome.
+    pub choices: Vec<usize>,
+    /// Proposed edges, normalized `(min, max)`, sorted, deduplicated.
+    pub connects: Vec<(u32, u32)>,
+    /// Outgoing payload descriptors, sorted by destination.
+    pub shares: Vec<(u32, Share)>,
+}
+
+/// Canonical `(connects, shares)` pair extracted from raw effects.
+type CanonicalEffects = (Vec<(u32, u32)>, Vec<(u32, Share)>);
+
+fn canonicalize(effects: &Effects) -> CanonicalEffects {
+    let mut connects: Vec<(u32, u32)> = effects
+        .connects
+        .as_slice()
+        .iter()
+        .map(|&(a, b)| (a.0.min(b.0), a.0.max(b.0)))
+        .collect();
+    connects.sort_unstable();
+    connects.dedup();
+    let mut shares: Vec<(u32, Share)> = effects.shares.iter().map(|&(to, s)| (to.0, s)).collect();
+    shares.sort_unstable_by_key(|&(to, s)| {
+        let (tag, a, b) = match s {
+            Share::KnownList => (0u8, 0, 0),
+            Share::PullRequest => (1, 0, 0),
+            Share::Slice { start, len } => (2, start, len),
+        };
+        (to, tag, a, b)
+    });
+    (connects, shares)
+}
+
+fn explore<K: ProtocolKernel + ?Sized>(
+    kernel: &K,
+    view: &ModelView<'_>,
+    prefix: &mut Vec<usize>,
+    out: &mut Vec<Outcome>,
+) {
+    assert!(
+        prefix.len() < 16,
+        "kernel drew more than 16 choices in one round"
+    );
+    let mut effects = Effects::default();
+    let mut chooser = ReplayChooser {
+        prefix,
+        pos: 0,
+        overflow: None,
+    };
+    kernel.on_round(&mut NodeState::Stateless, view, &mut chooser, &mut effects);
+    let overflow = chooser.overflow;
+    match overflow {
+        None => {
+            let (connects, shares) = canonicalize(&effects);
+            // Deduplicate by effects; keep the first witness choice vector.
+            if !out
+                .iter()
+                .any(|o| o.connects == connects && o.shares == shares)
+            {
+                out.push(Outcome {
+                    choices: prefix.clone(),
+                    connects,
+                    shares,
+                });
+            }
+        }
+        Some(domain) => {
+            for c in 0..domain {
+                prefix.push(c);
+                explore(kernel, view, prefix, out);
+                prefix.pop();
+            }
+        }
+    }
+}
+
+/// Every distinct outcome node `u` can produce this round, with witness
+/// choices. Stateless kernels only — the joint-state encoding has no slot
+/// for per-node cursor state yet.
+pub fn node_menu<K: ProtocolKernel + ?Sized>(
+    kernel: &K,
+    world: World,
+    rows: &[Vec<NodeId>],
+    u: usize,
+) -> Vec<Outcome> {
+    let view = ModelView {
+        me: NodeId::new(u),
+        rows,
+        world,
+    };
+    let mut out = Vec::new();
+    explore(kernel, &view, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Expands packed state rows into per-node ascending contact lists — the
+/// slices kernels see through [`ModelView`].
+pub(crate) fn rows_to_lists(rows: &[u8; MAX_N], n: usize) -> Vec<Vec<NodeId>> {
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| rows[i] >> j & 1 == 1)
+                .map(NodeId::new)
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_core::{NameDropperKernel, PullKernel, PushKernel};
+
+    fn lists(rows: &[&[u32]]) -> Vec<Vec<NodeId>> {
+        rows.iter()
+            .map(|r| r.iter().copied().map(NodeId).collect())
+            .collect()
+    }
+
+    #[test]
+    fn push_menu_covers_all_pairs() {
+        // Node 0 with contacts {1, 2}: draws (i, j) from 2x2 → outcomes
+        // are connect(1,2) (two witnesses, deduped) and the empty outcome
+        // (i == j, two witnesses).
+        let rows = lists(&[&[1, 2], &[0], &[0]]);
+        let menu = node_menu(&PushKernel, World::Graph, &rows, 0);
+        assert_eq!(menu.len(), 2);
+        assert!(menu.iter().any(|o| o.connects == vec![(1, 2)]));
+        assert!(menu.iter().any(|o| o.connects.is_empty()));
+    }
+
+    #[test]
+    fn pull_menu_walks_two_hops() {
+        // Path 0-1-2: node 0 walks to 1, then to one of {0, 2}; landing on
+        // itself yields no proposal, landing on 2 connects 0-2.
+        let rows = lists(&[&[1], &[0, 2], &[1]]);
+        let menu = node_menu(&PullKernel, World::Graph, &rows, 0);
+        assert_eq!(menu.len(), 2);
+        assert!(menu.iter().any(|o| o.connects == vec![(0, 2)]));
+        assert!(menu.iter().any(|o| o.connects.is_empty()));
+    }
+
+    #[test]
+    fn isolated_node_has_single_empty_outcome() {
+        let rows = lists(&[&[]]);
+        let menu = node_menu(&PushKernel, World::Graph, &rows, 0);
+        assert_eq!(menu.len(), 1);
+        assert!(menu[0].choices.is_empty() && menu[0].connects.is_empty());
+    }
+
+    #[test]
+    fn name_dropper_menu_targets_each_contact() {
+        let rows = lists(&[&[1, 2], &[0], &[0]]);
+        let menu = node_menu(&NameDropperKernel, World::Knowledge, &rows, 0);
+        assert_eq!(menu.len(), 2);
+        let dests: Vec<u32> = menu.iter().map(|o| o.shares[0].0).collect();
+        assert!(dests.contains(&1) && dests.contains(&2));
+    }
+}

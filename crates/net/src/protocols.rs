@@ -9,28 +9,59 @@
 
 use crate::message::Message;
 use crate::network::{NodeCtx, Protocol};
+use gossip_core::{
+    Effects, KernelMsg, LocalView, NodeState, ProtocolKernel, PushKernel, RngChooser,
+};
 use gossip_graph::NodeId;
 
 /// Push discovery on the wire: each round a node draws two contacts `v, w`
 /// i.i.d. and, when distinct, mails `Introduce{w}` to `v` and
 /// `Introduce{v}` to `w` — two 5-byte messages, independent of `n`.
+///
+/// The decision logic is [`PushKernel`] — the same state machine the batch
+/// engines run — driven here through a [`LocalView`] over the node's
+/// contact set. This adapter only maps kernel [`Effects`] onto the wire:
+/// each `connect(v, w)` becomes the introduction pair, each learned
+/// contact an [`NodeCtx::learn`] call. Draw-for-draw identical to the
+/// pre-kernel implementation.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PushProtocol;
 
 impl Protocol for PushProtocol {
     fn on_round(&mut self, ctx: &mut NodeCtx<'_>) {
-        let (Some(v), Some(w)) = (ctx.random_contact(), ctx.random_contact()) else {
-            return;
-        };
-        if v != w {
+        let mut out = Effects::default();
+        PushKernel.on_round(
+            &mut NodeState::Stateless,
+            &LocalView {
+                me: ctx.me,
+                contacts: ctx.contacts.as_slice(),
+            },
+            &mut RngChooser(ctx.rng),
+            &mut out,
+        );
+        for &(v, w) in out.connects.as_slice() {
             ctx.send(v, Message::Introduce { peer: w });
             ctx.send(w, Message::Introduce { peer: v });
         }
     }
 
-    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, _from: NodeId, msg: Message) {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, msg: Message) {
         if let Message::Introduce { peer } = msg {
-            ctx.learn(peer);
+            let mut out = Effects::default();
+            PushKernel.on_message(
+                &mut NodeState::Stateless,
+                &LocalView {
+                    me: ctx.me,
+                    contacts: ctx.contacts.as_slice(),
+                },
+                &mut RngChooser(ctx.rng),
+                from,
+                &KernelMsg::Introduce { peer },
+                &mut out,
+            );
+            for v in out.learns {
+                ctx.learn(v);
+            }
         }
     }
 
@@ -206,6 +237,24 @@ impl Protocol for HeartbeatPushProtocol {
 
     fn name(&self) -> &'static str {
         "heartbeat-push-protocol"
+    }
+}
+
+/// The wire-protocol registry: constructs the message-passing protocol
+/// registered under a `gossip-core` registry name (`push`, `pull`,
+/// `name-dropper`). The single name → protocol site for the simulator —
+/// experiments and bins resolve through it instead of hand-matching. The
+/// error lists every registered name.
+pub fn wire_protocol(name: &str) -> Result<Box<dyn Protocol>, String> {
+    const NAMES: [&str; 3] = ["push", "pull", "name-dropper"];
+    match name {
+        "push" => Ok(Box::new(PushProtocol)),
+        "pull" => Ok(Box::new(PullProtocol)),
+        "name-dropper" => Ok(Box::new(NameDropperProtocol)),
+        other => Err(format!(
+            "unknown wire protocol {other:?}; registered wire protocols: {}",
+            NAMES.join(", ")
+        )),
     }
 }
 
@@ -388,6 +437,18 @@ mod tests {
     #[should_panic(expected = "timeout")]
     fn heartbeat_rejects_impossible_timeout() {
         let _ = HeartbeatPushProtocol::new(4, 1, 1);
+    }
+
+    #[test]
+    fn wire_registry_resolves_and_errors() {
+        for name in ["push", "pull", "name-dropper"] {
+            assert!(wire_protocol(name).is_ok(), "{name} missing from registry");
+        }
+        let err = wire_protocol("hybrid").map(|_| ()).unwrap_err();
+        assert!(
+            err.contains("push") && err.contains("name-dropper"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -68,10 +68,10 @@
 
 use gossip_core::engine::{propose_round, PROPOSAL_CHUNK};
 use gossip_core::listener::{PhaseEvent, RoundListener, RoundPhase};
-use gossip_core::seam::{run_engine_observed, run_engine_until, RoundEngine};
+use gossip_core::seam::{run_engine_until, RoundEngine};
 use gossip_core::{
-    ConvergenceCheck, EngineBuilder, Parallelism, ProposalRule, RoundObserver, RoundStats,
-    RunOutcome, TaggedProposal,
+    ConvergenceCheck, EngineBuilder, Parallelism, ProposalRule, RoundStats, RunOutcome,
+    TaggedProposal,
 };
 use gossip_graph::{HalfEdge, ShardSeg, ShardedArenaGraph, SHARD_ALIGN};
 use rayon::prelude::*;
@@ -351,21 +351,6 @@ impl<R: ProposalRule<ShardedArenaGraph>> ShardedEngine<R> {
         max_rounds: u64,
     ) -> RunOutcome {
         run_engine_until(self, check, max_rounds)
-    }
-
-    /// Runs like [`ShardedEngine::run_until`], feeding every round to
-    /// `observer`.
-    pub fn run_observed<C, O>(
-        &mut self,
-        check: &mut C,
-        max_rounds: u64,
-        observer: &mut O,
-    ) -> RunOutcome
-    where
-        C: ConvergenceCheck<ShardedArenaGraph>,
-        O: RoundObserver<ShardedArenaGraph>,
-    {
-        run_engine_observed(self, check, max_rounds, observer)
     }
 }
 

@@ -6,14 +6,18 @@
 //! ```
 
 use discovery_gossip::prelude::*;
-use gossip_core::{ProposalRule, SeriesRecorder};
+use gossip_core::{run_engine_listened, Chain, ProposalRule, SeriesRecorder, StopWhen};
 
 fn run<R: ProposalRule<UndirectedGraph>>(g0: &UndirectedGraph, rule: R, seed: u64) {
     let n = g0.n() as f64;
     let mut check = ComponentwiseComplete::for_graph(g0);
     let mut recorder = SeriesRecorder::every((g0.n() as u64 * 2).max(1));
     let mut engine = Engine::new(g0.clone(), rule, seed);
-    let out = engine.run_observed(&mut check, 100_000_000, &mut recorder);
+    let out = run_engine_listened(
+        &mut engine,
+        &mut Chain(&mut recorder, StopWhen(&mut check)),
+        100_000_000,
+    );
     assert!(out.converged && engine.graph().is_complete());
 
     println!("\n== {} discovery ==", engine.rule_name());

@@ -7,8 +7,8 @@
 
 use gossip_analysis::{exact_expected_rounds, ProcessKind, Summary};
 use gossip_core::{
-    convergence_rounds, ClosureReached, ComponentwiseComplete, DirectedPull, DiscoveryTrace,
-    Engine, EngineBuilder, HybridPushPull, ListenerSet, Pull, Push, RoundEngine, TrialConfig,
+    convergence_rounds, with_rule, ClosureReached, ComponentwiseComplete, DirectedPull,
+    DiscoveryTrace, Engine, EngineBuilder, ListenerSet, RoundEngine, RuleId, TrialConfig,
 };
 use gossip_graph::{
     generators, io as gio, ArenaGraph, DirectedGraph, ShardedArenaGraph, UndirectedGraph,
@@ -112,17 +112,20 @@ gossip — Discovery through Gossip (SPAA 2012) toolkit
 
 USAGE:
   gossip generate --family F --n N [--seed S] [--param P]   emit an edge list
-  gossip run --process push|pull|hybrid (--family F --n N | --graph FILE)
+  gossip run --protocol push|pull|hybrid (--family F --n N | --graph FILE)
              [--seed S] [--trace] [--param P]               run to completion
-  gossip trials --process P --family F --n N [--trials T] [--seed S]
+  gossip trials --protocol P --family F --n N [--trials T] [--seed S]
                                                             Monte Carlo stats
-  gossip exact --process push|pull --n N --edges \"0-1,1-2\"  exact E[rounds] (n<=5)
+  gossip exact --protocol push|pull --n N --edges \"0-1,1-2\" exact E[rounds] (n<=5)
   gossip directed --family cycle|thm14|thm15|gnp --n N [--seed S]
                                                             directed two-hop walk
-  gossip serve --process P --family F --n N [--rounds R] [--shards K]
+  gossip serve --protocol P --family F --n N [--rounds R] [--shards K]
                [--snapshot-every E] [--seed S]              resident engine behind
                                                             epoch snapshots
   gossip help
+
+PROTOCOLS: resolved through the gossip-core registry (push, pull, hybrid);
+           --process is accepted as an alias of --protocol.
 
 FAMILIES: path cycle star double-star complete binary-tree random-tree
           sparse (tree + extra edges) ws (watts-strogatz) ba (barabasi-albert)
@@ -153,7 +156,9 @@ impl Command {
             };
             match flag.as_str() {
                 "--family" => family = Some(take()?.clone()),
-                "--process" => process = Some(take()?.clone()),
+                // --protocol is the registry-facing name; --process is the
+                // historical alias. Both resolve through RuleId::parse.
+                "--process" | "--protocol" => process = Some(take()?.clone()),
                 "--graph" => graph_file = Some(take()?.clone()),
                 "--edges" => edges = Some(take()?.clone()),
                 "--n" => n = Some(take()?.parse().map_err(|_| "--n needs an integer")?),
@@ -188,7 +193,7 @@ impl Command {
                     return Err("run needs --family or --graph".into());
                 }
                 Ok(Command::Run {
-                    process: process.ok_or("run needs --process")?,
+                    process: process.ok_or("run needs --protocol")?,
                     family,
                     n: n.unwrap_or(0),
                     graph_file,
@@ -198,7 +203,7 @@ impl Command {
                 })
             }
             "trials" => Ok(Command::Trials {
-                process: process.ok_or("trials needs --process")?,
+                process: process.ok_or("trials needs --protocol")?,
                 family: family.ok_or("trials needs --family")?,
                 n: n.ok_or("trials needs --n")?,
                 trials,
@@ -206,7 +211,7 @@ impl Command {
                 param,
             }),
             "exact" => Ok(Command::Exact {
-                process: process.ok_or("exact needs --process")?,
+                process: process.ok_or("exact needs --protocol")?,
                 edges: edges.ok_or("exact needs --edges")?,
                 n: n.ok_or("exact needs --n")?,
             }),
@@ -216,7 +221,7 @@ impl Command {
                 seed,
             }),
             "serve" => Ok(Command::Serve {
-                process: process.ok_or("serve needs --process")?,
+                process: process.ok_or("serve needs --protocol")?,
                 family: family.ok_or("serve needs --family")?,
                 n: n.ok_or("serve needs --n")?,
                 rounds,
@@ -361,14 +366,12 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             let mut check = ComponentwiseComplete::for_graph(&g);
             let nf = g.n() as f64;
             let mut t = DiscoveryTrace::default();
-            let outcome = match process.as_str() {
-                "push" => Engine::new(g, Push, *seed).run_traced(&mut check, u64::MAX, &mut t),
-                "pull" => Engine::new(g, Pull, *seed).run_traced(&mut check, u64::MAX, &mut t),
-                "hybrid" => {
-                    Engine::new(g, HybridPushPull, *seed).run_traced(&mut check, u64::MAX, &mut t)
-                }
-                other => return Err(format!("unknown process {other}")),
-            };
+            let id = RuleId::parse(process)?;
+            let outcome = with_rule!(id, |rule| Engine::new(g, rule, *seed).run_traced(
+                &mut check,
+                u64::MAX,
+                &mut t
+            ));
             let _ = writeln!(
                 out,
                 "process = {process}, rounds = {}, final edges = {}, rounds / n log² n = {:.4}",
@@ -396,14 +399,13 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 max_rounds: u64::MAX,
                 parallel: true,
             };
-            let rounds = match process.as_str() {
-                "push" => convergence_rounds(&g, Push, ComponentwiseComplete::for_graph, &cfg),
-                "pull" => convergence_rounds(&g, Pull, ComponentwiseComplete::for_graph, &cfg),
-                "hybrid" => {
-                    convergence_rounds(&g, HybridPushPull, ComponentwiseComplete::for_graph, &cfg)
-                }
-                other => return Err(format!("unknown process {other}")),
-            };
+            let id = RuleId::parse(process)?;
+            let rounds = with_rule!(id, |rule| convergence_rounds(
+                &g,
+                rule,
+                ComponentwiseComplete::for_graph,
+                &cfg
+            ));
             let s = Summary::of_rounds(&rounds);
             let _ = writeln!(
                 out,
@@ -415,9 +417,9 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
 
         Command::Exact { process, edges, n } => {
             let g = parse_edges(edges, *n)?;
-            let kind = match process.as_str() {
-                "push" => ProcessKind::Push,
-                "pull" => ProcessKind::Pull,
+            let kind = match RuleId::parse(process)? {
+                RuleId::Push => ProcessKind::Push,
+                RuleId::Pull => ProcessKind::Pull,
                 other => return Err(format!("exact supports push|pull, got {other}")),
             };
             if *n > gossip_analysis::markov::MAX_EXACT_N {
@@ -445,27 +447,19 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 snapshot_every: *snapshot_every,
                 budget: *rounds,
             };
+            let id = RuleId::parse(process)?;
             let line = if *shards > 1 {
                 let g = ShardedArenaGraph::from_undirected(&g, *shards);
-                match process.as_str() {
-                    "push" => serve_report(EngineBuilder::new(g, Push, *seed).build_sharded(), cfg),
-                    "pull" => serve_report(EngineBuilder::new(g, Pull, *seed).build_sharded(), cfg),
-                    "hybrid" => serve_report(
-                        EngineBuilder::new(g, HybridPushPull, *seed).build_sharded(),
-                        cfg,
-                    ),
-                    other => return Err(format!("unknown process {other}")),
-                }
+                with_rule!(id, |rule| serve_report(
+                    EngineBuilder::new(g, rule, *seed).build_sharded(),
+                    cfg
+                ))
             } else {
                 let g = ArenaGraph::from_undirected(&g);
-                match process.as_str() {
-                    "push" => serve_report(EngineBuilder::new(g, Push, *seed).build(), cfg),
-                    "pull" => serve_report(EngineBuilder::new(g, Pull, *seed).build(), cfg),
-                    "hybrid" => {
-                        serve_report(EngineBuilder::new(g, HybridPushPull, *seed).build(), cfg)
-                    }
-                    other => return Err(format!("unknown process {other}")),
-                }
+                with_rule!(id, |rule| serve_report(
+                    EngineBuilder::new(g, rule, *seed).build(),
+                    cfg
+                ))
             };
             let _ = writeln!(
                 out,
