@@ -1,0 +1,15 @@
+//! E18: churn bursts at `n` up to `2^22` — re-discovery time, staleness,
+//! and determinism under dynamic membership.
+//!
+//! `--quick` keeps one small size (CI smoke); the full run sweeps
+//! `n ∈ {2^20, 2^22}`. The `n = 2^22` row is the acceptance run and must
+//! fit 1 GiB peak RSS — run standalone for the clean reading (inside
+//! `run_all` the process RSS floor is set by earlier experiments).
+
+use gossip_bench::experiments::churn;
+use gossip_bench::parse_args;
+
+fn main() {
+    let args = parse_args();
+    churn::run(&args).finish(&args);
+}

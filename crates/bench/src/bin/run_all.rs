@@ -1,4 +1,4 @@
-//! Runs the full experiment battery (E1–E17) and writes every report to the
+//! Runs the full experiment battery (E1–E18) and writes every report to the
 //! results directory. `--quick` keeps the whole thing under a couple of
 //! minutes; the full run is sized for a coffee break.
 //!
@@ -33,6 +33,7 @@ fn battery() -> Vec<(&'static str, fn(&Args) -> Report)> {
         ("E15", exp::scale::run),
         ("E16", exp::shard::run),
         ("E17", exp::serve_load::run),
+        ("E18", exp::churn::run),
     ]
 }
 

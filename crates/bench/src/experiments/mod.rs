@@ -16,9 +16,11 @@
 //! | [`scale`] | scaling extension (E15): arena-backed engine at n up to 2^20 |
 //! | [`shard`] | scaling extension (E16): sharded round engine at n up to 2^22 |
 //! | [`serve_load`] | serving extension (E17): live engine under sustained query load |
+//! | [`churn`] | dynamics extension (E18): re-discovery and staleness under membership bursts |
 
 pub mod asynchrony;
 pub mod baselines;
+pub mod churn;
 pub mod dense;
 pub mod directed;
 pub mod evolution;

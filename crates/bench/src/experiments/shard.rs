@@ -87,14 +87,14 @@ fn cross_shard_fraction(g: &ShardedArenaGraph) -> f64 {
 /// Process peak RSS (`VmHWM`) in bytes, if the platform exposes it.
 /// Monotone and process-wide: inside `run_all` earlier experiments raise
 /// the floor, so the standalone `exp_shard` run is the clean source.
-fn peak_rss_bytes() -> Option<u64> {
+pub(crate) fn peak_rss_bytes() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
     Some(kb * 1024)
 }
 
-fn fmt_mib(bytes: u64) -> String {
+pub(crate) fn fmt_mib(bytes: u64) -> String {
     format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
 }
 

@@ -18,6 +18,7 @@
 
 use crate::async_engine::AsyncEngine;
 use crate::engine::{Engine, Parallelism};
+use crate::membership::MembershipPlan;
 use crate::process::{GossipGraph, ProposalRule};
 use crate::seam::RoundEngine;
 
@@ -40,6 +41,7 @@ pub struct EngineBuilder<G, R> {
     rule: R,
     seed: u64,
     parallelism: Parallelism,
+    membership: Option<MembershipPlan>,
 }
 
 impl<G: GossipGraph, R: ProposalRule<G>> EngineBuilder<G, R> {
@@ -50,6 +52,7 @@ impl<G: GossipGraph, R: ProposalRule<G>> EngineBuilder<G, R> {
             rule,
             seed,
             parallelism: Parallelism::default(),
+            membership: None,
         }
     }
 
@@ -61,26 +64,57 @@ impl<G: GossipGraph, R: ProposalRule<G>> EngineBuilder<G, R> {
         self
     }
 
+    /// Installs a join/leave schedule (the [`crate::membership`] lifecycle
+    /// seam). Every synchronous engine variant built from this builder —
+    /// batch, sharded, or either one boxed behind [`RoundEngine`] (the
+    /// served path) — applies the identical event stream at the identical
+    /// round boundaries.
+    pub fn membership(mut self, plan: MembershipPlan) -> Self {
+        self.membership = Some(plan);
+        self
+    }
+
     /// The configured seed.
     pub fn seed(&self) -> u64 {
         self.seed
     }
 
-    /// Decomposes the builder into `(graph, rule, seed, parallelism)` —
-    /// the hook downstream crates use to add variants (the sharded
-    /// engine's `BuildSharded` extension).
-    pub fn into_parts(self) -> (G, R, u64, Parallelism) {
-        (self.graph, self.rule, self.seed, self.parallelism)
+    /// Decomposes the builder into
+    /// `(graph, rule, seed, parallelism, membership)` — the hook
+    /// downstream crates use to add variants (the sharded engine's
+    /// `BuildSharded` extension).
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(self) -> (G, R, u64, Parallelism, Option<MembershipPlan>) {
+        (
+            self.graph,
+            self.rule,
+            self.seed,
+            self.parallelism,
+            self.membership,
+        )
     }
 
     /// Builds the synchronous round engine.
     pub fn build(self) -> Engine<G, R> {
-        Engine::new(self.graph, self.rule, self.seed).with_parallelism(self.parallelism)
+        let mut engine =
+            Engine::new(self.graph, self.rule, self.seed).with_parallelism(self.parallelism);
+        if let Some(plan) = self.membership {
+            engine = engine.with_membership(plan);
+        }
+        engine
     }
 
     /// Builds the Poisson-clock asynchronous engine (parallelism does not
     /// apply: activations are inherently one node at a time).
+    ///
+    /// # Panics
+    /// Panics if a membership plan is installed: the asynchronous engine
+    /// has no synchronous round boundary to key the event schedule on.
     pub fn build_async(self) -> AsyncEngine<G, R> {
+        assert!(
+            self.membership.is_none(),
+            "membership plans require a synchronous engine (round-keyed events)"
+        );
         AsyncEngine::new(self.graph, self.rule, self.seed)
     }
 

@@ -29,6 +29,7 @@
 //! and gives batch-capable graphs the whole round at once.
 
 use crate::convergence::ConvergenceCheck;
+use crate::membership::{MembershipPlan, MembershipStats};
 use crate::process::{GossipGraph, ProposalRule, RoundStats, TaggedProposal};
 use crate::rng::stream_rng;
 use rayon::prelude::*;
@@ -149,6 +150,10 @@ pub struct Engine<G, R> {
     /// `c * PROPOSAL_CHUNK ..`, so concatenation in index order is the
     /// node-order proposal stream.
     chunk_bufs: Vec<Vec<TaggedProposal>>,
+    /// Optional join/leave schedule, applied at the top of every step
+    /// (before the propose phase) with the pre-increment round counter —
+    /// the [`crate::membership`] lifecycle seam.
+    membership: Option<MembershipPlan>,
 }
 
 impl<G: GossipGraph, R: ProposalRule<G>> Engine<G, R> {
@@ -162,6 +167,7 @@ impl<G: GossipGraph, R: ProposalRule<G>> Engine<G, R> {
             round: 0,
             parallelism: Parallelism::default(),
             chunk_bufs: vec![Vec::new(); chunks],
+            membership: None,
         }
     }
 
@@ -169,6 +175,24 @@ impl<G: GossipGraph, R: ProposalRule<G>> Engine<G, R> {
     pub fn with_parallelism(mut self, p: Parallelism) -> Self {
         self.parallelism = p;
         self
+    }
+
+    /// Installs a membership plan (builder style): its join/leave events
+    /// are applied to the graph at the top of each step, before the
+    /// propose phase, keyed by the pre-increment round counter. See
+    /// [`crate::membership`] for the numbering and departure contract.
+    pub fn with_membership(mut self, plan: MembershipPlan) -> Self {
+        self.membership = Some(plan);
+        self
+    }
+
+    /// Cumulative stats of membership events applied so far (zero if no
+    /// plan is installed).
+    pub fn membership_stats(&self) -> MembershipStats {
+        self.membership
+            .as_ref()
+            .map(MembershipPlan::stats)
+            .unwrap_or_default()
     }
 
     /// The current graph `G_t`.
@@ -213,6 +237,14 @@ impl<G: GossipGraph, R: ProposalRule<G>> Engine<G, R> {
     where
         F: FnMut(u64, gossip_graph::NodeId, gossip_graph::NodeId, gossip_graph::NodeId),
     {
+        // Phase 0 (membership): apply due join/leave events to the graph
+        // before anything observes it this round. Both synchronous engines
+        // key this on the same pre-increment counter, so runs under the
+        // same plan stay bit-identical across engine variants.
+        if let Some(plan) = self.membership.as_mut() {
+            plan.apply_due(self.round, &mut self.graph);
+        }
+
         // Phase 1: propose against the immutable G_t, each chunk filling
         // its own flat buffer (the shared phase in [`propose_round`]). The
         // per-node work is identical either way; only the scheduling of

@@ -285,6 +285,17 @@ pub trait ProtocolKernel {
     fn max_message_ids(&self) -> Option<u64> {
         Some(1)
     }
+
+    /// The per-node state a fresh node starts with in an `n`-node world —
+    /// also the state a re-joining node is reset to under churn. The
+    /// default is [`NodeState::Stateless`] (the paper's protocols are
+    /// memoryless); stateful kernels override it, and the model checker
+    /// uses it to decide whether per-node state must be encoded into the
+    /// joint state space.
+    fn initial_state(&self, n: usize) -> NodeState {
+        let _ = n;
+        NodeState::Stateless
+    }
 }
 
 /// **Push (triangulation)** — Section 3: draw `v, w` i.i.d. from the own
@@ -524,7 +535,11 @@ impl ProtocolKernel for ThrottledKernel {
         }
         let v = row[choose.choose(row.len())];
         let cursors = state.cursors_mut();
-        let cur = cursors[v.index()] as usize;
+        // Clamp at read: under churn the contact list can *shrink* below a
+        // previously advanced cursor (membership removal keeps the list
+        // order-preserving, so the boundary is still valid — but it may
+        // now lie past the end). Without the clamp `end - cur` underflows.
+        let cur = (cursors[v.index()] as usize).min(row.len());
         let end = (cur + self.budget).min(row.len());
         cursors[v.index()] = end as u32;
         out.share(
@@ -538,6 +553,10 @@ impl ProtocolKernel for ThrottledKernel {
 
     fn max_message_ids(&self) -> Option<u64> {
         Some(self.budget as u64)
+    }
+
+    fn initial_state(&self, n: usize) -> NodeState {
+        NodeState::Cursors(vec![0; n])
     }
 }
 

@@ -43,6 +43,7 @@ pub mod diagnostics;
 pub mod engine;
 pub mod kernel;
 pub mod listener;
+pub mod membership;
 pub mod process;
 pub mod recorder;
 pub mod registry;
@@ -69,6 +70,7 @@ pub use listener::{
     Chain, ListenerSet, NullListener, PhaseAccumulator, PhaseEvent, PhaseNanos, RoundControl,
     RoundEvent, RoundListener, RoundPhase, StopWhen,
 };
+pub use membership::{ChurnBursts, MembershipEvent, MembershipPlan, MembershipStats};
 pub use process::{GossipGraph, ProposalRule, ProposalSet, RoundStats, TaggedProposal};
 pub use recorder::{MinDegreeMilestones, SeriesRecorder, SeriesRow};
 pub use registry::{AnyKernel, RuleId};

@@ -36,6 +36,10 @@ use crate::process::{GossipGraph, RoundStats};
 /// engines without a phase breakdown simply never emit [`PhaseEvent`]s).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum RoundPhase {
+    /// Application of due [`MembershipPlan`](crate::MembershipPlan)
+    /// join/leave events, before the propose phase (emitted only on
+    /// rounds where at least one event fired).
+    Membership,
     /// Rule evaluation against the immutable round-start graph.
     Propose,
     /// Mailbox routing of proposals to owner shards.
@@ -264,6 +268,8 @@ impl<G: GossipGraph> RoundListener<G> for ListenerSet<G> {
 /// reproducible measurement rows.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PhaseNanos {
+    /// Membership event application (zero on churn-free runs).
+    pub membership: u64,
     /// Propose phase (rule evaluation + buffer writes).
     pub propose: u64,
     /// Mailbox routing (canonicalize, owner lookup, append).
@@ -275,13 +281,14 @@ pub struct PhaseNanos {
 impl PhaseNanos {
     /// Total across phases.
     pub fn total(&self) -> u64 {
-        self.propose + self.route + self.apply
+        self.membership + self.propose + self.route + self.apply
     }
 
     /// Folds one phase event into the totals.
     #[inline]
     pub fn absorb(&mut self, ev: &PhaseEvent) {
         match ev.phase {
+            RoundPhase::Membership => self.membership += ev.nanos,
             RoundPhase::Propose => self.propose += ev.nanos,
             RoundPhase::Route => self.route += ev.nanos,
             RoundPhase::Apply => self.apply += ev.nanos,
@@ -457,6 +464,7 @@ mod tests {
         assert_eq!(
             acc.totals(),
             PhaseNanos {
+                membership: 0,
                 propose: 18,
                 route: 7,
                 apply: 11

@@ -116,6 +116,27 @@ pub trait GossipGraph: Clone + Send + Sync {
         }
         stats
     }
+
+    /// Removes member `u` for a [`MembershipPlan`](crate::MembershipPlan)
+    /// leave event: every incident edge is deleted and `u`'s row retired,
+    /// leaving the id addressable for a later
+    /// [`GossipGraph::admit_member`]. Returns the number of edges removed.
+    ///
+    /// The default panics: dynamic membership is opt-in per backend (the
+    /// undirected and arena-backed graphs support it; the directed variant
+    /// does not participate in churn workloads).
+    fn remove_member(&mut self, u: NodeId) -> u64 {
+        let _ = u;
+        unimplemented!("this graph backend does not support dynamic membership (remove_member)")
+    }
+
+    /// (Re-)admits member `u` for a join event: bootstrap edges
+    /// `(u, c)` are added for every `c` in `contacts`. Returns the number
+    /// of edges actually new. The default applies them one at a time
+    /// through [`GossipGraph::apply_edge`], which every backend supports.
+    fn admit_member(&mut self, u: NodeId, contacts: &[NodeId]) -> u64 {
+        contacts.iter().map(|&v| self.apply_edge(u, v) as u64).sum()
+    }
 }
 
 impl GossipGraph for UndirectedGraph {
@@ -130,6 +151,9 @@ impl GossipGraph for UndirectedGraph {
     #[inline]
     fn edge_count(&self) -> u64 {
         self.m()
+    }
+    fn remove_member(&mut self, u: NodeId) -> u64 {
+        self.remove_member(u)
     }
 }
 
@@ -186,6 +210,13 @@ impl GossipGraph for ArenaGraph {
         });
         RoundStats { proposed, added }
     }
+
+    fn remove_member(&mut self, u: NodeId) -> u64 {
+        self.remove_member(u)
+    }
+    fn admit_member(&mut self, u: NodeId, contacts: &[NodeId]) -> u64 {
+        self.admit_member(u, contacts)
+    }
 }
 
 /// The plain [`Engine`](crate::engine::Engine) can also drive the sharded
@@ -205,6 +236,12 @@ impl GossipGraph for ShardedArenaGraph {
     #[inline]
     fn edge_count(&self) -> u64 {
         self.m()
+    }
+    fn remove_member(&mut self, u: NodeId) -> u64 {
+        self.remove_member(u)
+    }
+    fn admit_member(&mut self, u: NodeId, contacts: &[NodeId]) -> u64 {
+        self.admit_member(u, contacts)
     }
 }
 

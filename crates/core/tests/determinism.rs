@@ -14,7 +14,10 @@
 //! design promises.
 
 use gossip_core::rng::stream_rng;
-use gossip_core::{ComponentwiseComplete, Engine, Never, Parallelism, Pull, Push, RunOutcome};
+use gossip_core::{
+    ChurnBursts, ComponentwiseComplete, Engine, MembershipPlan, Never, Parallelism, Pull, Push,
+    RunOutcome,
+};
 use gossip_graph::{generators, ArenaGraph, ShardedArenaGraph, UndirectedGraph};
 use gossip_shard::ShardedEngine;
 
@@ -298,6 +301,125 @@ fn sharded_engine_pool_reuse_across_runs_leaks_no_state() {
     for u in fresh.graph().nodes() {
         assert_eq!(fresh.graph().neighbors(u), resumed.graph().neighbors(u));
     }
+}
+
+/// A churn plan heavy enough that, combined with push-driven row growth,
+/// the run crosses a `SliceArena` epoch-compaction boundary: repeated
+/// relocations leave stale copies in the slab while burst leaves release
+/// reserved capacity, pushing `data.len()` past the
+/// `reserved + reserved/2 + 1024` trigger. The same workload shape is
+/// pinned against the compaction internals directly in
+/// `gossip-graph`'s arena unit tests; here it stresses determinism
+/// *across* the boundary.
+fn compaction_straddling_plan(n: usize, seed: u64) -> MembershipPlan {
+    MembershipPlan::bursts(&ChurnBursts {
+        n,
+        nodes_per_burst: 48,
+        bursts: 3,
+        first_round: 1,
+        period: 3,
+        rejoin_after: 2,
+        bootstrap_contacts: 4,
+        seed,
+    })
+}
+
+#[test]
+fn churned_sharded_engine_bit_identical_to_sequential() {
+    // The PR's headline churn contract: under the SAME membership plan,
+    // every (shard count, scheduling policy) combination of the sharded
+    // engine reproduces the sequential arena engine's trajectory
+    // bit-for-bit — per-round stats, final rows, and cumulative
+    // membership stats all equal — even while leaves tombstone rows and
+    // compaction rewrites the slab mid-run.
+    let n = 1500;
+    let und = generators::tree_plus_random_edges(n, 3 * n as u64, &mut stream_rng(77, 0, 0));
+    let arena = ArenaGraph::from_undirected(&und);
+    let plan = compaction_straddling_plan(n, 0xC4A2);
+
+    let mut seq = Engine::new(arena.clone(), Push, 99)
+        .with_parallelism(Parallelism::Sequential)
+        .with_membership(plan.clone());
+    let stats_ref: Vec<_> = (0..10).map(|_| seq.step()).collect();
+    let mem_ref = seq.membership_stats();
+    assert!(mem_ref.leaves > 0 && mem_ref.joins > 0, "plan never fired");
+
+    for shards in [1usize, 2, 8] {
+        for policy in [Parallelism::Sequential, Parallelism::Parallel] {
+            let g = ShardedArenaGraph::from_arena(&arena, shards);
+            let mut shd = ShardedEngine::new(g, Push, 99)
+                .with_parallelism(policy)
+                .with_membership(plan.clone());
+            let stats: Vec<_> = (0..10).map(|_| shd.step()).collect();
+            assert_eq!(
+                stats, stats_ref,
+                "S={shards} {policy:?}: churned round stats diverged"
+            );
+            assert_eq!(
+                shd.membership_stats(),
+                mem_ref,
+                "S={shards} {policy:?}: membership stats diverged"
+            );
+            assert_sharded_matches_arena(
+                seq.graph(),
+                shd.graph(),
+                &format!("churned S={shards} {policy:?}"),
+            );
+            shd.graph().validate().unwrap();
+        }
+    }
+}
+
+#[test]
+fn churned_plain_engine_on_sharded_backend_agrees() {
+    // Third independent oracle: the plain Engine driving ShardedArenaGraph
+    // through the default one-at-a-time apply, under the same plan. Pins
+    // that membership events land identically regardless of which engine
+    // hosts the seam.
+    let n = 900;
+    let und = generators::tree_plus_random_edges(n, 2 * n as u64, &mut stream_rng(31, 0, 0));
+    let g = ShardedArenaGraph::from_undirected(&und, 4);
+    let plan = compaction_straddling_plan(n, 0x51DE);
+
+    let mut oracle = Engine::new(g.clone(), Push, 7)
+        .with_parallelism(Parallelism::Sequential)
+        .with_membership(plan.clone());
+    let mut sharded = ShardedEngine::new(g, Push, 7).with_membership(plan);
+    for round in 0..9 {
+        assert_eq!(oracle.step(), sharded.step(), "round {round}");
+    }
+    assert_eq!(oracle.membership_stats(), sharded.membership_stats());
+    for u in oracle.graph().nodes() {
+        assert_eq!(
+            oracle.graph().neighbors(u),
+            sharded.graph().neighbors(u),
+            "row {u:?}"
+        );
+    }
+    sharded.graph().validate().unwrap();
+}
+
+#[test]
+fn churned_pull_rule_agrees_across_engines() {
+    // Pull consults peer rows (two-sided reads), so a departed node's
+    // emptied row must be observed identically by both engines' kernels.
+    let n = 700;
+    let und = generators::tree_plus_random_edges(n, 2 * n as u64, &mut stream_rng(5, 0, 0));
+    let arena = ArenaGraph::from_undirected(&und);
+    let plan = compaction_straddling_plan(n, 0xA11CE);
+
+    let mut seq = Engine::new(arena.clone(), Pull, 3)
+        .with_parallelism(Parallelism::Sequential)
+        .with_membership(plan.clone());
+    let stats_ref: Vec<_> = (0..9).map(|_| seq.step()).collect();
+
+    let g = ShardedArenaGraph::from_arena(&arena, 8);
+    let mut shd = ShardedEngine::new(g, Pull, 3)
+        .with_parallelism(Parallelism::Parallel)
+        .with_membership(plan);
+    let stats: Vec<_> = (0..9).map(|_| shd.step()).collect();
+    assert_eq!(stats, stats_ref, "pull under churn diverged");
+    assert_sharded_matches_arena(seq.graph(), shd.graph(), "pull under churn");
 }
 
 #[test]

@@ -21,6 +21,27 @@
 //! bookkeeping — restoring the paper's large-`n` regime: the same machine
 //! that tops out near `n = 2^17` on the bitmap layout runs `n = 2^20`
 //! comfortably on the arena (see `gossip-bench`'s `exp_scale`).
+//!
+//! # Why determinism survives compaction order under churn
+//!
+//! Membership churn ([`ArenaGraph::remove_member`] /
+//! [`ArenaGraph::admit_member`]) makes relocation and epoch compaction
+//! fire at *different moments* on different backends: a leave tombstones a
+//! row ([`SliceArena::clear`]), tombstone dead space feeds the compaction
+//! trigger, and the sharded backend splits the same slab into per-segment
+//! arenas whose triggers fire independently. None of that can perturb a
+//! trajectory, because relocation and compaction only move rows
+//! *physically* — a row's **contents and sorted order are preserved
+//! verbatim**, and every reader (sampling, membership tests, batch merge)
+//! goes through the logical `data[start[u]..start[u]+len[u]]` slice, never
+//! through slab offsets. The rule/kernel draw sequence is a function of
+//! logical rows only, so two runs whose compactions interleave differently
+//! with the same round still produce identical proposals. Membership
+//! events themselves apply in canonical plan order between rounds, and a
+//! reclaimed slot's reuse changes only *where* a re-admitted row lives,
+//! not what it contains. This is pinned by `gossip-core`'s determinism
+//! suite with churn events straddling forced compactions, and by the
+//! sharded-vs-sequential churn proptests in `gossip-shard`.
 
 use crate::node::{Edge, NodeId};
 use crate::undirected::UndirectedGraph;
@@ -205,6 +226,43 @@ impl SliceArena {
         self.len[u] -= 1;
         self.live -= 1;
         true
+    }
+
+    /// Removes `v` from the **sorted** list `u` (binary search + shift).
+    /// Returns `false` if absent. O(log len + len) — the shift dominates,
+    /// but the search keeps the common miss case logarithmic.
+    pub fn remove_sorted(&mut self, u: usize, v: NodeId) -> bool {
+        let Ok(pos) = self.slice(u).binary_search(&v) else {
+            return false;
+        };
+        let s = self.start[u];
+        let l = self.len[u] as usize;
+        self.data.copy_within(s + pos + 1..s + l, s + pos);
+        self.len[u] -= 1;
+        self.live -= 1;
+        true
+    }
+
+    /// Tombstones list `u`: drops every entry and releases the row's
+    /// reserved capacity into dead space, then runs the usual epoch
+    /// compaction check. This is the arena half of a membership *leave* —
+    /// the abandoned region is reclaimed by the same `maybe_compact` pass
+    /// that reclaims relocation leftovers, so repeated leave/join cycles
+    /// cannot grow the slab beyond the compaction bound. A later re-join
+    /// reuses the row through the normal growth path (after a compaction
+    /// the row keeps one reserved slot, so the first re-learned contact
+    /// lands in reused space before any slab growth). Returns the number
+    /// of entries dropped.
+    pub fn clear(&mut self, u: usize) -> usize {
+        let dropped = self.len[u] as usize;
+        self.live -= dropped;
+        self.reserved -= self.cap[u] as usize;
+        self.len[u] = 0;
+        self.cap[u] = 0;
+        // `start[u]` still points at the abandoned region; with cap == 0 no
+        // write can land there, and the next compaction rewrites it.
+        self.maybe_compact();
+        dropped
     }
 
     /// Moves list `u` to the end of the slab with ~1.5× capacity, then
@@ -418,6 +476,33 @@ impl ArenaGraph {
         (proposed.len() as u64, added)
     }
 
+    /// Removes member `u` from the edge set: every incident edge is
+    /// deleted (the mirror entries are dropped from the neighbors' sorted
+    /// rows) and `u`'s row is tombstoned through
+    /// [`SliceArena::clear`] so the arena's epoch compaction reclaims its
+    /// storage. Returns the number of edges removed. The node id stays
+    /// addressable — a later [`ArenaGraph::admit_member`] re-bootstraps it
+    /// into the graph, reusing the reclaimed slot.
+    pub fn remove_member(&mut self, u: NodeId) -> u64 {
+        // Copy the row out: the mirror removals below mutate the arena.
+        let contacts: Vec<NodeId> = self.neighbors(u).to_vec();
+        for &v in &contacts {
+            let removed = self.adj.remove_sorted(v.index(), u);
+            debug_assert!(removed, "asymmetric adjacency at {v:?}->{u:?}");
+        }
+        let dropped = self.adj.clear(u.index()) as u64;
+        debug_assert_eq!(dropped, contacts.len() as u64);
+        self.m -= dropped;
+        dropped
+    }
+
+    /// (Re-)admits member `u` with bootstrap edges to `contacts`
+    /// (duplicates and self-loops are no-ops, exactly as
+    /// [`ArenaGraph::add_edge`]). Returns the number of edges added.
+    pub fn admit_member(&mut self, u: NodeId, contacts: &[NodeId]) -> u64 {
+        contacts.iter().map(|&v| self.add_edge(u, v) as u64).sum()
+    }
+
     /// Iterates over all nodes.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
         (0..self.n() as u32).map(NodeId)
@@ -594,6 +679,169 @@ mod tests {
             assert_eq!(g.add_edge(NodeId(a), NodeId(b)), model.insert(canon));
         }
         assert_eq!(g.m(), model.len() as u64);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_sorted_shifts_and_tracks_counters() {
+        let mut a = SliceArena::new(2);
+        for v in [2, 4, 7, 9] {
+            a.insert_sorted(0, NodeId(v));
+        }
+        assert!(a.remove_sorted(0, NodeId(4)));
+        assert!(!a.remove_sorted(0, NodeId(4)), "second removal misses");
+        assert!(!a.remove_sorted(1, NodeId(4)), "empty list misses");
+        assert_eq!(a.slice(0), &[NodeId(2), NodeId(7), NodeId(9)]);
+        assert_eq!(a.total_len(), 3);
+    }
+
+    #[test]
+    fn clear_releases_capacity_and_bounds_the_slab() {
+        // Repeated leave/join cycles must not grow the slab unboundedly:
+        // `clear` turns the row's reserve into dead space, and the same
+        // epoch compaction that reclaims relocation leftovers reclaims it.
+        let n = 64;
+        let mut a = SliceArena::new(n);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for cycle in 0..200 {
+            for u in 0..n {
+                for _ in 0..rng.random_range(1..20usize) {
+                    a.insert_sorted(u, NodeId(rng.random_range(0..1000u32)));
+                }
+            }
+            for u in 0..n / 2 {
+                let dropped = a.clear(u);
+                assert_eq!(a.len(u), 0, "cycle {cycle}: cleared row not empty");
+                assert!(dropped > 0, "cycle {cycle}: row {u} had entries");
+            }
+            // The compaction bound holds at every cycle boundary — dead
+            // space from tombstones never exceeds the usual trigger.
+            assert!(
+                a.data.len() <= a.reserved + a.reserved / 2 + 1024,
+                "cycle {cycle}: slab {} exceeds bound for reserved {}",
+                a.data.len(),
+                a.reserved
+            );
+            let recount = (0..n).map(|u| a.len(u)).sum::<usize>();
+            assert_eq!(a.total_len(), recount, "cycle {cycle}: live counter");
+        }
+    }
+
+    #[test]
+    fn cleared_row_reuses_slot_before_slab_growth() {
+        // After a compaction, a tombstoned row keeps exactly one reserved
+        // slot — so the first re-learned contact of a re-joining member
+        // lands in reused space, not fresh slab growth.
+        let n = 32;
+        let mut a = SliceArena::new(n);
+        let mut rng = SmallRng::seed_from_u64(11);
+        // Build up enough volume that clears trigger a compaction.
+        for u in 0..n {
+            for _ in 0..40 {
+                a.insert_sorted(u, NodeId(rng.random_range(0..10_000u32)));
+            }
+        }
+        for u in 0..n - 1 {
+            a.clear(u);
+        }
+        // A compaction must have run by now (clears released most reserve).
+        assert!(a.data.len() <= a.reserved + a.reserved / 2 + 1024);
+        let cleared_cap = a.cap[0];
+        assert!(
+            cleared_cap >= 1,
+            "compacted tombstone rows must keep a reserved slot"
+        );
+        let slab_before = a.data.len();
+        a.insert_sorted(0, NodeId(77));
+        assert_eq!(
+            a.data.len(),
+            slab_before,
+            "first re-join insert must reuse the reserved slot, not grow the slab"
+        );
+        assert_eq!(a.slice(0), &[NodeId(77)]);
+    }
+
+    #[test]
+    fn tombstone_compaction_preserves_pending_relocation_slot() {
+        // The PR 4 mid-relocation regression, re-pinned under tombstones:
+        // an insert checks capacity once, relocates, and then writes. If a
+        // `clear`-driven compaction (triggered inside that relocation by
+        // tombstone dead space) handed rows cap == len, the pending write
+        // would land in the next node's region. Interleave heavy member
+        // removal with edge growth so relocations constantly race freshly
+        // tombstoned space; the model + validate() catch any corruption.
+        let n = 300;
+        let mut g = ArenaGraph::new(n);
+        let mut rng = SmallRng::seed_from_u64(4321);
+        let mut model: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for step in 0..12_000 {
+            let a = rng.random_range(0..n as u32);
+            let b = rng.random_range(0..n as u32);
+            if a != b {
+                let canon = (a.min(b), a.max(b));
+                assert_eq!(g.add_edge(NodeId(a), NodeId(b)), model.insert(canon));
+            }
+            if step % 37 == 0 {
+                let u = rng.random_range(0..n as u32);
+                let expect = model.iter().filter(|&&(x, y)| x == u || y == u).count() as u64;
+                assert_eq!(g.remove_member(NodeId(u)), expect, "step {step}");
+                model.retain(|&(x, y)| x != u && y != u);
+            }
+        }
+        assert_eq!(g.m(), model.len() as u64);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_membership_sizes() {
+        // n ∈ {0, 1} saturation: empty-membership rounds must be no-ops.
+        let a0 = SliceArena::new(0);
+        assert_eq!(a0.total_len(), 0);
+        let mut g1 = ArenaGraph::new(1);
+        assert_eq!(g1.remove_member(NodeId(0)), 0);
+        assert_eq!(g1.admit_member(NodeId(0), &[]), 0);
+        // Self-contact bootstrap is a degenerate-draw no-op.
+        assert_eq!(g1.admit_member(NodeId(0), &[NodeId(0)]), 0);
+        g1.validate().unwrap();
+        // Clearing an already-empty row is a counted no-op.
+        let mut a1 = SliceArena::new(1);
+        assert_eq!(a1.clear(0), 0);
+        assert_eq!(a1.clear(0), 0);
+    }
+
+    #[test]
+    fn remove_and_admit_member_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let n = 80;
+        let mut g = ArenaGraph::new(n);
+        for _ in 0..600 {
+            let a = rng.random_range(0..n as u32);
+            let b = rng.random_range(0..n as u32);
+            if a != b {
+                g.add_edge(NodeId(a), NodeId(b));
+            }
+        }
+        let victim = NodeId(17);
+        let contacts: Vec<NodeId> = g.neighbors(victim).to_vec();
+        let deg = contacts.len() as u64;
+        let m0 = g.m();
+        assert_eq!(g.remove_member(victim), deg);
+        assert_eq!(g.m(), m0 - deg);
+        assert!(g.neighbors(victim).is_empty());
+        for &v in &contacts {
+            assert!(!g.has_edge(v, victim), "stale mirror entry at {v:?}");
+        }
+        g.validate().unwrap();
+        // Re-admit with the same contacts: the exact edge set returns.
+        assert_eq!(g.admit_member(victim, &contacts), deg);
+        assert_eq!(g.m(), m0);
+        assert_eq!(g.neighbors(victim), &contacts[..]);
+        g.validate().unwrap();
+        // Double-leave is a no-op; admitting duplicate contacts dedups.
+        assert_eq!(g.remove_member(victim), deg);
+        assert_eq!(g.remove_member(victim), 0);
+        let doubled: Vec<NodeId> = contacts.iter().chain(&contacts).copied().collect();
+        assert_eq!(g.admit_member(victim, &doubled), deg);
         g.validate().unwrap();
     }
 

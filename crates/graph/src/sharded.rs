@@ -394,6 +394,47 @@ impl ShardedArenaGraph {
         true
     }
 
+    /// Removes member `u` from the edge set, keeping every per-segment
+    /// counter exact. The mirror removals are **owner-local** like every
+    /// other write: `u`'s sorted row visits its contacts in ascending id
+    /// order, and since ownership is a contiguous-range partition the
+    /// removals arrive at each owning segment as one consecutive batch —
+    /// the same per-owner routing discipline as the apply-phase mailboxes,
+    /// collapsed inline because membership events are rare relative to
+    /// round work. Each removed edge decrements `m_canonical` exactly once,
+    /// on its smaller endpoint's owner. `u`'s own row is tombstoned through
+    /// [`SliceArena::clear`], so the segment's epoch compaction reclaims
+    /// its storage. Copy-on-write holds: only segments actually touched are
+    /// un-shared from snapshots. Returns the number of edges removed.
+    pub fn remove_member(&mut self, u: NodeId) -> u64 {
+        let su = self.plan.owner(u);
+        let contacts: Vec<NodeId> = self.neighbors(u).to_vec();
+        for &v in &contacts {
+            let sv = self.plan.owner(v);
+            let seg = Arc::make_mut(&mut self.segs[sv]);
+            let lv = v.index() - seg.base;
+            let removed = seg.adj.remove_sorted(lv, u);
+            debug_assert!(removed, "asymmetric adjacency at {v:?}->{u:?}");
+            let canon = if u < v { su } else { sv };
+            Arc::make_mut(&mut self.segs[canon]).m_canonical -= 1;
+        }
+        if contacts.is_empty() {
+            // No edges, no writes: leave a snapshot-shared segment shared.
+            return 0;
+        }
+        let seg = Arc::make_mut(&mut self.segs[su]);
+        let dropped = seg.adj.clear(u.index() - seg.base) as u64;
+        debug_assert_eq!(dropped, contacts.len() as u64);
+        dropped
+    }
+
+    /// (Re-)admits member `u` with bootstrap edges to `contacts`
+    /// (duplicates and self-loops are no-ops) — the sharded counterpart of
+    /// [`ArenaGraph::admit_member`]. Returns the number of edges added.
+    pub fn admit_member(&mut self, u: NodeId, contacts: &[NodeId]) -> u64 {
+        contacts.iter().map(|&v| self.add_edge(u, v) as u64).sum()
+    }
+
     /// The shard segments, mutably and disjointly — the apply-phase seam
     /// the round engine fans out across workers. Segment order is shard
     /// order; each segment only ever touches its own rows.
@@ -678,6 +719,108 @@ mod tests {
         }
         snap.validate().unwrap();
         g.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_member_matches_arena_oracle() {
+        // Member removal/re-admission must be bit-identical to ArenaGraph
+        // for any shard count, with m and the cached per-segment
+        // m_canonical staying exact throughout (validate() recounts both).
+        let mut rng = SmallRng::seed_from_u64(31);
+        let n = 5000;
+        for shards in [1, 2, 3, 8] {
+            let mut sharded = ShardedArenaGraph::new(n, shards);
+            let mut arena = ArenaGraph::new(n);
+            for _ in 0..15_000 {
+                let a = NodeId(rng.random_range(0..n as u32));
+                let b = NodeId(rng.random_range(0..n as u32));
+                arena.add_edge(a, b);
+                sharded.add_edge(a, b);
+            }
+            for _ in 0..40 {
+                let u = NodeId(rng.random_range(0..n as u32));
+                if rng.random_range(0..3u32) == 0 {
+                    let contacts: Vec<NodeId> = (0..4)
+                        .map(|_| NodeId(rng.random_range(0..n as u32)))
+                        .collect();
+                    assert_eq!(
+                        arena.admit_member(u, &contacts),
+                        sharded.admit_member(u, &contacts),
+                        "S={shards}: admit of {u:?} diverged"
+                    );
+                } else {
+                    assert_eq!(
+                        arena.remove_member(u),
+                        sharded.remove_member(u),
+                        "S={shards}: removal of {u:?} diverged"
+                    );
+                }
+                assert_eq!(arena.m(), sharded.m(), "S={shards}");
+            }
+            for u in arena.nodes() {
+                assert_eq!(
+                    arena.neighbors(u),
+                    sharded.neighbors(u),
+                    "S={shards} row {u:?}"
+                );
+            }
+            sharded.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn remove_member_cow_unshares_only_touched_segments() {
+        // Node 0 (shard 0) has one contact in shard 2; removing it must
+        // un-share exactly shards 0 and 2. Removing an isolated member is
+        // a no-op that must leave every snapshot-shared segment shared.
+        let mut g = ShardedArenaGraph::from_edges(4000, 4, [(0, 2500)]);
+        let snap = g.clone();
+        assert_eq!(g.remove_member(NodeId(100)), 0, "isolated member");
+        for s in 0..4 {
+            assert!(
+                snap.shares_segment(&g, s),
+                "no-op removal must not unshare {s}"
+            );
+        }
+        assert_eq!(g.remove_member(NodeId(0)), 1);
+        assert!(!snap.shares_segment(&g, 0));
+        assert!(snap.shares_segment(&g, 1));
+        assert!(!snap.shares_segment(&g, 2));
+        assert!(snap.shares_segment(&g, 3));
+        // The snapshot still sees the pre-churn world.
+        assert_eq!(snap.m(), 1);
+        assert_eq!(g.m(), 0);
+        assert_eq!(snap.neighbors(NodeId(0)), &[NodeId(2500)]);
+        assert!(g.neighbors(NodeId(0)).is_empty());
+        snap.validate().unwrap();
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_member_keeps_m_canonical_exact_across_segments() {
+        // Edges straddling shard boundaries stress the smaller-endpoint
+        // attribution: the canonical count must come off the right segment.
+        let n = 4000;
+        let mut g = ShardedArenaGraph::from_edges(
+            n,
+            4,
+            [(0, 1), (0, 2000), (1500, 2500), (3500, 100), (3998, 3999)],
+        );
+        let before: Vec<u64> = (0..4).map(|s| g.segment(s).m_canonical()).collect();
+        assert_eq!(before.iter().sum::<u64>(), 5);
+        // Node 0 owns edges (0,1) [canonical in shard 0] and (0,2000)
+        // [canonical in shard 0 — smaller endpoint 0].
+        assert_eq!(g.remove_member(NodeId(0)), 2);
+        assert_eq!(g.segment(0).m_canonical(), before[0] - 2);
+        // Node 3500 (shard 3) had edge to 100 (shard 0): canonical side is
+        // the smaller endpoint 100 → shard 0's counter moves, not shard 3's.
+        let s0 = g.segment(0).m_canonical();
+        let s3 = g.segment(3).m_canonical();
+        assert_eq!(g.remove_member(NodeId(3500)), 1);
+        assert_eq!(g.segment(0).m_canonical(), s0 - 1);
+        assert_eq!(g.segment(3).m_canonical(), s3);
+        g.validate().unwrap();
+        assert_eq!(g.m(), 2);
     }
 
     #[test]

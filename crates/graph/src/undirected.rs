@@ -113,6 +113,29 @@ impl UndirectedGraph {
         }
     }
 
+    /// Removes member `u` for churn scenarios: every incident edge is
+    /// dropped and `u`'s adjacency emptied, leaving the id addressable for
+    /// a later re-join (bootstrap edges via [`UndirectedGraph::add_edge`]).
+    /// Returns the number of edges removed.
+    ///
+    /// The mirror entries come out via [`AdjSet::remove`]'s swap-remove,
+    /// which perturbs the neighbors' *insertion order* — the sampling
+    /// surface of this backend. That is inherent to ordered lists under
+    /// deletion and still fully deterministic (the perturbation is a pure
+    /// function of the event sequence); the canonical-row arena backends
+    /// have no such order to perturb, which is why the engine determinism
+    /// pins for churn run on those.
+    pub fn remove_member(&mut self, u: NodeId) -> u64 {
+        let contacts: Vec<NodeId> = self.adj[u.index()].iter().collect();
+        for &v in &contacts {
+            let rem = self.adj[v.index()].remove(u);
+            debug_assert!(rem, "asymmetric adjacency at {v:?}->{u:?}");
+        }
+        self.adj[u.index()].clear();
+        self.m -= contacts.len() as u64;
+        contacts.len() as u64
+    }
+
     /// Minimum degree over all nodes (`0` for the empty graph on 0 nodes).
     pub fn min_degree(&self) -> usize {
         self.adj.iter().map(AdjSet::len).min().unwrap_or(0)
@@ -290,6 +313,22 @@ mod tests {
         assert!(!g.remove_edge(NodeId(0), NodeId(1)));
         assert_eq!(g.m(), 1);
         assert_eq!(g.degree(NodeId(1)), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_member_drops_all_incident_edges() {
+        let mut g = UndirectedGraph::from_edges(5, [(0, 1), (0, 2), (0, 3), (1, 2)]);
+        assert_eq!(g.remove_member(NodeId(0)), 3);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(NodeId(0)), 0);
+        assert!(!g.has_edge(NodeId(0), NodeId(1)));
+        g.validate().unwrap();
+        // Departed-but-addressable: a re-join bootstraps through add_edge.
+        assert!(g.add_edge(NodeId(0), NodeId(4)));
+        g.validate().unwrap();
+        // Removing an already-isolated member is a counted no-op.
+        assert_eq!(g.remove_member(NodeId(3)), 0);
         g.validate().unwrap();
     }
 

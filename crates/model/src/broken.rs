@@ -36,6 +36,49 @@ impl ProtocolKernel for PhantomPush {
     }
 }
 
+/// Push variant with an illegal memory: on its first acting round it
+/// remembers one of its contacts (slot 0 of its cursor state holds
+/// `id + 1`) and thereafter keeps proposing a connection to the
+/// *remembered* id instead of consulting its current row. In a static
+/// world this is safe — rows only grow, so the memory stays a real
+/// contact — but under churn the remembered peer can depart, and the
+/// kernel names a phantom. Only the churn-aware checker (which encodes
+/// per-node state in the joint key and interleaves membership events)
+/// can catch this staleness bug.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StalePeerPush;
+
+impl ProtocolKernel for StalePeerPush {
+    fn name(&self) -> &'static str {
+        "push-stale-peer"
+    }
+
+    fn on_round<V: NodeView + ?Sized, C: Chooser + ?Sized>(
+        &self,
+        state: &mut NodeState,
+        view: &V,
+        choose: &mut C,
+        out: &mut Effects,
+    ) {
+        let mem = state.cursors_mut();
+        if mem[0] != 0 {
+            out.connect(view.me(), NodeId(mem[0] - 1));
+            return;
+        }
+        let row = view.contacts();
+        if row.is_empty() {
+            return;
+        }
+        let w = row[choose.choose(row.len())];
+        mem[0] = w.0 + 1;
+        out.connect(view.me(), w);
+    }
+
+    fn initial_state(&self, n: usize) -> NodeState {
+        NodeState::Cursors(vec![0; n])
+    }
+}
+
 /// Push that never proposes anything: every incomplete instance is a
 /// stuck state, which the liveness check must flag immediately.
 #[derive(Clone, Copy, Debug, Default)]

@@ -2,22 +2,28 @@
 //! instance, scanning every reachable state for safety violations and
 //! stuck states, with minimal counterexample traces.
 //!
-//! A joint state packs the five per-node contact rows into one `u64` key.
-//! For each reachable state the checker derives every node's outcome
-//! *menu* (see [`crate::enumerate`]), scans each outcome against the
-//! safety properties, checks that some outcome still makes progress
-//! (liveness: no reachable incomplete state is stuck), and folds the
-//! menus node-by-node — deduplicating intermediate accumulations, which
-//! is sound because effects are monotone bit-unions over the round-start
-//! rows — to produce the successor set. BFS parent pointers make every
-//! reported counterexample minimal in rounds.
+//! A joint state packs the per-node contact rows **and**, for stateful
+//! kernels, the per-node cursor slots into one `u128` key: 8 bits of row
+//! per node, then 3 bits per `(node, destination)` cursor, then the
+//! position in the bounded churn script. For each reachable state the
+//! checker derives every node's outcome *menu* (see [`crate::enumerate`]),
+//! scans each outcome against the safety properties, checks that some
+//! outcome still makes progress (liveness: no reachable incomplete state
+//! is stuck), and folds the menus node-by-node — deduplicating
+//! intermediate accumulations, which is sound because row effects are
+//! monotone bit-unions over the round-start rows and each node writes
+//! only its own cursor slots — to produce the successor set. When a churn
+//! script is installed, the adversary may additionally fire the next
+//! membership event instead of a round at any point, so every
+//! interleaving of rounds and join/leave events is explored. BFS parent
+//! pointers make every reported counterexample minimal in steps.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use crate::enumerate::{node_menu, rows_to_lists, Outcome, World};
 use crate::instance::{all_instances, Instance, MAX_N};
-use gossip_core::{ProtocolKernel, Share};
+use gossip_core::{NodeState, ProtocolKernel, Share};
 use gossip_graph::NodeId;
 
 /// Which round schedules the adversary may play.
@@ -25,9 +31,10 @@ use gossip_graph::NodeId;
 pub enum Schedule {
     /// Every node's chosen outcome is delivered every round.
     Lossless,
-    /// The adversary may additionally drop any node's entire round output
-    /// (crash-like omission); dropping everyone forever is the unfair
-    /// schedule the liveness check deliberately ignores.
+    /// The adversary may additionally drop any node's entire round
+    /// (crash-like omission: the node neither sends nor advances its
+    /// protocol state); dropping everyone forever is the unfair schedule
+    /// the liveness check deliberately ignores.
     Omission,
 }
 
@@ -41,6 +48,60 @@ impl Schedule {
     }
 }
 
+/// One membership event in a bounded churn script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// Node departs: its row is scrubbed from the whole world and its own
+    /// protocol state is forgotten. Other nodes' cursor slots *toward*
+    /// the departed node are deliberately retained — there is no failure
+    /// detector, so peers cannot know to reset; stale local memory is
+    /// exactly what the churn safety sweep must prove harmless.
+    Leave {
+        /// The departing node.
+        node: u32,
+    },
+    /// A previously departed node re-joins with a bootstrap contact set
+    /// (bitmask over node ids); bootstrap edges are symmetric and the
+    /// node's protocol state starts fresh.
+    Rejoin {
+        /// The re-joining node.
+        node: u32,
+        /// Bootstrap contact bitmask.
+        contacts: u8,
+    },
+}
+
+/// Knobs for one exhaustive run.
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    /// The round schedule family the adversary plays.
+    pub schedule: Schedule,
+    /// BFS depth bound (rounds plus churn events).
+    pub max_rounds: usize,
+    /// Verify the no-stuck-state liveness property. On by default; churn
+    /// sweeps turn it off because a leave can disconnect the instance,
+    /// making completion unreachable by design — re-discovery *time*
+    /// under churn is the bench harness's domain, not a model theorem.
+    pub check_liveness: bool,
+    /// Bounded membership script. The adversary fires the next event
+    /// instead of a round whenever it likes (in script order), so every
+    /// interleaving of rounds and events is explored. Empty = static
+    /// membership.
+    pub script: Vec<ChurnEvent>,
+}
+
+impl CheckConfig {
+    /// Static-membership config with liveness checking on.
+    pub fn new(schedule: Schedule, max_rounds: usize) -> Self {
+        CheckConfig {
+            schedule,
+            max_rounds,
+            check_liveness: true,
+            script: Vec::new(),
+        }
+    }
+}
+
 /// Aggregate exploration statistics for one or more checked instances.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CheckStats {
@@ -48,7 +109,8 @@ pub struct CheckStats {
     pub states: u64,
     /// Successor transitions enumerated (after intermediate dedup).
     pub transitions: u64,
-    /// Deepest BFS level reached (rounds from the initial state).
+    /// Deepest BFS level reached (rounds + churn events from the initial
+    /// state).
     pub max_depth: usize,
     /// True if any instance hit the round bound with states unexplored.
     pub truncated: bool,
@@ -103,18 +165,18 @@ pub enum Violation {
     Stuck,
 }
 
-/// One round of a counterexample trace.
+/// One step of a counterexample trace.
 #[derive(Clone, Debug)]
 pub struct TraceStep {
-    /// Contact rows at the start of the round.
+    /// Contact rows at the start of the step.
     pub state: [u8; MAX_N],
-    /// One line per node: the outcome the adversary scheduled (witness
-    /// choices and effects), or a drop.
+    /// One line per node for a round step (the outcome the adversary
+    /// scheduled, or a drop), or a single line for a membership event.
     pub actions: Vec<String>,
 }
 
-/// A minimal failing run: the instance, the adversary's schedule round by
-/// round, and the violation at the end.
+/// A minimal failing run: the instance, the adversary's schedule step by
+/// step, and the violation at the end.
 #[derive(Clone, Debug)]
 pub struct Counterexample {
     /// The starting topology.
@@ -125,13 +187,15 @@ pub struct Counterexample {
     pub world: World,
     /// The schedule family the adversary played.
     pub schedule: Schedule,
+    /// The churn script in effect (empty for static membership).
+    pub script: Vec<ChurnEvent>,
     /// The property that failed.
     pub violation: Violation,
     /// Description of the offending node outcome (empty for [`Violation::Stuck`]).
     pub offender: String,
     /// Contact rows of the violating state.
     pub state: [u8; MAX_N],
-    /// Minimal (in rounds) path from the initial state to [`Self::state`].
+    /// Minimal (in steps) path from the initial state to [`Self::state`].
     pub trace: Vec<TraceStep>,
 }
 
@@ -158,15 +222,18 @@ impl fmt::Display for Counterexample {
             self.schedule.name()
         )?;
         writeln!(f, "instance: {}", self.instance.describe())?;
+        if !self.script.is_empty() {
+            writeln!(f, "churn script: {:?}", self.script)?;
+        }
         writeln!(f, "violation: {:?}", self.violation)?;
         if !self.offender.is_empty() {
             writeln!(f, "offender: {}", self.offender)?;
         }
-        writeln!(f, "trace ({} rounds to reach the state):", self.trace.len())?;
+        writeln!(f, "trace ({} steps to reach the state):", self.trace.len())?;
         for (r, step) in self.trace.iter().enumerate() {
             writeln!(
                 f,
-                "  round {}: {}",
+                "  step {}: {}",
                 r + 1,
                 rows_str(&step.state, self.instance.n)
             )?;
@@ -182,27 +249,121 @@ impl fmt::Display for Counterexample {
     }
 }
 
-fn pack(rows: &[u8; MAX_N]) -> u64 {
-    rows.iter()
-        .enumerate()
-        .fold(0u64, |k, (i, &r)| k | (r as u64) << (8 * i))
+/// Bits reserved per packed cursor slot.
+const CURSOR_BITS: u32 = 3;
+/// Bit offset of the cursor block in a packed key.
+const CURSOR_BASE: u32 = 8 * MAX_N as u32;
+/// Bit offset of the churn-script position in a packed key.
+const POS_BASE: u32 = CURSOR_BASE + (MAX_N * MAX_N) as u32 * CURSOR_BITS;
+
+/// The full joint protocol state: contact rows plus per-node cursor
+/// slots (all-zero, and ignored, for stateless kernels).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Joint {
+    rows: [u8; MAX_N],
+    cursors: [[u8; MAX_N]; MAX_N],
 }
 
-fn unpack(key: u64) -> [u8; MAX_N] {
-    let mut rows = [0u8; MAX_N];
-    for (i, r) in rows.iter_mut().enumerate() {
+fn pack(j: &Joint, pos: usize) -> u128 {
+    let mut key = 0u128;
+    for (i, &r) in j.rows.iter().enumerate() {
+        key |= (r as u128) << (8 * i);
+    }
+    for (u, row) in j.cursors.iter().enumerate() {
+        for (v, &c) in row.iter().enumerate() {
+            assert!(
+                c < 1 << CURSOR_BITS,
+                "cursor value {c} exceeds the {CURSOR_BITS}-bit joint encoding"
+            );
+            key |= (c as u128) << (CURSOR_BASE as usize + (u * MAX_N + v) * CURSOR_BITS as usize);
+        }
+    }
+    key | (pos as u128) << POS_BASE
+}
+
+fn unpack(key: u128) -> (Joint, usize) {
+    let mut j = Joint {
+        rows: [0; MAX_N],
+        cursors: [[0; MAX_N]; MAX_N],
+    };
+    for (i, r) in j.rows.iter_mut().enumerate() {
         *r = (key >> (8 * i)) as u8;
     }
-    rows
+    for (u, row) in j.cursors.iter_mut().enumerate() {
+        for (v, c) in row.iter_mut().enumerate() {
+            *c = (key >> (CURSOR_BASE as usize + (u * MAX_N + v) * CURSOR_BITS as usize)) as u8
+                & ((1 << CURSOR_BITS) - 1);
+        }
+    }
+    (j, (key >> POS_BASE) as usize)
+}
+
+/// Node `u`'s protocol state inside `j`, in the kernel's representation.
+fn node_state(j: &Joint, n: usize, u: usize, stateful: bool) -> NodeState {
+    if stateful {
+        NodeState::Cursors(j.cursors[u][..n].iter().map(|&c| c as u32).collect())
+    } else {
+        NodeState::Stateless
+    }
+}
+
+/// Writes an outcome's post-state back into the joint cursor block.
+fn store_state(j: &mut Joint, u: usize, state: &NodeState) {
+    if let NodeState::Cursors(c) = state {
+        for (v, &cv) in c.iter().enumerate() {
+            j.cursors[u][v] = cv as u8;
+        }
+    }
+}
+
+/// Applies one membership event. Rows are scrubbed/bootstrapped
+/// symmetrically; the node's own protocol state resets to the kernel's
+/// initial state, while peers' cursor slots toward it are retained (no
+/// failure detector — see [`ChurnEvent`]).
+fn apply_event(j: &mut Joint, n: usize, ev: ChurnEvent, init: &[u8; MAX_N]) {
+    match ev {
+        ChurnEvent::Leave { node } => {
+            let v = node as usize;
+            j.rows[v] = 0;
+            j.cursors[v] = *init;
+            for u in 0..n {
+                j.rows[u] &= !(1 << v);
+            }
+        }
+        ChurnEvent::Rejoin { node, contacts } => {
+            let v = node as usize;
+            debug_assert_eq!(j.rows[v], 0, "rejoin of a present node");
+            j.rows[v] = contacts & !(1 << v);
+            j.cursors[v] = *init;
+            for w in 0..n {
+                if contacts >> w & 1 == 1 && w != v {
+                    j.rows[w] |= 1 << v;
+                }
+            }
+        }
+    }
+}
+
+/// Bitmask of nodes present after the first `pos` script events.
+fn present_mask(n: usize, script: &[ChurnEvent], pos: usize) -> u8 {
+    let mut mask = ((1u16 << n) - 1) as u8;
+    for ev in &script[..pos] {
+        match *ev {
+            ChurnEvent::Leave { node } => mask &= !(1 << node),
+            ChurnEvent::Rejoin { node, .. } => mask |= 1 << node,
+        }
+    }
+    mask
 }
 
 /// Apply one node's outcome on top of `acc`, reading round-start data
 /// from `start`/`lists` (synchronous semantics: all nodes act on the
-/// round-start world, deliveries union). Out-of-range ids are skipped
-/// here — the safety scan reports them; application stays total.
+/// round-start world, deliveries union; each node owns its cursor slots).
+/// Out-of-range ids are skipped here — the safety scan reports them;
+/// application stays total.
 fn apply_outcome(
-    start: &[u8; MAX_N],
-    acc: &mut [u8; MAX_N],
+    start: &Joint,
+    acc: &mut Joint,
     n: usize,
     u: usize,
     o: &Outcome,
@@ -213,8 +374,8 @@ fn apply_outcome(
         if a >= n || b >= n || a == b {
             continue;
         }
-        acc[a] |= 1 << b;
-        acc[b] |= 1 << a;
+        acc.rows[a] |= 1 << b;
+        acc.rows[b] |= 1 << a;
     }
     for &(to, s) in &o.shares {
         let to = to as usize;
@@ -223,10 +384,10 @@ fn apply_outcome(
         }
         match s {
             Share::KnownList => {
-                acc[to] |= (start[u] | 1 << u) & !(1 << to);
+                acc.rows[to] |= (start.rows[u] | 1 << u) & !(1 << to);
             }
             Share::PullRequest => {
-                acc[u] |= (start[to] | 1 << to) & !(1 << u);
+                acc.rows[u] |= (start.rows[to] | 1 << to) & !(1 << u);
             }
             Share::Slice { start: s0, len } => {
                 let row = &lists[u];
@@ -236,10 +397,11 @@ fn apply_outcome(
                 for v in &row[lo..hi] {
                     bits |= 1 << v.index();
                 }
-                acc[to] |= bits & !(1 << to);
+                acc.rows[to] |= bits & !(1 << to);
             }
         }
     }
+    store_state(acc, u, &o.state_after);
 }
 
 fn describe_outcome(u: usize, o: &Outcome) -> String {
@@ -337,7 +499,17 @@ fn scan_outcome(
 }
 
 type Combo = Vec<Option<u16>>;
-type ParentMap = HashMap<u64, Option<(u64, Combo)>>;
+
+/// How a state was reached from its BFS parent.
+#[derive(Clone, Debug)]
+enum Step {
+    /// A synchronous round: one scheduled outcome index (or drop) per node.
+    Round(Combo),
+    /// The next churn-script event fired.
+    Churn(ChurnEvent),
+}
+
+type ParentMap = HashMap<u128, Option<(u128, Step)>>;
 
 /// Rebuild the minimal path from the initial state to `end`, re-deriving
 /// each predecessor's menus to render the scheduled actions.
@@ -345,31 +517,47 @@ fn build_trace<K: ProtocolKernel + ?Sized>(
     kernel: &K,
     world: World,
     n: usize,
+    stateful: bool,
     parent: &ParentMap,
-    end: u64,
+    end: u128,
 ) -> Vec<TraceStep> {
-    let mut path: Vec<(u64, Combo)> = Vec::new();
+    let mut path: Vec<(u128, Step)> = Vec::new();
     let mut k = end;
-    while let Some(Some((prev, combo))) = parent.get(&k) {
-        path.push((*prev, combo.clone()));
+    while let Some(Some((prev, step))) = parent.get(&k) {
+        path.push((*prev, step.clone()));
         k = *prev;
     }
     path.reverse();
     path.into_iter()
-        .map(|(prev, combo)| {
-            let rows = unpack(prev);
-            let lists = rows_to_lists(&rows, n);
-            let actions = (0..n)
-                .map(|u| match combo.get(u).copied().flatten() {
-                    None => format!("node {u}: (dropped)"),
-                    Some(idx) => {
-                        let menu = node_menu(kernel, world, &lists, u);
-                        describe_outcome(u, &menu[idx as usize])
+        .map(|(prev, step)| {
+            let (joint, _) = unpack(prev);
+            let actions = match step {
+                Step::Churn(ev) => vec![match ev {
+                    ChurnEvent::Leave { node } => format!("membership: leave {node}"),
+                    ChurnEvent::Rejoin { node, contacts } => {
+                        let cs: Vec<String> = (0..n)
+                            .filter(|&w| contacts >> w & 1 == 1)
+                            .map(|w| w.to_string())
+                            .collect();
+                        format!("membership: rejoin {node} contacts {{{}}}", cs.join(","))
                     }
-                })
-                .collect();
+                }],
+                Step::Round(combo) => {
+                    let lists = rows_to_lists(&joint.rows, n);
+                    (0..n)
+                        .map(|u| match combo.get(u).copied().flatten() {
+                            None => format!("node {u}: (dropped)"),
+                            Some(idx) => {
+                                let st = node_state(&joint, n, u, stateful);
+                                let menu = node_menu(kernel, world, &lists, u, &st);
+                                describe_outcome(u, &menu[idx as usize])
+                            }
+                        })
+                        .collect()
+                }
+            };
             TraceStep {
-                state: rows,
+                state: joint.rows,
                 actions,
             }
         })
@@ -386,107 +574,160 @@ pub fn check_kernel<K: ProtocolKernel + ?Sized>(
     inst: Instance,
     max_rounds: usize,
 ) -> Result<CheckStats, Box<Counterexample>> {
+    check_kernel_with(kernel, world, inst, &CheckConfig::new(schedule, max_rounds))
+}
+
+/// [`check_kernel`] with the full knob set: omission/lossless schedule,
+/// optional liveness checking, and a bounded churn script the adversary
+/// interleaves with rounds.
+pub fn check_kernel_with<K: ProtocolKernel + ?Sized>(
+    kernel: &K,
+    world: World,
+    inst: Instance,
+    cfg: &CheckConfig,
+) -> Result<CheckStats, Box<Counterexample>> {
     let n = inst.n;
     let budget = kernel.max_message_ids();
-    let full: Vec<u8> = (0..n)
-        .map(|i| (((1u16 << n) - 1) as u8) & !(1 << i))
-        .collect();
-    let init = inst.initial_rows();
-    let init_key = pack(&init);
+    let init_state = kernel.initial_state(n);
+    let stateful = matches!(init_state, NodeState::Cursors(_));
+    let mut init_cursors = [0u8; MAX_N];
+    if let NodeState::Cursors(c) = &init_state {
+        assert!(c.len() >= n, "initial cursor state shorter than n");
+        for (slot, &cv) in init_cursors.iter_mut().zip(c.iter()) {
+            *slot = cv as u8;
+        }
+    }
+
+    let init = Joint {
+        rows: inst.initial_rows(),
+        cursors: [init_cursors; MAX_N],
+    };
+    let init_key = pack(&init, 0);
 
     let mut stats = CheckStats::default();
     let mut parent: ParentMap = HashMap::new();
     parent.insert(init_key, None);
-    let mut queue: VecDeque<(u64, usize)> = VecDeque::new();
+    let mut queue: VecDeque<(u128, usize)> = VecDeque::new();
     queue.push_back((init_key, 0));
 
-    let fail = |violation, offender, rows, key: u64, parent: &ParentMap| {
+    let fail = |violation, offender, rows, key: u128, parent: &ParentMap| {
         Box::new(Counterexample {
             instance: inst,
             kernel: kernel.name(),
             world,
-            schedule,
+            schedule: cfg.schedule,
+            script: cfg.script.clone(),
             violation,
             offender,
             state: rows,
-            trace: build_trace(kernel, world, n, parent, key),
+            trace: build_trace(kernel, world, n, stateful, parent, key),
         })
     };
 
     while let Some((key, depth)) = queue.pop_front() {
         stats.states += 1;
         stats.max_depth = stats.max_depth.max(depth);
-        let rows = unpack(key);
-        let lists = rows_to_lists(&rows, n);
+        let (joint, pos) = unpack(key);
+        let lists = rows_to_lists(&joint.rows, n);
         let menus: Vec<Vec<Outcome>> = (0..n)
-            .map(|u| node_menu(kernel, world, &lists, u))
+            .map(|u| {
+                let st = node_state(&joint, n, u, stateful);
+                node_menu(kernel, world, &lists, u, &st)
+            })
             .collect();
 
         for (u, menu) in menus.iter().enumerate() {
             for o in menu {
                 if let Some((violation, offender)) =
-                    scan_outcome(budget, world, &rows, n, u, o, &mut stats)
+                    scan_outcome(budget, world, &joint.rows, n, u, o, &mut stats)
                 {
-                    return Err(fail(violation, offender, rows, key, &parent));
+                    return Err(fail(violation, offender, joint.rows, key, &parent));
                 }
             }
         }
 
-        let complete = (0..n).all(|i| rows[i] == full[i]);
-        if complete {
+        // Completion is judged over the nodes present at this script
+        // position: each present node knows every other present node
+        // (departed rows are scrubbed and, for correct kernels, can never
+        // be repopulated — ids only propagate out of existing rows).
+        let present = present_mask(n, &cfg.script, pos);
+        let complete = (0..n)
+            .filter(|&i| present >> i & 1 == 1)
+            .all(|i| joint.rows[i] == present & !(1 << i));
+        if complete && pos == cfg.script.len() {
             continue;
         }
 
-        // Liveness: some single outcome must change the state. Effects
-        // are monotone unions, so if every single outcome is a no-op,
-        // every combination is too — the state is permanently stuck.
-        let progress = menus.iter().enumerate().any(|(u, menu)| {
-            menu.iter().any(|o| {
-                let mut acc = rows;
-                apply_outcome(&rows, &mut acc, n, u, o, &lists);
-                acc != rows
-            })
-        });
-        if !progress {
-            return Err(fail(Violation::Stuck, String::new(), rows, key, &parent));
+        // Liveness: some single outcome must change the state. Row
+        // effects are monotone unions and cursor slots are node-owned, so
+        // if every single outcome is a no-op, every combination is too —
+        // the state is permanently stuck.
+        if cfg.check_liveness && !complete {
+            let progress = menus.iter().enumerate().any(|(u, menu)| {
+                menu.iter().any(|o| {
+                    let mut acc = joint;
+                    apply_outcome(&joint, &mut acc, n, u, o, &lists);
+                    acc != joint
+                })
+            });
+            if !progress {
+                return Err(fail(
+                    Violation::Stuck,
+                    String::new(),
+                    joint.rows,
+                    key,
+                    &parent,
+                ));
+            }
         }
 
-        if depth >= max_rounds {
+        if depth >= cfg.max_rounds {
             stats.truncated = true;
             continue;
         }
 
         // Successors: fold node menus left to right, deduplicating the
-        // accumulated state after each node (sound: unions commute), and
-        // keep one witness combo per accumulation for parent pointers.
-        let mut frontier: HashMap<u64, Combo> = HashMap::new();
+        // accumulated state after each node (sound: row unions commute
+        // and each node owns its cursor slots), and keep one witness
+        // combo per accumulation for parent pointers.
+        let mut frontier: HashMap<u128, Combo> = HashMap::new();
         frontier.insert(key, Vec::new());
         for (u, menu) in menus.iter().enumerate() {
-            let mut next: HashMap<u64, Combo> = HashMap::new();
+            let mut next: HashMap<u128, Combo> = HashMap::new();
             for (acc_key, combo) in &frontier {
-                let acc0 = unpack(*acc_key);
-                if schedule == Schedule::Omission {
+                let (acc0, _) = unpack(*acc_key);
+                if cfg.schedule == Schedule::Omission {
                     let mut c = combo.clone();
                     c.push(None);
                     next.entry(*acc_key).or_insert(c);
                 }
                 for (idx, o) in menu.iter().enumerate() {
                     let mut acc = acc0;
-                    apply_outcome(&rows, &mut acc, n, u, o, &lists);
+                    apply_outcome(&joint, &mut acc, n, u, o, &lists);
                     let mut c = combo.clone();
                     c.push(Some(idx as u16));
-                    next.entry(pack(&acc)).or_insert(c);
+                    next.entry(pack(&acc, pos)).or_insert(c);
                 }
             }
             frontier = next;
         }
-        for (succ, combo) in frontier {
+        let mut succs: Vec<(u128, Step)> = frontier
+            .into_iter()
+            .map(|(k, combo)| (k, Step::Round(combo)))
+            .collect();
+        // The adversary may fire the next churn event instead of a round.
+        if pos < cfg.script.len() {
+            let mut churned = joint;
+            apply_event(&mut churned, n, cfg.script[pos], &init_cursors);
+            succs.push((pack(&churned, pos + 1), Step::Churn(cfg.script[pos])));
+        }
+        for (succ, step) in succs {
             stats.transitions += 1;
             if succ == key {
                 continue;
             }
             if let std::collections::hash_map::Entry::Vacant(slot) = parent.entry(succ) {
-                slot.insert(Some((key, combo)));
+                slot.insert(Some((key, step)));
                 queue.push_back((succ, depth + 1));
             }
         }
@@ -510,6 +751,57 @@ pub fn check_all<K: ProtocolKernel + ?Sized>(
     Ok(total)
 }
 
+/// Every bounded churn script for `inst`: each node as the victim, both a
+/// permanent departure and a departure followed by a re-join with every
+/// nonempty bootstrap subset of the remaining nodes.
+pub fn churn_scripts(inst: &Instance) -> Vec<Vec<ChurnEvent>> {
+    let n = inst.n;
+    let mut out = Vec::new();
+    for v in 0..n as u32 {
+        out.push(vec![ChurnEvent::Leave { node: v }]);
+        let others: Vec<u32> = (0..n as u32).filter(|&w| w != v).collect();
+        for choice in 1u16..1 << others.len() {
+            let contacts = others
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| choice >> i & 1 == 1)
+                .fold(0u8, |acc, (_, &w)| acc | 1 << w);
+            out.push(vec![
+                ChurnEvent::Leave { node: v },
+                ChurnEvent::Rejoin { node: v, contacts },
+            ]);
+        }
+    }
+    out
+}
+
+/// Sweep a kernel over every connected instance with `n <= max_n` × every
+/// bounded churn script from [`churn_scripts`], proving no-phantom-contact
+/// safety on every reachable (state, script position) pair under every
+/// interleaving of rounds and membership events. Liveness is out of scope
+/// here (a leave can disconnect the instance); see [`CheckConfig`].
+pub fn check_churn_family<K: ProtocolKernel + ?Sized>(
+    kernel: &K,
+    world: World,
+    schedule: Schedule,
+    max_n: usize,
+    max_rounds: usize,
+) -> Result<CheckStats, Box<Counterexample>> {
+    let mut total = CheckStats::default();
+    for inst in all_instances(max_n) {
+        for script in churn_scripts(&inst) {
+            let cfg = CheckConfig {
+                schedule,
+                max_rounds,
+                check_liveness: false,
+                script,
+            };
+            total.absorb(check_kernel_with(kernel, world, inst, &cfg)?);
+        }
+    }
+    Ok(total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,8 +809,21 @@ mod tests {
 
     #[test]
     fn pack_unpack_roundtrip() {
-        let rows = [0b10110, 0b00001, 0, 0b11111, 0b01010];
-        assert_eq!(unpack(pack(&rows)), rows);
+        let j = Joint {
+            rows: [0b10110, 0b00001, 0, 0b11111, 0b01010],
+            cursors: [
+                [0, 1, 2, 3, 4],
+                [4, 3, 2, 1, 0],
+                [0; 5],
+                [7, 0, 7, 0, 7],
+                [1; 5],
+            ],
+        };
+        for pos in [0usize, 1, 3] {
+            let (back, back_pos) = unpack(pack(&j, pos));
+            assert_eq!(back, j);
+            assert_eq!(back_pos, pos);
+        }
     }
 
     #[test]
@@ -545,5 +850,59 @@ mod tests {
         let stats = check_kernel(&PushKernel, World::Graph, Schedule::Omission, inst, 32).unwrap();
         assert_eq!(stats.states, 1);
         assert_eq!(stats.transitions, 0);
+    }
+
+    #[test]
+    fn churn_scripts_cover_every_victim_and_bootstrap_subset() {
+        let inst = crate::instance::connected_instances(3)
+            .into_iter()
+            .find(|i| i.edges().len() == 2)
+            .unwrap();
+        let scripts = churn_scripts(&inst);
+        // 3 victims × (1 leave-only + 3 nonempty 2-element subsets).
+        assert_eq!(scripts.len(), 12);
+        assert!(scripts.iter().all(|s| !s.is_empty() && s.len() <= 2));
+    }
+
+    #[test]
+    fn leave_scrubs_rows_and_rejoin_bootstraps_symmetrically() {
+        let mut j = Joint {
+            rows: [0b110, 0b101, 0b011, 0, 0],
+            cursors: [[2; MAX_N]; MAX_N],
+        };
+        let init = [0u8; MAX_N];
+        apply_event(&mut j, 3, ChurnEvent::Leave { node: 1 }, &init);
+        assert_eq!(j.rows[1], 0);
+        assert_eq!(j.rows[0], 0b100);
+        assert_eq!(j.rows[2], 0b001);
+        // The departed node's own state resets; peers keep theirs.
+        assert_eq!(j.cursors[1], init);
+        assert_eq!(j.cursors[0], [2; MAX_N]);
+        apply_event(
+            &mut j,
+            3,
+            ChurnEvent::Rejoin {
+                node: 1,
+                contacts: 0b100,
+            },
+            &init,
+        );
+        assert_eq!(j.rows[1], 0b100);
+        assert_eq!(j.rows[2], 0b011);
+        assert_eq!(j.rows[0], 0b100, "non-bootstrap rows untouched");
+    }
+
+    #[test]
+    fn present_mask_tracks_script_position() {
+        let script = vec![
+            ChurnEvent::Leave { node: 2 },
+            ChurnEvent::Rejoin {
+                node: 2,
+                contacts: 0b1,
+            },
+        ];
+        assert_eq!(present_mask(3, &script, 0), 0b111);
+        assert_eq!(present_mask(3, &script, 1), 0b011);
+        assert_eq!(present_mask(3, &script, 2), 0b111);
     }
 }

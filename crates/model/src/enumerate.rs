@@ -86,6 +86,12 @@ pub struct Outcome {
     pub connects: Vec<(u32, u32)>,
     /// Outgoing payload descriptors, sorted by destination.
     pub shares: Vec<(u32, Share)>,
+    /// The node's protocol state after the round — identical to the
+    /// round-start state for stateless kernels, the advanced cursor
+    /// vector for stateful ones. Part of the dedup key: two runs with
+    /// the same wire effects but different post-states are distinct
+    /// outcomes.
+    pub state_after: NodeState,
 }
 
 /// Canonical `(connects, shares)` pair extracted from raw effects.
@@ -115,6 +121,7 @@ fn canonicalize(effects: &Effects) -> CanonicalEffects {
 fn explore<K: ProtocolKernel + ?Sized>(
     kernel: &K,
     view: &ModelView<'_>,
+    state: &NodeState,
     prefix: &mut Vec<usize>,
     out: &mut Vec<Outcome>,
 ) {
@@ -128,41 +135,49 @@ fn explore<K: ProtocolKernel + ?Sized>(
         pos: 0,
         overflow: None,
     };
-    kernel.on_round(&mut NodeState::Stateless, view, &mut chooser, &mut effects);
+    // Each enumeration run mutates a fresh copy of the round-start state;
+    // the copy at a leaf is the outcome's post-state.
+    let mut st = state.clone();
+    kernel.on_round(&mut st, view, &mut chooser, &mut effects);
     let overflow = chooser.overflow;
     match overflow {
         None => {
             let (connects, shares) = canonicalize(&effects);
-            // Deduplicate by effects; keep the first witness choice vector.
+            // Deduplicate by effects + post-state; keep the first witness
+            // choice vector.
             if !out
                 .iter()
-                .any(|o| o.connects == connects && o.shares == shares)
+                .any(|o| o.connects == connects && o.shares == shares && o.state_after == st)
             {
                 out.push(Outcome {
                     choices: prefix.clone(),
                     connects,
                     shares,
+                    state_after: st,
                 });
             }
         }
         Some(domain) => {
             for c in 0..domain {
                 prefix.push(c);
-                explore(kernel, view, prefix, out);
+                explore(kernel, view, state, prefix, out);
                 prefix.pop();
             }
         }
     }
 }
 
-/// Every distinct outcome node `u` can produce this round, with witness
-/// choices. Stateless kernels only — the joint-state encoding has no slot
-/// for per-node cursor state yet.
+/// Every distinct outcome node `u` can produce this round from protocol
+/// state `state`, with witness choices. Stateless kernels pass
+/// [`NodeState::Stateless`]; stateful ones (the throttled Name Dropper's
+/// per-destination cursors) pass the node's round-start state, and each
+/// outcome carries the post-state for the checker's joint encoding.
 pub fn node_menu<K: ProtocolKernel + ?Sized>(
     kernel: &K,
     world: World,
     rows: &[Vec<NodeId>],
     u: usize,
+    state: &NodeState,
 ) -> Vec<Outcome> {
     let view = ModelView {
         me: NodeId::new(u),
@@ -170,7 +185,7 @@ pub fn node_menu<K: ProtocolKernel + ?Sized>(
         world,
     };
     let mut out = Vec::new();
-    explore(kernel, &view, &mut Vec::new(), &mut out);
+    explore(kernel, &view, state, &mut Vec::new(), &mut out);
     out
 }
 
@@ -204,7 +219,7 @@ mod tests {
         // are connect(1,2) (two witnesses, deduped) and the empty outcome
         // (i == j, two witnesses).
         let rows = lists(&[&[1, 2], &[0], &[0]]);
-        let menu = node_menu(&PushKernel, World::Graph, &rows, 0);
+        let menu = node_menu(&PushKernel, World::Graph, &rows, 0, &NodeState::Stateless);
         assert_eq!(menu.len(), 2);
         assert!(menu.iter().any(|o| o.connects == vec![(1, 2)]));
         assert!(menu.iter().any(|o| o.connects.is_empty()));
@@ -215,7 +230,7 @@ mod tests {
         // Path 0-1-2: node 0 walks to 1, then to one of {0, 2}; landing on
         // itself yields no proposal, landing on 2 connects 0-2.
         let rows = lists(&[&[1], &[0, 2], &[1]]);
-        let menu = node_menu(&PullKernel, World::Graph, &rows, 0);
+        let menu = node_menu(&PullKernel, World::Graph, &rows, 0, &NodeState::Stateless);
         assert_eq!(menu.len(), 2);
         assert!(menu.iter().any(|o| o.connects == vec![(0, 2)]));
         assert!(menu.iter().any(|o| o.connects.is_empty()));
@@ -224,7 +239,7 @@ mod tests {
     #[test]
     fn isolated_node_has_single_empty_outcome() {
         let rows = lists(&[&[]]);
-        let menu = node_menu(&PushKernel, World::Graph, &rows, 0);
+        let menu = node_menu(&PushKernel, World::Graph, &rows, 0, &NodeState::Stateless);
         assert_eq!(menu.len(), 1);
         assert!(menu[0].choices.is_empty() && menu[0].connects.is_empty());
     }
@@ -232,7 +247,13 @@ mod tests {
     #[test]
     fn name_dropper_menu_targets_each_contact() {
         let rows = lists(&[&[1, 2], &[0], &[0]]);
-        let menu = node_menu(&NameDropperKernel, World::Knowledge, &rows, 0);
+        let menu = node_menu(
+            &NameDropperKernel,
+            World::Knowledge,
+            &rows,
+            0,
+            &NodeState::Stateless,
+        );
         assert_eq!(menu.len(), 2);
         let dests: Vec<u32> = menu.iter().map(|o| o.shares[0].0).collect();
         assert!(dests.contains(&1) && dests.contains(&2));

@@ -19,9 +19,17 @@
 //!   enumerated outcome always makes progress, so every fair schedule
 //!   reaches full discovery (monotonicity closes the argument).
 //!
-//! Violations come back as [`Counterexample`]s with a minimal-in-rounds
+//! The joint state encodes the contact rows **and**, for stateful
+//! kernels, per-node cursor slots — so the throttled Name Dropper's
+//! per-destination cursors are checked exhaustively, not approximated
+//! away. A bounded churn layer ([`ChurnEvent`], [`check_churn_family`])
+//! lets the adversary interleave join/leave events with rounds, proving
+//! no-phantom-contact safety under dynamic membership.
+//!
+//! Violations come back as [`Counterexample`]s with a minimal-in-steps
 //! trace of adversary decisions; [`broken`] ships intentionally buggy
-//! kernels proving the checker actually catches both property classes.
+//! kernels proving the checker actually catches both property classes
+//! (plus a stale-memory kernel only the churn layer can catch).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,9 +39,10 @@ pub mod checker;
 pub mod enumerate;
 pub mod instance;
 
-pub use broken::{PhantomPush, StallingPush};
+pub use broken::{PhantomPush, StalePeerPush, StallingPush};
 pub use checker::{
-    check_all, check_kernel, CheckStats, Counterexample, Schedule, TraceStep, Violation,
+    check_all, check_churn_family, check_kernel, check_kernel_with, churn_scripts, CheckConfig,
+    CheckStats, ChurnEvent, Counterexample, Schedule, TraceStep, Violation,
 };
 pub use enumerate::{node_menu, Outcome, World};
 pub use instance::{all_instances, connected_instances, pair_index, Instance, MAX_N};

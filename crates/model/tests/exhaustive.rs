@@ -3,8 +3,11 @@
 //! families, with the full state space explored (never truncated) — and
 //! the checker demonstrably catches planted safety and liveness bugs.
 
-use gossip_core::{HybridKernel, NameDropperKernel, PullKernel, PushKernel};
-use gossip_model::{check_all, PhantomPush, Schedule, StallingPush, Violation, World};
+use gossip_core::{HybridKernel, NameDropperKernel, PullKernel, PushKernel, ThrottledKernel};
+use gossip_model::{
+    all_instances, check_all, check_churn_family, check_kernel_with, CheckConfig, PhantomPush,
+    Schedule, StalePeerPush, StallingPush, Violation, World,
+};
 
 const MAX_N: usize = 5;
 const MAX_ROUNDS: usize = 64;
@@ -65,6 +68,147 @@ fn name_dropper_is_safe_and_live_in_the_knowledge_world() {
             "name-dropper payload stat too small: {stats:?}"
         );
     }
+}
+
+#[test]
+fn throttled_name_dropper_is_safe_and_live_with_cursor_state() {
+    // The stateful kernel the cursor-slot encoding exists for: its
+    // per-destination cursors are part of the joint state, so these
+    // sweeps are exhaustive over (rows × cursors), not an approximation.
+    // Both schedules and budgets at n <= 3; the cursor product space
+    // grows steeply with n, so the n = 4 sweep below runs lossless only.
+    for budget in [1usize, 2] {
+        for schedule in SCHEDULES {
+            let stats = check_all(
+                &ThrottledKernel { budget },
+                World::Knowledge,
+                schedule,
+                3,
+                MAX_ROUNDS,
+            )
+            .unwrap_or_else(|ce| panic!("{ce}"));
+            assert!(!stats.truncated, "state space must be fully explored");
+            // The whole point of throttling: every message fits the budget.
+            assert!(
+                stats.max_payload_ids <= budget as u64,
+                "throttled payload exceeded budget {budget}: {stats:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn throttled_name_dropper_cursor_space_is_exhausted_at_n4() {
+    // The big one: ~1M joint (rows × cursors) states, fully explored.
+    // Lossless only — omission roughly squares the transition count and
+    // blows the CI budget; the omission guarantee is pinned at n <= 3
+    // above. (Debug-build cost: about a minute; the model-check CI job's
+    // 10-minute budget was re-measured with this test in place.)
+    let stats = check_all(
+        &ThrottledKernel { budget: 1 },
+        World::Knowledge,
+        Schedule::Lossless,
+        4,
+        MAX_ROUNDS,
+    )
+    .unwrap_or_else(|ce| panic!("{ce}"));
+    assert!(!stats.truncated, "state space must be fully explored");
+    assert!(stats.max_payload_ids <= 1, "budget violated: {stats:?}");
+    assert!(
+        stats.states > 100_000,
+        "cursor slots should enlarge the joint space: {stats:?}"
+    );
+}
+
+#[test]
+fn kernels_never_name_phantoms_under_bounded_churn() {
+    // The churn schedule family: every connected instance at n <= 4,
+    // every victim, every bootstrap subset, every interleaving of rounds
+    // with the leave/rejoin events — no kernel may ever propose or
+    // address a departed (or otherwise unknown) node.
+    for schedule in SCHEDULES {
+        for (name, stats) in [
+            (
+                "push",
+                check_churn_family(&PushKernel, World::Graph, schedule, 4, MAX_ROUNDS),
+            ),
+            (
+                "pull",
+                check_churn_family(&PullKernel, World::Graph, schedule, 4, MAX_ROUNDS),
+            ),
+            (
+                "hybrid",
+                check_churn_family(&HybridKernel, World::Graph, schedule, 4, MAX_ROUNDS),
+            ),
+            (
+                "name-dropper",
+                check_churn_family(
+                    &NameDropperKernel,
+                    World::Knowledge,
+                    schedule,
+                    4,
+                    MAX_ROUNDS,
+                ),
+            ),
+            // The stateful kernel sweeps n <= 3: churn multiplies the
+            // cursor product space by every script × interleaving, and
+            // n = 4 blows the CI budget. Stale-cursor handling (rows
+            // shrinking below an advanced cursor, retained cursors toward
+            // a departed peer) is fully exercised at n = 3.
+            (
+                "throttled-nd",
+                check_churn_family(
+                    &ThrottledKernel { budget: 1 },
+                    World::Knowledge,
+                    schedule,
+                    3,
+                    MAX_ROUNDS,
+                ),
+            ),
+        ] {
+            let stats = stats.unwrap_or_else(|ce| panic!("{name}: {ce}"));
+            assert!(!stats.truncated, "{name}: churn sweep truncated: {stats:?}");
+        }
+    }
+}
+
+#[test]
+fn stale_peer_memory_is_caught_only_by_the_churn_layer() {
+    // Statically the stale-memory kernel is safe: rows only grow, so the
+    // remembered contact stays real (safety-only — it is deliberately
+    // unproductive, so liveness is off).
+    for inst in all_instances(4) {
+        let cfg = CheckConfig {
+            check_liveness: false,
+            ..CheckConfig::new(Schedule::Lossless, MAX_ROUNDS)
+        };
+        check_kernel_with(&StalePeerPush, World::Graph, inst, &cfg)
+            .unwrap_or_else(|ce| panic!("static world must be safe: {ce}"));
+    }
+    // Under churn the remembered peer departs and the kernel names a
+    // phantom — exactly the staleness class the churn layer exists for.
+    let ce = check_churn_family(
+        &StalePeerPush,
+        World::Graph,
+        Schedule::Lossless,
+        4,
+        MAX_ROUNDS,
+    )
+    .expect_err("the stale memory must be caught under churn");
+    assert!(
+        matches!(ce.violation, Violation::PhantomConnect { .. }),
+        "wrong violation: {:?}",
+        ce.violation
+    );
+    let report = ce.to_string();
+    assert!(
+        report.contains("push-stale-peer") && report.contains("churn script"),
+        "report must name the kernel and the script: {report}"
+    );
+    assert!(
+        report.contains("membership: leave"),
+        "trace must show the leave event: {report}"
+    );
 }
 
 #[test]

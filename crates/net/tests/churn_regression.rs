@@ -11,7 +11,14 @@
 //! Everything pinned is an integer count (known ordered pairs, stale
 //! contact entries, membership) — no float comparisons, no tolerance: the
 //! trajectory either replays bit-for-bit or the contract is broken.
+//!
+//! The seed pairs and snapshot cadence come from the shared fixture
+//! (`gossip_core::membership::fixture`); the engine-level membership seam
+//! pins its own trajectories from the same constants in
+//! `crates/core/tests/churn_pin.rs`, so a stream perturbation fails both
+//! layers on the same seeds.
 
+use gossip_core::membership::fixture::{SEED_PAIRS, SNAP_EVERY};
 use gossip_graph::generators;
 use gossip_net::{ChurnModel, NetConfig, Network, PushProtocol};
 
@@ -52,7 +59,7 @@ fn snapshot(net: &Network, round: u64) -> Snap {
 }
 
 /// One churned push run: `rounds` rounds of churn-then-step, snapshotting
-/// every 15 rounds.
+/// every [`SNAP_EVERY`] rounds.
 fn run_trajectory(net_seed: u64, churn_seed: u64, rounds: u64) -> Vec<Snap> {
     let g = generators::complete(10);
     let mut net = Network::from_graph(
@@ -74,7 +81,7 @@ fn run_trajectory(net_seed: u64, churn_seed: u64, rounds: u64) -> Vec<Snap> {
     for round in 0..rounds {
         churn.apply(&mut net, round);
         net.step(&mut proto);
-        if (round + 1) % 15 == 0 {
+        if (round + 1) % SNAP_EVERY == 0 {
             out.push(snapshot(&net, round + 1));
         }
     }
@@ -83,12 +90,21 @@ fn run_trajectory(net_seed: u64, churn_seed: u64, rounds: u64) -> Vec<Snap> {
 
 #[test]
 fn trajectories_are_deterministic_across_runs() {
-    let a = run_trajectory(11, 12, 60);
-    let b = run_trajectory(11, 12, 60);
+    let (net_seed, churn_seed) = SEED_PAIRS[0];
+    let a = run_trajectory(net_seed, churn_seed, 60);
+    let b = run_trajectory(net_seed, churn_seed, 60);
     assert_eq!(a, b);
     // And sensitive to both stream families.
-    assert_ne!(run_trajectory(11, 13, 60), a, "churn seed ignored");
-    assert_ne!(run_trajectory(14, 12, 60), a, "net seed ignored");
+    assert_ne!(
+        run_trajectory(net_seed, churn_seed + 1, 60),
+        a,
+        "churn seed ignored"
+    );
+    assert_ne!(
+        run_trajectory(net_seed + 3, churn_seed, 60),
+        a,
+        "net seed ignored"
+    );
 }
 
 /// Pin helper: `(round, alive, peers, known_pairs, stale, contacts)`.
@@ -108,6 +124,7 @@ fn pinned_trajectory_seed_11_12() {
     // Values captured at the introduction of the sharded engine (PR 5);
     // they are pure functions of the two seeds and the protocol/churn
     // code. A diff here means the shared RNG stream contract moved.
+    let (net_seed, churn_seed) = SEED_PAIRS[0];
     let want: Vec<Snap> = [
         (15, 9, 14, 54, 37, 91),
         (30, 18, 25, 134, 69, 203),
@@ -117,11 +134,12 @@ fn pinned_trajectory_seed_11_12() {
     .into_iter()
     .map(snap)
     .collect();
-    assert_eq!(run_trajectory(11, 12, 60), want);
+    assert_eq!(run_trajectory(net_seed, churn_seed, 60), want);
 }
 
 #[test]
 fn pinned_trajectory_seed_77_78() {
+    let (net_seed, churn_seed) = SEED_PAIRS[1];
     let want: Vec<Snap> = [
         (15, 11, 16, 70, 37, 107),
         (30, 13, 21, 106, 61, 167),
@@ -130,5 +148,5 @@ fn pinned_trajectory_seed_77_78() {
     .into_iter()
     .map(snap)
     .collect();
-    assert_eq!(run_trajectory(77, 78, 45), want);
+    assert_eq!(run_trajectory(net_seed, churn_seed, 45), want);
 }

@@ -70,8 +70,8 @@ use gossip_core::engine::{propose_round, PROPOSAL_CHUNK};
 use gossip_core::listener::{PhaseEvent, RoundListener, RoundPhase};
 use gossip_core::seam::{run_engine_until, RoundEngine};
 use gossip_core::{
-    ConvergenceCheck, EngineBuilder, Parallelism, ProposalRule, RoundStats, RunOutcome,
-    TaggedProposal,
+    ConvergenceCheck, EngineBuilder, MembershipPlan, MembershipStats, Parallelism, ProposalRule,
+    RoundStats, RunOutcome, TaggedProposal,
 };
 use gossip_graph::{HalfEdge, ShardSeg, ShardedArenaGraph, SHARD_ALIGN};
 use rayon::prelude::*;
@@ -121,6 +121,10 @@ pub struct ShardedEngine<R> {
     /// Per-owner added-edge counters for the current round.
     added: Vec<u64>,
     phases: PhaseNanos,
+    /// Optional join/leave schedule, applied at the top of every step
+    /// (before the propose phase) with the pre-increment round counter —
+    /// the same seam, at the same point, as the sequential engine's.
+    membership: Option<MembershipPlan>,
 }
 
 impl<R: ProposalRule<ShardedArenaGraph>> ShardedEngine<R> {
@@ -140,6 +144,7 @@ impl<R: ProposalRule<ShardedArenaGraph>> ShardedEngine<R> {
             scratch: vec![Vec::new(); shards],
             added: vec![0; shards],
             phases: PhaseNanos::default(),
+            membership: None,
         }
     }
 
@@ -148,6 +153,24 @@ impl<R: ProposalRule<ShardedArenaGraph>> ShardedEngine<R> {
     pub fn with_parallelism(mut self, p: Parallelism) -> Self {
         self.parallelism = p;
         self
+    }
+
+    /// Installs a membership plan (builder style): join/leave events apply
+    /// at the top of each step, before the propose phase, keyed by the
+    /// same pre-increment round counter the sequential engine uses — so
+    /// sharded and sequential runs under one plan stay bit-identical.
+    pub fn with_membership(mut self, plan: MembershipPlan) -> Self {
+        self.membership = Some(plan);
+        self
+    }
+
+    /// Cumulative stats of membership events applied so far (zero if no
+    /// plan is installed).
+    pub fn membership_stats(&self) -> MembershipStats {
+        self.membership
+            .as_ref()
+            .map(MembershipPlan::stats)
+            .unwrap_or_default()
     }
 
     /// The current graph `G_t`.
@@ -214,6 +237,19 @@ impl<R: ProposalRule<ShardedArenaGraph>> ShardedEngine<R> {
         let plan = *self.graph.plan();
         let shards = self.graph.shard_count();
 
+        // Phase 0 (membership): apply due join/leave events before anything
+        // observes the graph this round — the same point, keyed by the same
+        // pre-increment counter, as the sequential engine. `remove_member`
+        // routes every row write through its owner segment, so the
+        // per-segment invariants (sorted rows, exact m_canonical) hold for
+        // the apply fan-out below.
+        let t = Instant::now();
+        let mem_delta = match self.membership.as_mut() {
+            Some(p) => p.apply_due(self.round, &mut self.graph),
+            None => MembershipStats::default(),
+        };
+        let mem_nanos = t.elapsed().as_nanos() as u64;
+
         // Phase 1: propose — the sequential engine's shared chunk phase.
         let t = Instant::now();
         propose_round(
@@ -236,6 +272,14 @@ impl<R: ProposalRule<ShardedArenaGraph>> ShardedEngine<R> {
                 l.on_phase(&ev);
             }
         };
+        if mem_delta != MembershipStats::default() {
+            emit(
+                &mut self.phases,
+                RoundPhase::Membership,
+                mem_nanos,
+                self.round,
+            );
+        }
         emit(
             &mut self.phases,
             RoundPhase::Propose,
@@ -404,8 +448,12 @@ pub trait BuildSharded<R> {
 
 impl<R: ProposalRule<ShardedArenaGraph>> BuildSharded<R> for EngineBuilder<ShardedArenaGraph, R> {
     fn build_sharded(self) -> ShardedEngine<R> {
-        let (graph, rule, seed, parallelism) = self.into_parts();
-        ShardedEngine::new(graph, rule, seed).with_parallelism(parallelism)
+        let (graph, rule, seed, parallelism, membership) = self.into_parts();
+        let mut engine = ShardedEngine::new(graph, rule, seed).with_parallelism(parallelism);
+        if let Some(plan) = membership {
+            engine = engine.with_membership(plan);
+        }
+        engine
     }
 
     fn build_sharded_boxed(self) -> Box<dyn RoundEngine<Graph = ShardedArenaGraph> + Send>

@@ -6,7 +6,7 @@
 //! typically a handful of nodes and one round.
 
 use gossip_core::rng::stream_rng;
-use gossip_core::{Engine, Parallelism, Pull, Push};
+use gossip_core::{ChurnBursts, Engine, MembershipPlan, Parallelism, Pull, Push};
 use gossip_graph::{generators, ArenaGraph, ShardedArenaGraph};
 use gossip_shard::ShardedEngine;
 use proptest::prelude::*;
@@ -51,5 +51,49 @@ proptest! {
         // Monotone growth, structural validity, plan-consistent ownership.
         prop_assert!(e.graph().m() >= und.m());
         e.graph().validate().map_err(proptest::test_runner::TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn churned_sharded_trajectory_equals_sequential(
+        seed in any::<u64>(),
+        n in 24usize..300,
+        shards in 1usize..9,
+        rounds in 2usize..8,
+        nodes_per_burst in 1usize..6,
+    ) {
+        // Randomized membership plans on top of the headline contract: the
+        // sharded engine under ANY (n, S, plan) must replay the sequential
+        // arena engine bit-for-bit, leaves/rejoins included.
+        let und = generators::tree_plus_random_edges(n, 2 * n as u64, &mut stream_rng(seed, 0, 0));
+        let arena = ArenaGraph::from_undirected(&und);
+        let plan = MembershipPlan::bursts(&ChurnBursts {
+            n,
+            nodes_per_burst,
+            bursts: 2,
+            first_round: 1,
+            period: 2,
+            rejoin_after: 1,
+            bootstrap_contacts: 2,
+            seed,
+        });
+
+        let mut seq = Engine::new(arena, Push, seed)
+            .with_parallelism(Parallelism::Sequential)
+            .with_membership(plan.clone());
+        let mut shd = ShardedEngine::new(
+            ShardedArenaGraph::from_undirected(&und, shards),
+            Push,
+            seed,
+        )
+        .with_membership(plan);
+        for _ in 0..rounds {
+            prop_assert_eq!(seq.step(), shd.step());
+        }
+        prop_assert_eq!(seq.membership_stats(), shd.membership_stats());
+        prop_assert_eq!(seq.graph().m(), shd.graph().m());
+        for u in seq.graph().nodes() {
+            prop_assert_eq!(seq.graph().neighbors(u), shd.graph().neighbors(u));
+        }
+        shd.graph().validate().map_err(proptest::test_runner::TestCaseError::fail)?;
     }
 }

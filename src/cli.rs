@@ -7,8 +7,9 @@
 
 use gossip_analysis::{exact_expected_rounds, ProcessKind, Summary};
 use gossip_core::{
-    convergence_rounds, with_rule, ClosureReached, ComponentwiseComplete, DirectedPull,
-    DiscoveryTrace, Engine, EngineBuilder, ListenerSet, RoundEngine, RuleId, TrialConfig,
+    convergence_rounds, with_rule, ChurnBursts, ClosureReached, ComponentwiseComplete,
+    DirectedPull, DiscoveryTrace, Engine, EngineBuilder, ListenerSet, MembershipPlan, RoundEngine,
+    RuleId, TrialConfig,
 };
 use gossip_graph::{
     generators, io as gio, ArenaGraph, DirectedGraph, ShardedArenaGraph, UndirectedGraph,
@@ -47,6 +48,8 @@ pub enum Command {
         trace: bool,
         /// Family parameter.
         param: Option<u64>,
+        /// Churn bursts to schedule (0 = static membership).
+        churn: usize,
     },
     /// `gossip trials --process P --family F --n N [--trials T] [--seed S]`
     Trials {
@@ -101,6 +104,8 @@ pub enum Command {
         seed: u64,
         /// Family parameter.
         param: Option<u64>,
+        /// Churn bursts to schedule (0 = static membership).
+        churn: usize,
     },
     /// `gossip help`
     Help,
@@ -113,16 +118,20 @@ gossip — Discovery through Gossip (SPAA 2012) toolkit
 USAGE:
   gossip generate --family F --n N [--seed S] [--param P]   emit an edge list
   gossip run --protocol push|pull|hybrid (--family F --n N | --graph FILE)
-             [--seed S] [--trace] [--param P]               run to completion
+             [--seed S] [--trace] [--param P] [--churn B]   run to completion
   gossip trials --protocol P --family F --n N [--trials T] [--seed S]
                                                             Monte Carlo stats
   gossip exact --protocol push|pull --n N --edges \"0-1,1-2\" exact E[rounds] (n<=5)
   gossip directed --family cycle|thm14|thm15|gnp --n N [--seed S]
                                                             directed two-hop walk
   gossip serve --protocol P --family F --n N [--rounds R] [--shards K]
-               [--snapshot-every E] [--seed S]              resident engine behind
+               [--snapshot-every E] [--seed S] [--churn B]  resident engine behind
                                                             epoch snapshots
   gossip help
+
+CHURN: --churn B schedules B bursts of n/16 departures (rejoining two rounds
+       later with 3 bootstrap contacts) through the membership seam; the
+       run reports the applied join/leave totals.
 
 PROTOCOLS: resolved through the gossip-core registry (push, pull, hybrid);
            --process is accepted as an alias of --protocol.
@@ -149,6 +158,7 @@ impl Command {
         let mut rounds = 128u64;
         let mut shards = 1usize;
         let mut snapshot_every = 1u64;
+        let mut churn = 0usize;
 
         while let Some(flag) = it.next() {
             let mut take = || -> Result<&String, String> {
@@ -176,6 +186,9 @@ impl Command {
                         .parse()
                         .map_err(|_| "--snapshot-every needs an integer")?;
                 }
+                "--churn" => {
+                    churn = take()?.parse().map_err(|_| "--churn needs an integer")?;
+                }
                 "--trace" => trace = true,
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -200,6 +213,7 @@ impl Command {
                     seed,
                     trace,
                     param,
+                    churn,
                 })
             }
             "trials" => Ok(Command::Trials {
@@ -229,6 +243,7 @@ impl Command {
                 snapshot_every,
                 seed,
                 param,
+                churn,
             }),
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(format!("unknown subcommand {other}")),
@@ -277,6 +292,23 @@ fn make_directed(family: &str, n: usize, seed: u64) -> Result<DirectedGraph, Str
         "thm15" => generators::theorem15_graph(if n.is_multiple_of(2) { n } else { n + 1 }),
         "gnp" => generators::directed_gnp_strong(n, (8.0 / n as f64).min(0.9), &mut rng),
         other => return Err(format!("unknown directed family {other}")),
+    })
+}
+
+/// The CLI's standard burst schedule for `--churn B`: `B` bursts of
+/// `n/16` nodes, departing every 4 rounds from round 1, each rejoining
+/// two rounds later with 3 bootstrap contacts. Deterministic in `seed`
+/// (the plan replays; engines never draw membership randomness).
+fn churn_plan(n: usize, bursts: usize, seed: u64) -> MembershipPlan {
+    MembershipPlan::bursts(&ChurnBursts {
+        n,
+        nodes_per_burst: (n / 16).max(1),
+        bursts,
+        first_round: 1,
+        period: 4,
+        rejoin_after: 2,
+        bootstrap_contacts: 3,
+        seed: seed ^ 0xC402,
     })
 }
 
@@ -355,6 +387,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             seed,
             trace,
             param,
+            churn,
         } => {
             let g = match graph_file {
                 Some(path) => {
@@ -365,13 +398,23 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             };
             let mut check = ComponentwiseComplete::for_graph(&g);
             let nf = g.n() as f64;
+            let n_nodes = g.n();
             let mut t = DiscoveryTrace::default();
             let id = RuleId::parse(process)?;
-            let outcome = with_rule!(id, |rule| Engine::new(g, rule, *seed).run_traced(
-                &mut check,
-                u64::MAX,
-                &mut t
-            ));
+            // Under churn a loaded disconnected graph can end up with a
+            // rejoined node bootstrapped outside its original component,
+            // making the componentwise target unreachable — cap the run
+            // instead of spinning forever. Static runs keep the unbounded
+            // budget they always had.
+            let budget = if *churn > 0 { 100_000 } else { u64::MAX };
+            let (outcome, mem) = with_rule!(id, |rule| {
+                let mut engine = Engine::new(g, rule, *seed);
+                if *churn > 0 {
+                    engine = engine.with_membership(churn_plan(n_nodes, *churn, *seed));
+                }
+                let outcome = engine.run_traced(&mut check, budget, &mut t);
+                (outcome, engine.membership_stats())
+            });
             let _ = writeln!(
                 out,
                 "process = {process}, rounds = {}, final edges = {}, rounds / n log² n = {:.4}",
@@ -379,6 +422,14 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 outcome.final_edges,
                 outcome.rounds as f64 / (nf * nf.ln() * nf.ln()).max(1.0),
             );
+            if *churn > 0 {
+                let _ = writeln!(
+                    out,
+                    "churn: bursts = {churn}, leaves = {}, joins = {}, edges removed = {}, \
+                     bootstrap edges = {}",
+                    mem.leaves, mem.joins, mem.edges_removed, mem.edges_added,
+                );
+            }
             if *trace {
                 out.push_str(&t.to_csv());
             }
@@ -441,6 +492,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             snapshot_every,
             seed,
             param,
+            churn,
         } => {
             let g = make_graph(family, *n, *seed, *param)?;
             let cfg = ServeConfig {
@@ -448,22 +500,34 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 budget: *rounds,
             };
             let id = RuleId::parse(process)?;
+            let plan = (*churn > 0).then(|| churn_plan(g.n(), *churn, *seed));
             let line = if *shards > 1 {
                 let g = ShardedArenaGraph::from_undirected(&g, *shards);
-                with_rule!(id, |rule| serve_report(
-                    EngineBuilder::new(g, rule, *seed).build_sharded(),
-                    cfg
-                ))
+                with_rule!(id, |rule| {
+                    let mut b = EngineBuilder::new(g, rule, *seed);
+                    if let Some(plan) = plan.clone() {
+                        b = b.membership(plan);
+                    }
+                    serve_report(b.build_sharded(), cfg)
+                })
             } else {
                 let g = ArenaGraph::from_undirected(&g);
-                with_rule!(id, |rule| serve_report(
-                    EngineBuilder::new(g, rule, *seed).build(),
-                    cfg
-                ))
+                with_rule!(id, |rule| {
+                    let mut b = EngineBuilder::new(g, rule, *seed);
+                    if let Some(plan) = plan.clone() {
+                        b = b.membership(plan);
+                    }
+                    serve_report(b.build(), cfg)
+                })
+            };
+            let churn_note = if *churn > 0 {
+                format!(", churn={churn}")
+            } else {
+                String::new()
             };
             let _ = writeln!(
                 out,
-                "serve {process} on {family}(n={n}, shards={shards}): {line}"
+                "serve {process} on {family}(n={n}, shards={shards}{churn_note}): {line}"
             );
         }
 
@@ -559,6 +623,7 @@ mod tests {
             seed: 5,
             trace: true,
             param: None,
+            churn: 0,
         })
         .unwrap();
         assert!(out.contains("process = push"));
@@ -638,6 +703,7 @@ mod tests {
                 snapshot_every: 2,
                 seed: 11,
                 param: None,
+                churn: 0,
             })
             .unwrap();
             assert!(out.contains("rounds = 4"), "{out}");
@@ -668,6 +734,74 @@ mod tests {
             other => panic!("wrong parse: {other:?}"),
         }
         assert!(Command::parse(&argv("serve --family star --n 8")).is_err());
+    }
+
+    #[test]
+    fn parse_churn_flag() {
+        let cmd = Command::parse(&argv(
+            "run --protocol push --family sparse --n 64 --churn 2",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run { churn, .. } => assert_eq!(churn, 2),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let cmd = Command::parse(&argv(
+            "serve --protocol pull --family star --n 32 --churn 1",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve { churn, .. } => assert_eq!(churn, 1),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(
+            Command::parse(&argv("run --protocol push --family star --n 8 --churn x")).is_err()
+        );
+    }
+
+    #[test]
+    fn run_under_churn_reports_membership_and_completes() {
+        let out = execute(&Command::Run {
+            process: "push".into(),
+            family: Some("sparse".into()),
+            n: 96,
+            graph_file: None,
+            seed: 7,
+            trace: false,
+            param: None,
+            churn: 2,
+        })
+        .unwrap();
+        assert!(out.contains("process = push"), "{out}");
+        // 2 bursts of 96/16 = 6 nodes, each leaving once and rejoining once.
+        assert!(
+            out.contains("churn: bursts = 2, leaves = 12, joins = 12"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn serve_under_churn_is_engine_invariant() {
+        // The same churned trajectory from the sequential and the sharded
+        // resident engine — the membership seam rides the builder into both.
+        let mut lines = Vec::new();
+        for shards in [1usize, 4] {
+            let out = execute(&Command::Serve {
+                process: "pull".into(),
+                family: "sparse".into(),
+                n: 128,
+                rounds: 8,
+                shards,
+                snapshot_every: 2,
+                seed: 13,
+                param: None,
+                churn: 1,
+            })
+            .unwrap();
+            assert!(out.contains("churn=1"), "{out}");
+            lines.push(out.split_once("): ").unwrap().1.to_string());
+        }
+        assert_eq!(lines[0], lines[1]);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! | Crate | Contents |
 //! |-------|----------|
 //! | [`graph`] (`gossip-graph`) | dynamic graphs with O(1) neighbor sampling, generators incl. the paper's lower-bound constructions, traversal/SCC/closure |
-//! | [`core`] (`gossip-core`) | the push/pull/directed processes, deterministic parallel engine, engine builder, unified round-listener seam, Monte Carlo trials, robustness variants |
+//! | [`core`] (`gossip-core`) | the push/pull/directed processes, deterministic parallel engine, engine builder, unified round-listener seam, membership lifecycle seam (join/leave between rounds), Monte Carlo trials, robustness variants |
 //! | [`shard`] (`gossip-shard`) | deterministic multi-shard round engine: shard-parallel propose/apply over owner-partitioned arena segments |
 //! | [`serve`] (`gossip-serve`) | resident service: a live engine behind cheap epoch snapshots, a concurrent query surface, and pluggable listeners |
 //! | [`baselines`] (`gossip-baselines`) | Name Dropper, Random Pointer Jump, throttled ND, flooding — with message-bit accounting |
@@ -57,10 +57,10 @@ pub mod prelude {
     };
     pub use gossip_core::{
         convergence_rounds, run_engine_listened, run_engine_until, run_trials, stream_trials,
-        ClosureReached, ComponentwiseComplete, ConvergenceCheck, DirectedPull, DiscoveryTrace,
-        Engine, EngineBuilder, Faulty, HybridPushPull, ListenerSet, MinDegreeAtLeast, Never,
-        OnlySubset, Parallelism, Partial, Pull, Push, RoundEngine, RoundListener, SubsetComplete,
-        TrialConfig,
+        ChurnBursts, ClosureReached, ComponentwiseComplete, ConvergenceCheck, DirectedPull,
+        DiscoveryTrace, Engine, EngineBuilder, Faulty, HybridPushPull, ListenerSet,
+        MembershipEvent, MembershipPlan, MembershipStats, MinDegreeAtLeast, Never, OnlySubset,
+        Parallelism, Partial, Pull, Push, RoundEngine, RoundListener, SubsetComplete, TrialConfig,
     };
     pub use gossip_graph::{
         generators, ArenaGraph, Csr, DirectedGraph, NodeId, ShardedArenaGraph, UndirectedGraph,

@@ -47,6 +47,28 @@ fn quickstart_sharded_engine_runs_the_same_process() {
     assert!(engine.graph().is_complete());
 }
 
+/// The README's churn snippet, verbatim: a burst schedule attached through
+/// the membership lifecycle seam, leaves and rejoins applied between
+/// rounds (the full 2^22 run is `exp_churn` in CI).
+#[test]
+fn quickstart_churn_applies_membership_bursts() {
+    let und = generators::star(256);
+    let plan = MembershipPlan::bursts(&ChurnBursts {
+        n: 256,
+        nodes_per_burst: 16,
+        bursts: 2,
+        first_round: 1,
+        period: 4,
+        rejoin_after: 2,
+        bootstrap_contacts: 3,
+        seed: 7,
+    });
+    let g0 = ShardedArenaGraph::from_undirected(&und, 8);
+    let mut engine = ShardedEngine::new(g0, Pull, 7).with_membership(plan);
+    engine.run_until(&mut Never, 12);
+    assert_eq!(engine.membership_stats().leaves, 32);
+}
+
 /// The README's serving snippet, verbatim: any engine behind the resident
 /// service, queried live through epoch snapshots, engine returned on join
 /// (the full 2^20 run under concurrent query load is `exp_serve` in CI).
