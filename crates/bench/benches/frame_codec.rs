@@ -1,0 +1,73 @@
+//! Frame-codec hot path: encode/decode cost of the transport's mailbox
+//! frames. Every proposal a shard ships crosses this codec twice (once
+//! serialized, once parsed — more under lossy retransmit), so its
+//! per-entry cost bounds how much the serialized seam can add on top of
+//! the in-process round. The decode rows exercise the fully-checked
+//! parser (count validation, exact-remainder, trailing-garbage scan),
+//! which is the part with regression potential.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossip_graph::{HalfEdge, NodeId};
+use gossip_shard::wire::{mailbox_frames, Frame};
+use gossip_shard::MAX_FRAME_ENTRIES;
+use std::time::Duration;
+
+fn entries(count: usize) -> Vec<HalfEdge> {
+    (0..count as u32)
+        .map(|i| {
+            (
+                i % 1024,
+                NodeId(i.wrapping_mul(2654435761) >> 16),
+                NodeId(i),
+            )
+        })
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_codec");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
+
+    for count in [64usize, MAX_FRAME_ENTRIES] {
+        let payload = entries(count);
+        group.throughput(Throughput::Elements(count as u64));
+
+        group.bench_with_input(BenchmarkId::new("encode_mail", count), &payload, |b, p| {
+            let frames = mailbox_frames(3, 1, 2, p, MAX_FRAME_ENTRIES);
+            let mut buf = bytes::BytesMut::new();
+            b.iter(|| {
+                buf.clear();
+                for f in &frames {
+                    Frame::Mail(f.clone()).encode(&mut buf);
+                }
+                std::hint::black_box(buf.len())
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("decode_mail", count), &payload, |b, p| {
+            let frames = mailbox_frames(3, 1, 2, p, MAX_FRAME_ENTRIES);
+            let mut buf = bytes::BytesMut::new();
+            for f in &frames {
+                Frame::Mail(f.clone()).encode(&mut buf);
+            }
+            let wire = buf.to_vec();
+            b.iter(|| {
+                let mut at = 0;
+                while at < wire.len() {
+                    let len = u32::from_le_bytes(wire[at..at + 4].try_into().unwrap()) as usize;
+                    let frame = Frame::decode(&wire[at + 4..at + 4 + len]).unwrap();
+                    std::hint::black_box(&frame);
+                    at += 4 + len;
+                }
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

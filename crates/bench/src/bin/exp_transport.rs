@@ -1,0 +1,18 @@
+//! E19: the sharded round across OS processes over framed UDS.
+//!
+//! `--quick` runs both modes at `n = 2^14`; the full run's `n = 10^7` row
+//! spreads a ten-million-node round over 4 shard processes and is the
+//! acceptance workload (per-shard peak RSS + wire bytes go to the report's
+//! wall-clock appendix). Run standalone for clean supervisor-RSS readings.
+
+use gossip_bench::experiments::transport;
+use gossip_bench::parse_args;
+
+fn main() {
+    // Shard workers are re-execed copies of this binary: divert them to
+    // the worker loop before any experiment code runs.
+    gossip_shard::maybe_run_worker();
+
+    let args = parse_args();
+    transport::run(&args).finish(&args);
+}

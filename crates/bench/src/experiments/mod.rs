@@ -17,6 +17,7 @@
 //! | [`shard`] | scaling extension (E16): sharded round engine at n up to 2^22 |
 //! | [`serve_load`] | serving extension (E17): live engine under sustained query load |
 //! | [`churn`] | dynamics extension (E18): re-discovery and staleness under membership bursts |
+//! | [`transport`] | distribution extension (E19): framed mailbox exchange across shard processes over UDS |
 
 pub mod asynchrony;
 pub mod baselines;
@@ -33,3 +34,4 @@ pub mod scaling;
 pub mod serve_load;
 pub mod shard;
 pub mod subset;
+pub mod transport;

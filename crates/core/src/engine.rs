@@ -64,8 +64,32 @@ pub fn propose_round<G, R>(
     G: GossipGraph,
     R: ProposalRule<G>,
 {
+    let chunks = bufs.len();
+    propose_chunk_range(graph, rule, seed, round, bufs, 0..chunks, parallel);
+}
+
+/// [`propose_round`] restricted to the chunks in `range` (the other
+/// buffers are left untouched). This is the per-worker propose phase of
+/// the cross-process transport: a shard worker evaluates only its own
+/// chunk span, and because every chunk's RNG streams are keyed by
+/// `(seed, round, node)` alone, the restricted phase produces exactly the
+/// buffers the full phase would — no cross-chunk state exists to miss.
+pub fn propose_chunk_range<G, R>(
+    graph: &G,
+    rule: &R,
+    seed: u64,
+    round: u64,
+    bufs: &mut [Vec<TaggedProposal>],
+    range: std::ops::Range<usize>,
+    parallel: bool,
+) where
+    G: GossipGraph,
+    R: ProposalRule<G>,
+{
     let n = graph.node_count();
     debug_assert_eq!(bufs.len(), n.div_ceil(PROPOSAL_CHUNK));
+    debug_assert!(range.end <= bufs.len());
+    let lo = range.start;
     let fill_chunk = |c: usize, buf: &mut Vec<TaggedProposal>| {
         buf.clear();
         let lo = c * PROPOSAL_CHUNK;
@@ -79,13 +103,14 @@ pub fn propose_round<G, R>(
             }
         }
     };
+    let bufs = &mut bufs[range];
     if parallel {
         bufs.par_iter_mut()
             .enumerate()
-            .for_each(|(c, buf)| fill_chunk(c, buf));
+            .for_each(|(c, buf)| fill_chunk(lo + c, buf));
     } else {
         for (c, buf) in bufs.iter_mut().enumerate() {
-            fill_chunk(c, buf);
+            fill_chunk(lo + c, buf);
         }
     }
 }

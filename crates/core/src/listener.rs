@@ -44,6 +44,15 @@ pub enum RoundPhase {
     Propose,
     /// Mailbox routing of proposals to owner shards.
     Route,
+    /// Encoding routed mailboxes into wire frames (transport engines
+    /// only; in-process engines never serialize).
+    Serialize,
+    /// Writing frames to transport links and fanning them out to their
+    /// destinations (the supervisor's send/forward side).
+    Flush,
+    /// Receiving frames, reassembling mailboxes, and waiting on round
+    /// barriers (the transport's receive side, including retransmits).
+    Drain,
     /// Merging routed proposals into the graph.
     Apply,
 }
@@ -274,6 +283,13 @@ pub struct PhaseNanos {
     pub propose: u64,
     /// Mailbox routing (canonicalize, owner lookup, append).
     pub route: u64,
+    /// Frame encoding (zero for in-process engines).
+    pub serialize: u64,
+    /// Frame send/forward fan-out (zero for in-process engines).
+    pub flush: u64,
+    /// Frame receive + reassembly + barrier waits (zero for in-process
+    /// engines).
+    pub drain: u64,
     /// Shard-parallel apply (sort + dedup + merge per segment).
     pub apply: u64,
 }
@@ -281,7 +297,13 @@ pub struct PhaseNanos {
 impl PhaseNanos {
     /// Total across phases.
     pub fn total(&self) -> u64 {
-        self.membership + self.propose + self.route + self.apply
+        self.membership
+            + self.propose
+            + self.route
+            + self.serialize
+            + self.flush
+            + self.drain
+            + self.apply
     }
 
     /// Folds one phase event into the totals.
@@ -291,6 +313,9 @@ impl PhaseNanos {
             RoundPhase::Membership => self.membership += ev.nanos,
             RoundPhase::Propose => self.propose += ev.nanos,
             RoundPhase::Route => self.route += ev.nanos,
+            RoundPhase::Serialize => self.serialize += ev.nanos,
+            RoundPhase::Flush => self.flush += ev.nanos,
+            RoundPhase::Drain => self.drain += ev.nanos,
             RoundPhase::Apply => self.apply += ev.nanos,
         }
     }
@@ -451,6 +476,9 @@ mod tests {
             (RoundPhase::Route, 7),
             (RoundPhase::Apply, 11),
             (RoundPhase::Propose, 13),
+            (RoundPhase::Serialize, 2),
+            (RoundPhase::Flush, 3),
+            (RoundPhase::Drain, 4),
         ] {
             RoundListener::<gossip_graph::UndirectedGraph>::on_phase(
                 &mut acc,
@@ -467,10 +495,13 @@ mod tests {
                 membership: 0,
                 propose: 18,
                 route: 7,
+                serialize: 2,
+                flush: 3,
+                drain: 4,
                 apply: 11
             }
         );
-        assert_eq!(acc.totals().total(), 36);
+        assert_eq!(acc.totals().total(), 45);
         acc.reset();
         assert_eq!(acc.totals(), PhaseNanos::default());
     }

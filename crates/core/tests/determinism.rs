@@ -422,6 +422,163 @@ fn churned_pull_rule_agrees_across_engines() {
     assert_sharded_matches_arena(seq.graph(), shd.graph(), "pull under churn");
 }
 
+/// Shard counts the transport tests sweep. CI's `transport-determinism`
+/// matrix pins one count per leg via `GOSSIP_TEST_SHARDS` (so S and
+/// RAYON_NUM_THREADS form an explicit grid); local runs cover both.
+fn transport_shard_grid() -> Vec<usize> {
+    match std::env::var("GOSSIP_TEST_SHARDS") {
+        Ok(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .expect("GOSSIP_TEST_SHARDS: comma-separated shard counts")
+            })
+            .collect(),
+        Err(_) => vec![2, 8],
+    }
+}
+
+#[test]
+fn transport_engine_bit_identical_to_sequential_across_shard_counts() {
+    // The serialized path extension of the headline contract: the
+    // cross-process transport (thread-hosted workers here — the identical
+    // worker loop over the identical wire format, minus exec) must
+    // reproduce the sequential arena engine bit-for-bit for every shard
+    // count, under whatever RAYON_NUM_THREADS this process runs with.
+    // Mailboxes cross a socket as length-prefixed frames and are
+    // reassembled in canonical (source, owner, seq) order; nothing about
+    // serialization may leak into the result.
+    use gossip_core::RuleId;
+    use gossip_shard::transport::TransportBuilder;
+
+    let n = default_threshold() + 177;
+    let und = generators::tree_plus_random_edges(n, 2 * n as u64, &mut stream_rng(21, 0, 0));
+    let arena = ArenaGraph::from_undirected(&und);
+    for rule in [RuleId::Push, RuleId::Pull] {
+        let (stats_ref, final_ref) = gossip_core::with_rule!(rule, |r| {
+            let mut e = Engine::new(arena.clone(), r, 99).with_parallelism(Parallelism::Sequential);
+            let stats: Vec<_> = (0..6).map(|_| e.step()).collect();
+            (stats, e.into_graph())
+        });
+        for shards in transport_shard_grid() {
+            for policy in [Parallelism::Sequential, Parallelism::Parallel] {
+                let g = ShardedArenaGraph::from_arena(&arena, shards);
+                let mut wire = TransportBuilder::new(g, rule, 99)
+                    .with_parallelism(policy)
+                    .spawn()
+                    .expect("spawn transport workers");
+                let stats: Vec<_> = (0..6).map(|_| wire.step()).collect();
+                assert_eq!(
+                    stats, stats_ref,
+                    "{rule} S={shards} {policy:?}: stats diverged over the wire"
+                );
+                assert_sharded_matches_arena(
+                    &final_ref,
+                    wire.graph(),
+                    &format!("{rule} S={shards} {policy:?} over the wire"),
+                );
+                wire.graph().validate().unwrap();
+                wire.shutdown().unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn churned_transport_engine_bit_identical_to_sequential() {
+    // Churn over the serialized path: the membership schedule ships once
+    // in the bootstrap Config frame and replays locally on every worker,
+    // so a compaction-straddling plan must leave the transport engine
+    // bit-identical to the sequential engine — rounds, rows, and zero
+    // per-round membership wire traffic.
+    use gossip_core::RuleId;
+    use gossip_shard::transport::TransportBuilder;
+
+    let n = 1500;
+    let und = generators::tree_plus_random_edges(n, 3 * n as u64, &mut stream_rng(77, 0, 0));
+    let arena = ArenaGraph::from_undirected(&und);
+    let plan = compaction_straddling_plan(n, 0xC4A2);
+
+    let mut seq = Engine::new(arena.clone(), Push, 99)
+        .with_parallelism(Parallelism::Sequential)
+        .with_membership(plan.clone());
+    let stats_ref: Vec<_> = (0..10).map(|_| seq.step()).collect();
+
+    for shards in transport_shard_grid() {
+        let g = ShardedArenaGraph::from_arena(&arena, shards);
+        let mut wire = TransportBuilder::new(g, RuleId::Push, 99)
+            .with_membership(plan.clone())
+            .spawn()
+            .expect("spawn transport workers");
+        let stats: Vec<_> = (0..10).map(|_| wire.step()).collect();
+        assert_eq!(stats, stats_ref, "S={shards}: churned wire stats diverged");
+        assert_sharded_matches_arena(
+            seq.graph(),
+            wire.graph(),
+            &format!("churned S={shards} over the wire"),
+        );
+        wire.graph().validate().unwrap();
+        wire.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn lossy_transport_replays_a_pinned_trajectory() {
+    // Lossy mode's regression pin: a seeded drop/duplicate/reorder run
+    // still produces the deterministic trajectory (retransmit makes every
+    // round complete), and replaying the same injection seed reproduces
+    // the exact same fault pattern — drops, dups, naks, retransmits.
+    use gossip_core::RuleId;
+    use gossip_shard::transport::{LossyConfig, TransportBuilder};
+
+    let n = 1200;
+    let und = generators::tree_plus_random_edges(n, 2 * n as u64, &mut stream_rng(3, 0, 0));
+    let arena = ArenaGraph::from_undirected(&und);
+    let mut seq = Engine::new(arena.clone(), Push, 17).with_parallelism(Parallelism::Sequential);
+    let stats_ref: Vec<_> = (0..6).map(|_| seq.step()).collect();
+
+    let lossy = LossyConfig {
+        seed: 0x10_55,
+        drop_per_mille: 150,
+        dup_per_mille: 100,
+        reorder: true,
+    };
+    let run = |_: u32| {
+        let g = ShardedArenaGraph::from_arena(&arena, 4);
+        let mut wire = TransportBuilder::new(g, RuleId::Push, 17)
+            .with_lossy(lossy)
+            .spawn()
+            .expect("spawn lossy transport");
+        let stats: Vec<_> = (0..6).map(|_| wire.step()).collect();
+        let wire_stats = wire.stats().clone();
+        let final_g = {
+            let g = wire.graph();
+            let rows: Vec<Vec<_>> = g.nodes().map(|u| g.neighbors(u).to_vec()).collect();
+            rows
+        };
+        wire.shutdown().unwrap();
+        (stats, wire_stats, final_g)
+    };
+    let (stats_a, inj_a, rows_a) = run(0);
+    let (stats_b, inj_b, rows_b) = run(1);
+
+    assert_eq!(stats_a, stats_ref, "lossy run diverged from sequential");
+    assert_eq!(stats_b, stats_ref, "lossy replay diverged from sequential");
+    assert!(
+        inj_a.wire.frames_dropped > 0 && inj_a.wire.naks > 0,
+        "injection never fired: {inj_a:?}"
+    );
+    assert_eq!(
+        inj_a.wire, inj_b.wire,
+        "same injection seed produced a different fault pattern"
+    );
+    assert_eq!(rows_a, rows_b, "lossy replay final rows diverged");
+    for (u, row) in seq.graph().nodes().zip(&rows_a) {
+        assert_eq!(seq.graph().neighbors(u), row.as_slice(), "row {u:?}");
+    }
+}
+
 #[test]
 fn trial_batches_agree_under_pool_parallelism() {
     // Trial-level fan-out (the imbalanced workload the chunk-claiming pool

@@ -46,11 +46,13 @@ pub mod traversal;
 pub mod undirected;
 
 pub use adjacency::AdjSet;
-pub use arena::{ArenaGraph, SliceArena, UniformNeighbors};
+pub use arena::{ArenaGraph, ArenaSnapshot, SliceArena, UniformNeighbors};
 pub use bitset::BitSet;
 pub use closure::Closure;
 pub use csr::Csr;
 pub use directed::DirectedGraph;
 pub use node::{Arc, Edge, NodeId};
-pub use sharded::{HalfEdge, ShardPlan, ShardSeg, ShardedArenaGraph, SHARD_ALIGN};
+pub use sharded::{
+    HalfEdge, ShardPlan, ShardSeg, ShardSegSnapshot, ShardedArenaGraph, SHARD_ALIGN,
+};
 pub use undirected::UndirectedGraph;

@@ -239,6 +239,42 @@ impl ShardSeg {
         }
         added
     }
+
+    /// Captures this segment as a serializable [`ShardSegSnapshot`] — the
+    /// worker-bootstrap unit of the cross-process transport: a supervisor
+    /// snapshots each segment, ships it over the wire, and the worker
+    /// rebuilds an identical graph with [`ShardSeg::restore`].
+    pub fn snapshot(&self) -> ShardSegSnapshot {
+        ShardSegSnapshot {
+            base: self.base,
+            m_canonical: self.m_canonical,
+            adj: self.adj.snapshot(),
+        }
+    }
+
+    /// Rebuilds a segment from a snapshot. The arena restore preserves
+    /// per-row reserved capacity and tombstone state exactly (see
+    /// [`ArenaSnapshot`](crate::arena::ArenaSnapshot)), so a restored
+    /// segment's future relocation/compaction behavior matches the source.
+    pub fn restore(snap: &ShardSegSnapshot) -> Result<ShardSeg, String> {
+        Ok(ShardSeg {
+            base: snap.base,
+            adj: SliceArena::restore(&snap.adj)?,
+            m_canonical: snap.m_canonical,
+        })
+    }
+}
+
+/// A serializable image of one [`ShardSeg`]: its node-range base, its
+/// cached canonical-edge counter, and its arena image.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardSegSnapshot {
+    /// First global node id of the segment.
+    pub base: usize,
+    /// Canonical edges owned by the segment.
+    pub m_canonical: u64,
+    /// The rows, with reserved-capacity and tombstone state.
+    pub adj: crate::arena::ArenaSnapshot,
 }
 
 /// An undirected graph whose sorted adjacency rows are partitioned into
@@ -470,6 +506,37 @@ impl ShardedArenaGraph {
         self.segs.iter().map(|s| s.half_edge_count() as u64).sum()
     }
 
+    /// Rebuilds a graph from per-segment snapshots (in shard order) — the
+    /// receiving half of transport worker bootstrap. Fails if the segment
+    /// set does not tile the `(n, shards)` plan exactly.
+    pub fn from_segment_snapshots(
+        n: usize,
+        shards: usize,
+        snaps: &[ShardSegSnapshot],
+    ) -> Result<Self, String> {
+        let plan = ShardPlan::new(n, shards);
+        if snaps.len() != shards {
+            return Err(format!(
+                "expected {shards} segment snapshots, got {}",
+                snaps.len()
+            ));
+        }
+        let mut segs = Vec::with_capacity(shards);
+        for (s, snap) in snaps.iter().enumerate() {
+            let seg = ShardSeg::restore(snap)?;
+            if plan.span(s) != (seg.base..seg.base + seg.len()) {
+                return Err(format!(
+                    "segment {s} snapshot spans {}..{} but the plan expects {:?}",
+                    seg.base,
+                    seg.base + seg.len(),
+                    plan.span(s)
+                ));
+            }
+            segs.push(Arc::new(seg));
+        }
+        Ok(ShardedArenaGraph { plan, segs })
+    }
+
     /// Iterates over all nodes.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
         (0..self.n() as u32).map(NodeId)
@@ -556,6 +623,42 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     use std::collections::BTreeSet;
+
+    #[test]
+    fn segment_snapshots_roundtrip_the_graph() {
+        // Transport-bootstrap contract: snapshotting every segment and
+        // restoring through the plan reproduces the graph exactly —
+        // including after churn has tombstoned rows — and the restored
+        // graph keeps evolving identically to the source.
+        let mut rng = SmallRng::seed_from_u64(31);
+        let n = 5000;
+        let mut g = ShardedArenaGraph::new(n, 4);
+        for _ in 0..4 * n {
+            let a = rng.random_range(0..n as u32);
+            let b = rng.random_range(0..n as u32);
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+        for _ in 0..40 {
+            g.remove_member(NodeId(rng.random_range(0..n as u32)));
+        }
+        let snaps: Vec<ShardSegSnapshot> = (0..4).map(|s| g.segment(s).snapshot()).collect();
+        let mut r = ShardedArenaGraph::from_segment_snapshots(n, 4, &snaps).unwrap();
+        assert_eq!(r.m(), g.m());
+        for u in g.nodes() {
+            assert_eq!(r.neighbors(u), g.neighbors(u), "row {u:?}");
+        }
+        r.validate().unwrap();
+        // Same mutation tail on both: still identical.
+        for _ in 0..2000 {
+            let a = NodeId(rng.random_range(0..n as u32));
+            let b = NodeId(rng.random_range(0..n as u32));
+            assert_eq!(g.add_edge(a, b), r.add_edge(a, b));
+        }
+        assert_eq!(r.m(), g.m());
+        // Wrong tiling is rejected.
+        assert!(ShardedArenaGraph::from_segment_snapshots(n, 3, &snaps).is_err());
+        assert!(ShardedArenaGraph::from_segment_snapshots(n + 1024, 4, &snaps).is_err());
+    }
 
     #[test]
     fn plan_partitions_and_aligns() {

@@ -79,6 +79,14 @@ use std::time::Instant;
 
 pub use gossip_core::listener::PhaseNanos;
 
+pub mod transport;
+pub mod wire;
+
+pub use transport::{
+    maybe_run_worker, LossyConfig, TransportBuilder, TransportEngine, TransportMode, TransportStats,
+};
+pub use wire::{Frame, MailboxAssembler, WireError, WireStats, MAX_FRAME_ENTRIES};
+
 // Shard spans are aligned to propose chunks so that a chunk never straddles
 // two source shards — the mailbox ordering proof in the module docs leans
 // on this equality.

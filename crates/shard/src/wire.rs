@@ -1,0 +1,1200 @@
+//! The shard transport's wire format: length-prefixed frames over the
+//! vendored [`bytes`] shim, plus the mailbox reassembly layer.
+//!
+//! # Frame layout
+//!
+//! Every frame is `[u32 len][u8 kind][body]`, all integers little-endian;
+//! `len` counts the kind byte plus the body. Ten kinds cover the whole
+//! protocol (bootstrap, round data, barriers, recovery):
+//!
+//! | kind | frame        | direction           | body |
+//! |------|--------------|---------------------|------|
+//! | 1    | `Hello`      | worker → supervisor | shard id |
+//! | 2    | `Config`     | supervisor → worker | version, shard grid, seed, rule, membership events |
+//! | 3    | `Segment`    | supervisor → worker | one [`ShardSegSnapshot`] (rows + caps + tombstones) |
+//! | 4    | `Start`      | supervisor → worker | round number |
+//! | 5    | `Mail`       | both                | one chunk of a `(source, owner)` mailbox |
+//! | 6    | `Proposed`   | worker → supervisor | propose barrier: proposal count + phase timings |
+//! | 7    | `EndMail`    | supervisor → worker | "all forwarded mail for this round sent" |
+//! | 8    | `Nak`        | worker → supervisor | missing-frame report for one stream |
+//! | 9    | `Done`       | worker → supervisor | apply barrier: added count, timings, peak RSS |
+//! | 10   | `Shutdown`   | supervisor → worker | end of run |
+//!
+//! A `(source, owner)` mailbox is split into [`MailFrame`]s of at most
+//! [`MAX_FRAME_ENTRIES`] half-edges, numbered `seq = 0, 1, …` with the
+//! final frame flagged `last` — empty mailboxes still send one empty
+//! `last` frame, so a receiver always knows how many streams to expect.
+//! Each half-edge is `(slot, row, other)`, 12 bytes; `slot` orders
+//! proposals within the source's stream (the merge discards it after
+//! dedup, so source-local slots preserve the bit-identical result — see
+//! the determinism notes in the crate README).
+//!
+//! # Canonical ordering and determinism
+//!
+//! The deterministic transport mode delivers mail to every destination in
+//! **canonical `(source shard, owner, chunk seq)` order** — exactly the
+//! order the in-process engine concatenates `mail[0][t], mail[1][t], …`.
+//! [`MailboxAssembler`] in `strict` mode *asserts* that order frame by
+//! frame; in lossy mode it accepts any arrival order, ignores duplicates,
+//! and reports gaps as [`NakFrame`]s so the supervisor can retransmit —
+//! reassembly is keyed by `(source, owner, seq)`, so the concatenation it
+//! hands back is canonical regardless of what the wire did.
+//!
+//! Decoding is **checked end to end**: every getter is the non-panicking
+//! `try_*` form from the bytes shim, truncated or trailing bytes are
+//! [`WireError`]s, and allocation sizes are validated against the actual
+//! byte count before any buffer is reserved — garbage input cannot OOM
+//! the decoder.
+
+use bytes::{Buf, BufMut, BytesMut};
+use gossip_core::{MembershipEvent, RuleId};
+use gossip_graph::{ArenaSnapshot, HalfEdge, NodeId, ShardSegSnapshot};
+use serde::Serialize;
+
+/// Wire protocol version, checked during the `Config` handshake.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Maximum half-edges per [`MailFrame`] (12 KiB of entry payload) — one
+/// propose chunk's worth, so frame `seq` numbers track chunk granularity.
+pub const MAX_FRAME_ENTRIES: usize = 1024;
+
+/// A decoding failure. Every malformed input maps to a typed error —
+/// the decoder never panics and never trusts a length it has not checked
+/// against the bytes actually present.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The body ended before a field it promised.
+    Truncated,
+    /// The kind byte names no known frame.
+    UnknownKind(u8),
+    /// Bytes left over after the last field of the frame.
+    TrailingGarbage {
+        /// How many undecoded bytes remained.
+        extra: usize,
+    },
+    /// A field carried a structurally impossible value.
+    Bad(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated mid-field"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::TrailingGarbage { extra } => {
+                write!(f, "{extra} trailing bytes after frame body")
+            }
+            WireError::Bad(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The bootstrap configuration a worker needs to reconstruct the
+/// supervisor's engine state: shard identity, the `(n, shards)` plan, the
+/// RNG seed, the proposal rule (by registry id), the parallelism flag,
+/// strict-vs-lossy delivery, and the full membership schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerConfig {
+    /// This worker's shard index.
+    pub shard: u32,
+    /// Total shard count.
+    pub shards: u32,
+    /// Node count (fixes the [`gossip_graph::ShardPlan`]).
+    pub n: u64,
+    /// Experiment seed — workers replay the same `(seed, round, node)`
+    /// RNG streams as the sequential engine.
+    pub seed: u64,
+    /// Proposal rule, by registry id.
+    pub rule: RuleId,
+    /// Whether the worker's propose phase runs on the rayon pool.
+    pub parallel: bool,
+    /// Deterministic (strict canonical delivery) vs lossy mode.
+    pub strict: bool,
+    /// The membership plan's `(round, event)` schedule, applied by the
+    /// worker at the same pre-increment round points as the supervisor.
+    pub events: Vec<(u64, MembershipEvent)>,
+}
+
+/// One chunk of a `(source, owner)` mailbox.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MailFrame {
+    /// Round the mailbox belongs to.
+    pub round: u64,
+    /// Source shard (whose nodes proposed these half-edges).
+    pub source: u32,
+    /// Owner shard (whose rows they touch).
+    pub owner: u32,
+    /// Chunk index within this mailbox's stream.
+    pub seq: u32,
+    /// Whether this is the stream's final chunk.
+    pub last: bool,
+    /// `(slot, row, other)` half-edges, in source-stream order.
+    pub entries: Vec<HalfEdge>,
+}
+
+/// Propose-side round barrier: the worker finished proposing, routing,
+/// and serializing its mail for `round`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProposedBarrier {
+    /// The round.
+    pub round: u64,
+    /// The reporting shard.
+    pub source: u32,
+    /// Proposals its nodes made.
+    pub proposed: u64,
+    /// Wall nanoseconds of its propose phase.
+    pub propose_ns: u64,
+    /// Wall nanoseconds of its route phase.
+    pub route_ns: u64,
+    /// Wall nanoseconds spent encoding mail frames.
+    pub serialize_ns: u64,
+}
+
+/// Missing-frame report for one `(source, owner)` stream: everything the
+/// receiver still needs before it can apply the round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NakFrame {
+    /// The round.
+    pub round: u64,
+    /// Source shard of the incomplete stream.
+    pub source: u32,
+    /// Owner shard of the incomplete stream.
+    pub owner: u32,
+    /// The stream's total frame count, if the `last` frame was seen;
+    /// `None` asks the supervisor to resend the entire stream.
+    pub known_total: Option<u32>,
+    /// Missing `seq` numbers (empty when `known_total` is `None`).
+    pub missing: Vec<u32>,
+}
+
+/// Apply-side round barrier: the worker merged every mailbox into its
+/// replica and reports the owner-local result.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DoneBarrier {
+    /// The round.
+    pub round: u64,
+    /// The reporting shard.
+    pub source: u32,
+    /// New canonical edges in the worker's **own** segment this round
+    /// (the supervisor cross-checks this against its own apply).
+    pub added: u64,
+    /// Wall nanoseconds of the worker's apply phase.
+    pub apply_ns: u64,
+    /// Wall nanoseconds the worker spent draining/reassembling mail.
+    pub drain_ns: u64,
+    /// The worker process's peak RSS in bytes (0 when unavailable).
+    pub peak_rss_bytes: u64,
+}
+
+/// One protocol frame. See the [module docs](self) for the layout table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Worker's first frame: which shard connected.
+    Hello {
+        /// The connecting worker's shard index.
+        shard: u32,
+    },
+    /// Bootstrap configuration.
+    Config(WorkerConfig),
+    /// One segment of the bootstrap graph snapshot.
+    Segment {
+        /// Segment index (shard order).
+        index: u32,
+        /// The segment image.
+        snapshot: ShardSegSnapshot,
+    },
+    /// Round kickoff.
+    Start {
+        /// The round about to execute (pre-increment counter).
+        round: u64,
+    },
+    /// One mailbox chunk.
+    Mail(MailFrame),
+    /// Propose barrier.
+    Proposed(ProposedBarrier),
+    /// All forwarded mail for the round has been sent.
+    EndMail {
+        /// The round.
+        round: u64,
+    },
+    /// Missing-frame report.
+    Nak(NakFrame),
+    /// Apply barrier.
+    Done(DoneBarrier),
+    /// End of run.
+    Shutdown,
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_CONFIG: u8 = 2;
+const KIND_SEGMENT: u8 = 3;
+const KIND_START: u8 = 4;
+const KIND_MAIL: u8 = 5;
+const KIND_PROPOSED: u8 = 6;
+const KIND_ENDMAIL: u8 = 7;
+const KIND_NAK: u8 = 8;
+const KIND_DONE: u8 = 9;
+const KIND_SHUTDOWN: u8 = 10;
+
+fn rule_index(rule: RuleId) -> u8 {
+    RuleId::ALL
+        .iter()
+        .position(|&r| r == rule)
+        .expect("rule registered") as u8
+}
+
+fn put_mail_header(buf: &mut BytesMut, f: &MailFrame) {
+    buf.put_u64_le(f.round);
+    buf.put_u32_le(f.source);
+    buf.put_u32_le(f.owner);
+    buf.put_u32_le(f.seq);
+    buf.put_u8(f.last as u8);
+    buf.put_u32_le(f.entries.len() as u32);
+}
+
+impl Frame {
+    /// Appends the full length-prefixed encoding of `self` to `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        let len_at = buf.len();
+        buf.put_u32_le(0); // patched below
+        match self {
+            Frame::Hello { shard } => {
+                buf.put_u8(KIND_HELLO);
+                buf.put_u32_le(*shard);
+            }
+            Frame::Config(c) => {
+                buf.put_u8(KIND_CONFIG);
+                buf.put_u32_le(WIRE_VERSION);
+                buf.put_u32_le(c.shard);
+                buf.put_u32_le(c.shards);
+                buf.put_u64_le(c.n);
+                buf.put_u64_le(c.seed);
+                buf.put_u8(rule_index(c.rule));
+                buf.put_u8(c.parallel as u8);
+                buf.put_u8(c.strict as u8);
+                buf.put_u32_le(c.events.len() as u32);
+                for (round, ev) in &c.events {
+                    buf.put_u64_le(*round);
+                    match ev {
+                        MembershipEvent::Join { node, contacts } => {
+                            buf.put_u8(0);
+                            buf.put_u32_le(node.0);
+                            buf.put_u32_le(contacts.len() as u32);
+                            for c in contacts {
+                                buf.put_u32_le(c.0);
+                            }
+                        }
+                        MembershipEvent::Leave { node } => {
+                            buf.put_u8(1);
+                            buf.put_u32_le(node.0);
+                        }
+                    }
+                }
+            }
+            Frame::Segment { index, snapshot } => {
+                buf.put_u8(KIND_SEGMENT);
+                buf.put_u32_le(*index);
+                buf.put_u64_le(snapshot.base as u64);
+                buf.put_u64_le(snapshot.m_canonical);
+                buf.put_u32_le(snapshot.adj.len_cap.len() as u32);
+                for &(l, c) in &snapshot.adj.len_cap {
+                    buf.put_u32_le(l);
+                    buf.put_u32_le(c);
+                }
+                for id in &snapshot.adj.entries {
+                    buf.put_u32_le(id.0);
+                }
+            }
+            Frame::Start { round } => {
+                buf.put_u8(KIND_START);
+                buf.put_u64_le(*round);
+            }
+            Frame::Mail(f) => {
+                buf.put_u8(KIND_MAIL);
+                put_mail_header(buf, f);
+                for &(slot, row, other) in &f.entries {
+                    buf.put_u32_le(slot);
+                    buf.put_u32_le(row.0);
+                    buf.put_u32_le(other.0);
+                }
+            }
+            Frame::Proposed(b) => {
+                buf.put_u8(KIND_PROPOSED);
+                buf.put_u64_le(b.round);
+                buf.put_u32_le(b.source);
+                buf.put_u64_le(b.proposed);
+                buf.put_u64_le(b.propose_ns);
+                buf.put_u64_le(b.route_ns);
+                buf.put_u64_le(b.serialize_ns);
+            }
+            Frame::EndMail { round } => {
+                buf.put_u8(KIND_ENDMAIL);
+                buf.put_u64_le(*round);
+            }
+            Frame::Nak(n) => {
+                buf.put_u8(KIND_NAK);
+                buf.put_u64_le(n.round);
+                buf.put_u32_le(n.source);
+                buf.put_u32_le(n.owner);
+                match n.known_total {
+                    None => buf.put_u8(0),
+                    Some(total) => {
+                        buf.put_u8(1);
+                        buf.put_u32_le(total);
+                    }
+                }
+                buf.put_u32_le(n.missing.len() as u32);
+                for &seq in &n.missing {
+                    buf.put_u32_le(seq);
+                }
+            }
+            Frame::Done(b) => {
+                buf.put_u8(KIND_DONE);
+                buf.put_u64_le(b.round);
+                buf.put_u32_le(b.source);
+                buf.put_u64_le(b.added);
+                buf.put_u64_le(b.apply_ns);
+                buf.put_u64_le(b.drain_ns);
+                buf.put_u64_le(b.peak_rss_bytes);
+            }
+            Frame::Shutdown => buf.put_u8(KIND_SHUTDOWN),
+        }
+        let body = (buf.len() - len_at - 4) as u32;
+        buf[len_at..len_at + 4].copy_from_slice(&body.to_le_bytes());
+    }
+
+    /// Decodes one frame from its body (`kind` byte onward — the length
+    /// prefix has already been consumed by the stream reader). The body
+    /// must be consumed exactly; trailing bytes are an error.
+    pub fn decode(body: &[u8]) -> Result<Frame, WireError> {
+        let mut cur: &[u8] = body;
+        let kind = cur.try_get_u8().ok_or(WireError::Truncated)?;
+        let frame = match kind {
+            KIND_HELLO => Frame::Hello {
+                shard: cur.try_get_u32_le().ok_or(WireError::Truncated)?,
+            },
+            KIND_CONFIG => {
+                let version = cur.try_get_u32_le().ok_or(WireError::Truncated)?;
+                if version != WIRE_VERSION {
+                    return Err(WireError::Bad("wire version mismatch"));
+                }
+                let shard = cur.try_get_u32_le().ok_or(WireError::Truncated)?;
+                let shards = cur.try_get_u32_le().ok_or(WireError::Truncated)?;
+                let n = cur.try_get_u64_le().ok_or(WireError::Truncated)?;
+                let seed = cur.try_get_u64_le().ok_or(WireError::Truncated)?;
+                let rule_idx = cur.try_get_u8().ok_or(WireError::Truncated)?;
+                let rule = *RuleId::ALL
+                    .get(rule_idx as usize)
+                    .ok_or(WireError::Bad("unknown rule id"))?;
+                let parallel = cur.try_get_u8().ok_or(WireError::Truncated)? != 0;
+                let strict = cur.try_get_u8().ok_or(WireError::Truncated)? != 0;
+                let count = cur.try_get_u32_le().ok_or(WireError::Truncated)? as usize;
+                // Each event costs at least 13 body bytes.
+                if count > cur.remaining() / 13 {
+                    return Err(WireError::Bad("event count exceeds frame size"));
+                }
+                let mut events = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let round = cur.try_get_u64_le().ok_or(WireError::Truncated)?;
+                    let ev = match cur.try_get_u8().ok_or(WireError::Truncated)? {
+                        0 => {
+                            let node = NodeId(cur.try_get_u32_le().ok_or(WireError::Truncated)?);
+                            let k = cur.try_get_u32_le().ok_or(WireError::Truncated)? as usize;
+                            if k > cur.remaining() / 4 {
+                                return Err(WireError::Bad("contact count exceeds frame size"));
+                            }
+                            let mut contacts = Vec::with_capacity(k);
+                            for _ in 0..k {
+                                contacts.push(NodeId(
+                                    cur.try_get_u32_le().ok_or(WireError::Truncated)?,
+                                ));
+                            }
+                            MembershipEvent::Join { node, contacts }
+                        }
+                        1 => MembershipEvent::Leave {
+                            node: NodeId(cur.try_get_u32_le().ok_or(WireError::Truncated)?),
+                        },
+                        _ => return Err(WireError::Bad("unknown membership event kind")),
+                    };
+                    events.push((round, ev));
+                }
+                Frame::Config(WorkerConfig {
+                    shard,
+                    shards,
+                    n,
+                    seed,
+                    rule,
+                    parallel,
+                    strict,
+                    events,
+                })
+            }
+            KIND_SEGMENT => {
+                let index = cur.try_get_u32_le().ok_or(WireError::Truncated)?;
+                let base = cur.try_get_u64_le().ok_or(WireError::Truncated)? as usize;
+                let m_canonical = cur.try_get_u64_le().ok_or(WireError::Truncated)?;
+                let rows = cur.try_get_u32_le().ok_or(WireError::Truncated)? as usize;
+                if rows > cur.remaining() / 8 {
+                    return Err(WireError::Bad("row count exceeds frame size"));
+                }
+                let mut len_cap = Vec::with_capacity(rows);
+                let mut total = 0usize;
+                for _ in 0..rows {
+                    let l = cur.try_get_u32_le().ok_or(WireError::Truncated)?;
+                    let c = cur.try_get_u32_le().ok_or(WireError::Truncated)?;
+                    if l > c {
+                        return Err(WireError::Bad("row len exceeds cap"));
+                    }
+                    total += l as usize;
+                    len_cap.push((l, c));
+                }
+                if cur.remaining() != total * 4 {
+                    return Err(WireError::Bad("segment entry bytes mismatch"));
+                }
+                let mut entries = Vec::with_capacity(total);
+                for chunk in cur.chunk().chunks_exact(4) {
+                    entries.push(NodeId(u32::from_le_bytes(chunk.try_into().unwrap())));
+                }
+                cur.advance(total * 4);
+                Frame::Segment {
+                    index,
+                    snapshot: ShardSegSnapshot {
+                        base,
+                        m_canonical,
+                        adj: ArenaSnapshot { len_cap, entries },
+                    },
+                }
+            }
+            KIND_START => Frame::Start {
+                round: cur.try_get_u64_le().ok_or(WireError::Truncated)?,
+            },
+            KIND_MAIL => {
+                let round = cur.try_get_u64_le().ok_or(WireError::Truncated)?;
+                let source = cur.try_get_u32_le().ok_or(WireError::Truncated)?;
+                let owner = cur.try_get_u32_le().ok_or(WireError::Truncated)?;
+                let seq = cur.try_get_u32_le().ok_or(WireError::Truncated)?;
+                let last = match cur.try_get_u8().ok_or(WireError::Truncated)? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Bad("last flag not a boolean")),
+                };
+                let count = cur.try_get_u32_le().ok_or(WireError::Truncated)? as usize;
+                if cur.remaining() != count * 12 {
+                    return Err(WireError::Bad("mail entry bytes mismatch"));
+                }
+                let mut entries = Vec::with_capacity(count);
+                for chunk in cur.chunk().chunks_exact(12) {
+                    let slot = u32::from_le_bytes(chunk[0..4].try_into().unwrap());
+                    let row = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+                    let other = u32::from_le_bytes(chunk[8..12].try_into().unwrap());
+                    entries.push((slot, NodeId(row), NodeId(other)));
+                }
+                cur.advance(count * 12);
+                Frame::Mail(MailFrame {
+                    round,
+                    source,
+                    owner,
+                    seq,
+                    last,
+                    entries,
+                })
+            }
+            KIND_PROPOSED => Frame::Proposed(ProposedBarrier {
+                round: cur.try_get_u64_le().ok_or(WireError::Truncated)?,
+                source: cur.try_get_u32_le().ok_or(WireError::Truncated)?,
+                proposed: cur.try_get_u64_le().ok_or(WireError::Truncated)?,
+                propose_ns: cur.try_get_u64_le().ok_or(WireError::Truncated)?,
+                route_ns: cur.try_get_u64_le().ok_or(WireError::Truncated)?,
+                serialize_ns: cur.try_get_u64_le().ok_or(WireError::Truncated)?,
+            }),
+            KIND_ENDMAIL => Frame::EndMail {
+                round: cur.try_get_u64_le().ok_or(WireError::Truncated)?,
+            },
+            KIND_NAK => {
+                let round = cur.try_get_u64_le().ok_or(WireError::Truncated)?;
+                let source = cur.try_get_u32_le().ok_or(WireError::Truncated)?;
+                let owner = cur.try_get_u32_le().ok_or(WireError::Truncated)?;
+                let known_total = match cur.try_get_u8().ok_or(WireError::Truncated)? {
+                    0 => None,
+                    1 => Some(cur.try_get_u32_le().ok_or(WireError::Truncated)?),
+                    _ => return Err(WireError::Bad("known-total flag not a boolean")),
+                };
+                let k = cur.try_get_u32_le().ok_or(WireError::Truncated)? as usize;
+                if k > cur.remaining() / 4 {
+                    return Err(WireError::Bad("missing count exceeds frame size"));
+                }
+                let mut missing = Vec::with_capacity(k);
+                for _ in 0..k {
+                    missing.push(cur.try_get_u32_le().ok_or(WireError::Truncated)?);
+                }
+                Frame::Nak(NakFrame {
+                    round,
+                    source,
+                    owner,
+                    known_total,
+                    missing,
+                })
+            }
+            KIND_DONE => Frame::Done(DoneBarrier {
+                round: cur.try_get_u64_le().ok_or(WireError::Truncated)?,
+                source: cur.try_get_u32_le().ok_or(WireError::Truncated)?,
+                added: cur.try_get_u64_le().ok_or(WireError::Truncated)?,
+                apply_ns: cur.try_get_u64_le().ok_or(WireError::Truncated)?,
+                drain_ns: cur.try_get_u64_le().ok_or(WireError::Truncated)?,
+                peak_rss_bytes: cur.try_get_u64_le().ok_or(WireError::Truncated)?,
+            }),
+            KIND_SHUTDOWN => Frame::Shutdown,
+            other => return Err(WireError::UnknownKind(other)),
+        };
+        if cur.remaining() != 0 {
+            return Err(WireError::TrailingGarbage {
+                extra: cur.remaining(),
+            });
+        }
+        Ok(frame)
+    }
+}
+
+/// Splits one `(source, owner)` mailbox into its frame stream: chunks of
+/// at most `per_frame` entries, `seq`-numbered, final frame flagged
+/// `last`. An empty mailbox still yields one empty `last` frame — the
+/// receiver counts streams, so silence is not an option.
+pub fn mailbox_frames(
+    round: u64,
+    source: u32,
+    owner: u32,
+    entries: &[HalfEdge],
+    per_frame: usize,
+) -> Vec<MailFrame> {
+    assert!(per_frame > 0, "per_frame must be positive");
+    let chunks = entries.len().div_ceil(per_frame).max(1);
+    (0..chunks)
+        .map(|seq| {
+            let lo = seq * per_frame;
+            let hi = (lo + per_frame).min(entries.len());
+            MailFrame {
+                round,
+                source,
+                owner,
+                seq: seq as u32,
+                last: seq + 1 == chunks,
+                entries: entries[lo..hi].to_vec(),
+            }
+        })
+        .collect()
+}
+
+/// Reassembles the mail of one round at one destination.
+///
+/// Streams are keyed `(source, owner)`; the constructor fixes which
+/// streams are *expected* (a worker expects every source but itself; the
+/// supervisor expects exactly one source per worker link). `strict` mode
+/// additionally asserts canonical `(source, owner, seq)` arrival order
+/// and rejects duplicates — the deterministic transport's contract. Lossy
+/// mode accepts any order, ignores duplicates, and reports gaps via
+/// [`MailboxAssembler::missing`].
+#[derive(Debug)]
+pub struct MailboxAssembler {
+    shards: usize,
+    round: u64,
+    strict: bool,
+    expected: Vec<bool>,
+    streams: Vec<StreamState>,
+    /// Strict mode: position in the canonical stream walk.
+    cursor: usize,
+}
+
+#[derive(Debug, Default)]
+struct StreamState {
+    chunks: Vec<Option<Vec<HalfEdge>>>,
+    total: Option<u32>,
+    received: u32,
+}
+
+/// A reassembly protocol violation (strict mode, or structurally
+/// impossible frames in any mode).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssembleError {
+    /// Frame belongs to a different round.
+    WrongRound {
+        /// The frame's round.
+        got: u64,
+        /// The assembler's round.
+        want: u64,
+    },
+    /// Source or owner outside the shard grid, or a stream this
+    /// destination does not expect.
+    UnexpectedStream {
+        /// The frame's source shard.
+        source: u32,
+        /// The frame's owner shard.
+        owner: u32,
+    },
+    /// Same `(source, owner, seq)` seen twice (strict mode only — lossy
+    /// mode silently ignores duplicates).
+    Duplicate {
+        /// The duplicated frame's source.
+        source: u32,
+        /// The duplicated frame's owner.
+        owner: u32,
+        /// The duplicated sequence number.
+        seq: u32,
+    },
+    /// Arrival violated canonical order (strict mode only).
+    OutOfOrder {
+        /// The frame's source.
+        source: u32,
+        /// The frame's owner.
+        owner: u32,
+        /// The frame's sequence number.
+        seq: u32,
+    },
+    /// A `seq` at or beyond a previously seen `last` frame's total, or a
+    /// second conflicting `last`.
+    BeyondLast {
+        /// The frame's source.
+        source: u32,
+        /// The frame's owner.
+        owner: u32,
+        /// The offending sequence number.
+        seq: u32,
+    },
+}
+
+impl std::fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssembleError::WrongRound { got, want } => {
+                write!(f, "frame for round {got} in round {want}")
+            }
+            AssembleError::UnexpectedStream { source, owner } => {
+                write!(f, "unexpected stream ({source} -> {owner})")
+            }
+            AssembleError::Duplicate { source, owner, seq } => {
+                write!(f, "duplicate frame ({source} -> {owner}) seq {seq}")
+            }
+            AssembleError::OutOfOrder { source, owner, seq } => {
+                write!(f, "out-of-order frame ({source} -> {owner}) seq {seq}")
+            }
+            AssembleError::BeyondLast { source, owner, seq } => {
+                write!(f, "frame ({source} -> {owner}) seq {seq} beyond stream end")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssembleError {}
+
+impl MailboxAssembler {
+    /// Assembler for a worker: expects every `(source, owner)` stream
+    /// with `source != self_shard`.
+    pub fn for_worker(shards: usize, self_shard: usize, round: u64, strict: bool) -> Self {
+        let expected = (0..shards * shards)
+            .map(|i| i / shards != self_shard)
+            .collect();
+        Self::with_expected(shards, round, strict, expected)
+    }
+
+    /// Assembler for one supervisor link: expects exactly the streams
+    /// with `source == source_shard` (workers upload in canonical order,
+    /// so this side is always strict).
+    pub fn for_source(shards: usize, source_shard: usize, round: u64) -> Self {
+        let expected = (0..shards * shards)
+            .map(|i| i / shards == source_shard)
+            .collect();
+        Self::with_expected(shards, round, true, expected)
+    }
+
+    fn with_expected(shards: usize, round: u64, strict: bool, expected: Vec<bool>) -> Self {
+        let mut streams = Vec::with_capacity(shards * shards);
+        streams.resize_with(shards * shards, StreamState::default);
+        let mut a = MailboxAssembler {
+            shards,
+            round,
+            strict,
+            expected,
+            streams,
+            cursor: 0,
+        };
+        a.cursor = a.next_expected_from(0);
+        a
+    }
+
+    fn idx(&self, source: u32, owner: u32) -> usize {
+        source as usize * self.shards + owner as usize
+    }
+
+    /// First expected stream index at or after `from`.
+    fn next_expected_from(&self, from: usize) -> usize {
+        (from..self.expected.len())
+            .find(|&i| self.expected[i])
+            .unwrap_or(self.expected.len())
+    }
+
+    /// The next frame strict mode will accept, as `(source, owner, seq)`
+    /// — `None` once every expected stream is complete.
+    pub fn next_expected(&self) -> Option<(u32, u32, u32)> {
+        if self.cursor >= self.expected.len() {
+            return None;
+        }
+        let source = (self.cursor / self.shards) as u32;
+        let owner = (self.cursor % self.shards) as u32;
+        let seq = self.streams[self.cursor].received;
+        Some((source, owner, seq))
+    }
+
+    /// Feeds one mail frame. Returns `Ok(true)` if the frame was new,
+    /// `Ok(false)` if it was a duplicate ignored in lossy mode.
+    pub fn accept(&mut self, f: &MailFrame) -> Result<bool, AssembleError> {
+        if f.round != self.round {
+            return Err(AssembleError::WrongRound {
+                got: f.round,
+                want: self.round,
+            });
+        }
+        if f.source as usize >= self.shards
+            || f.owner as usize >= self.shards
+            || !self.expected[self.idx(f.source, f.owner)]
+        {
+            return Err(AssembleError::UnexpectedStream {
+                source: f.source,
+                owner: f.owner,
+            });
+        }
+        if self.strict {
+            match self.next_expected() {
+                Some((s, o, q)) if (s, o, q) == (f.source, f.owner, f.seq) => {}
+                _ => {
+                    // Distinguish a replayed frame from a skipped one for
+                    // the error message; both are protocol violations.
+                    let st = &self.streams[self.idx(f.source, f.owner)];
+                    let seen = st.chunks.get(f.seq as usize).is_some_and(|c| c.is_some());
+                    return Err(if seen {
+                        AssembleError::Duplicate {
+                            source: f.source,
+                            owner: f.owner,
+                            seq: f.seq,
+                        }
+                    } else {
+                        AssembleError::OutOfOrder {
+                            source: f.source,
+                            owner: f.owner,
+                            seq: f.seq,
+                        }
+                    });
+                }
+            }
+        }
+        let idx = self.idx(f.source, f.owner);
+        let st = &mut self.streams[idx];
+        if let Some(total) = st.total {
+            let conflicting_last = f.last && f.seq + 1 != total;
+            if f.seq >= total || conflicting_last {
+                return Err(AssembleError::BeyondLast {
+                    source: f.source,
+                    owner: f.owner,
+                    seq: f.seq,
+                });
+            }
+        }
+        if st.chunks.len() <= f.seq as usize {
+            st.chunks.resize_with(f.seq as usize + 1, || None);
+        }
+        if st.chunks[f.seq as usize].is_some() {
+            // Lossy duplicate: drop it (strict mode already errored above).
+            return Ok(false);
+        }
+        if f.last {
+            if st.chunks.len() > f.seq as usize + 1 {
+                return Err(AssembleError::BeyondLast {
+                    source: f.source,
+                    owner: f.owner,
+                    seq: f.seq,
+                });
+            }
+            st.total = Some(f.seq + 1);
+        }
+        st.chunks[f.seq as usize] = Some(f.entries.clone());
+        st.received += 1;
+        if self.strict {
+            // Advance the canonical cursor past completed streams.
+            if f.last {
+                self.cursor = self.next_expected_from(self.cursor + 1);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Whether every expected stream is fully received.
+    pub fn is_complete(&self) -> bool {
+        self.expected
+            .iter()
+            .zip(&self.streams)
+            .all(|(&exp, st)| !exp || st.total.is_some_and(|t| st.received == t))
+    }
+
+    /// Missing-frame reports for every incomplete expected stream.
+    pub fn missing(&self) -> Vec<NakFrame> {
+        let mut naks = Vec::new();
+        for (i, st) in self.streams.iter().enumerate() {
+            if !self.expected[i] {
+                continue;
+            }
+            let source = (i / self.shards) as u32;
+            let owner = (i % self.shards) as u32;
+            match st.total {
+                Some(total) if st.received == total => {}
+                Some(total) => naks.push(NakFrame {
+                    round: self.round,
+                    source,
+                    owner,
+                    known_total: Some(total),
+                    missing: (0..total)
+                        .filter(|&q| st.chunks.get(q as usize).is_none_or(|c| c.is_none()))
+                        .collect(),
+                }),
+                None => naks.push(NakFrame {
+                    round: self.round,
+                    source,
+                    owner,
+                    known_total: None,
+                    missing: Vec::new(),
+                }),
+            }
+        }
+        naks
+    }
+
+    /// Hands back the reassembled mail grid `mail[source][owner]`, each
+    /// mailbox the canonical seq-order concatenation of its chunks.
+    /// Unexpected streams (e.g. the worker's own source row) come back
+    /// empty. Panics if called before [`MailboxAssembler::is_complete`].
+    pub fn into_mail(self) -> Vec<Vec<Vec<HalfEdge>>> {
+        assert!(self.is_complete(), "into_mail on incomplete assembly");
+        let shards = self.shards;
+        let mut grid: Vec<Vec<Vec<HalfEdge>>> = vec![vec![Vec::new(); shards]; shards];
+        for (i, st) in self.streams.into_iter().enumerate() {
+            if !self.expected[i] {
+                continue;
+            }
+            let mailbox = &mut grid[i / shards][i % shards];
+            for chunk in st.chunks.into_iter().flatten() {
+                mailbox.extend_from_slice(&chunk);
+            }
+        }
+        grid
+    }
+}
+
+/// Cumulative transport counters, reported by the supervisor (and
+/// serialized into the E19 experiment's JSON artifacts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct WireStats {
+    /// Frames written by the supervisor (bootstrap + rounds + control).
+    pub frames_sent: u64,
+    /// Frames read by the supervisor.
+    pub frames_received: u64,
+    /// Bytes written by the supervisor, including length prefixes.
+    pub bytes_sent: u64,
+    /// Bytes read by the supervisor, including length prefixes.
+    pub bytes_received: u64,
+    /// Mail frames the lossy injector dropped.
+    pub frames_dropped: u64,
+    /// Mail frames the lossy injector duplicated.
+    pub frames_duplicated: u64,
+    /// Per-destination round streams the lossy injector shuffled.
+    pub streams_reordered: u64,
+    /// Nak frames received from workers.
+    pub naks: u64,
+    /// Mail frames retransmitted in response to naks.
+    pub retransmitted_frames: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello { shard: 3 },
+            Frame::Config(WorkerConfig {
+                shard: 1,
+                shards: 4,
+                n: 10_000,
+                seed: 0xD15C0,
+                rule: RuleId::Pull,
+                parallel: true,
+                strict: false,
+                events: vec![
+                    (2, MembershipEvent::Leave { node: NodeId(7) }),
+                    (
+                        4,
+                        MembershipEvent::Join {
+                            node: NodeId(7),
+                            contacts: vec![NodeId(1), NodeId(9)],
+                        },
+                    ),
+                ],
+            }),
+            Frame::Segment {
+                index: 2,
+                snapshot: ShardSegSnapshot {
+                    base: 2048,
+                    m_canonical: 3,
+                    adj: ArenaSnapshot {
+                        len_cap: vec![(2, 4), (0, 0), (1, 1)],
+                        entries: vec![NodeId(5), NodeId(9), NodeId(1)],
+                    },
+                },
+            },
+            Frame::Start { round: 9 },
+            Frame::Mail(MailFrame {
+                round: 9,
+                source: 0,
+                owner: 3,
+                seq: 2,
+                last: true,
+                entries: vec![(0, NodeId(3100), NodeId(4)), (5, NodeId(3101), NodeId(77))],
+            }),
+            Frame::Proposed(ProposedBarrier {
+                round: 9,
+                source: 2,
+                proposed: 812,
+                propose_ns: 1000,
+                route_ns: 2000,
+                serialize_ns: 3000,
+            }),
+            Frame::EndMail { round: 9 },
+            Frame::Nak(NakFrame {
+                round: 9,
+                source: 1,
+                owner: 0,
+                known_total: Some(4),
+                missing: vec![1, 3],
+            }),
+            Frame::Nak(NakFrame {
+                round: 9,
+                source: 2,
+                owner: 2,
+                known_total: None,
+                missing: vec![],
+            }),
+            Frame::Done(DoneBarrier {
+                round: 9,
+                source: 3,
+                added: 55,
+                apply_ns: 123,
+                drain_ns: 456,
+                peak_rss_bytes: 1 << 20,
+            }),
+            Frame::Shutdown,
+        ]
+    }
+
+    fn encode_one(f: &Frame) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        buf.to_vec()
+    }
+
+    #[test]
+    fn every_frame_kind_roundtrips() {
+        for f in sample_frames() {
+            let wire = encode_one(&f);
+            let len = u32::from_le_bytes(wire[0..4].try_into().unwrap()) as usize;
+            assert_eq!(len, wire.len() - 4, "length prefix covers the body");
+            let back = Frame::decode(&wire[4..]).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn truncated_bodies_are_rejected_at_every_length() {
+        for f in sample_frames() {
+            let wire = encode_one(&f);
+            let body = &wire[4..];
+            for cut in 0..body.len() {
+                let err = Frame::decode(&body[..cut]);
+                assert!(err.is_err(), "decode accepted a {cut}-byte prefix of {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_and_garbage_bytes_are_rejected() {
+        let mut wire = encode_one(&Frame::Start { round: 3 });
+        wire.push(0xAB);
+        assert_eq!(
+            Frame::decode(&wire[4..]),
+            Err(WireError::TrailingGarbage { extra: 1 })
+        );
+        assert_eq!(Frame::decode(&[0]), Err(WireError::UnknownKind(0)));
+        assert_eq!(Frame::decode(&[99, 1, 2]), Err(WireError::UnknownKind(99)));
+        assert_eq!(Frame::decode(&[]), Err(WireError::Truncated));
+        // A mail frame whose count promises more entries than bytes.
+        let mut buf = BytesMut::new();
+        Frame::Mail(MailFrame {
+            round: 1,
+            source: 0,
+            owner: 1,
+            seq: 0,
+            last: true,
+            entries: vec![(0, NodeId(1), NodeId(2))],
+        })
+        .encode(&mut buf);
+        let mut evil = buf.to_vec();
+        let count_at = 4 + 1 + 8 + 4 + 4 + 4 + 1;
+        evil[count_at..count_at + 4].copy_from_slice(&1000u32.to_le_bytes());
+        assert_eq!(
+            Frame::decode(&evil[4..]),
+            Err(WireError::Bad("mail entry bytes mismatch"))
+        );
+    }
+
+    #[test]
+    fn mailbox_frames_chunk_and_flag_last() {
+        let entries: Vec<HalfEdge> = (0..2500u32)
+            .map(|i| (i, NodeId(i), NodeId(i + 1)))
+            .collect();
+        let frames = mailbox_frames(7, 1, 2, &entries, MAX_FRAME_ENTRIES);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].entries.len(), 1024);
+        assert_eq!(frames[2].entries.len(), 452);
+        assert!(frames[2].last && !frames[0].last && !frames[1].last);
+        assert!(frames.iter().enumerate().all(|(i, f)| f.seq == i as u32));
+        // Empty mailboxes still produce one empty last frame.
+        let empty = mailbox_frames(7, 1, 2, &[], MAX_FRAME_ENTRIES);
+        assert_eq!(empty.len(), 1);
+        assert!(empty[0].last && empty[0].entries.is_empty());
+    }
+
+    #[test]
+    fn strict_assembler_replays_canonical_order() {
+        let shards = 3;
+        let mut frames = Vec::new();
+        for source in 0..shards as u32 {
+            if source == 1 {
+                continue; // destination's own shard
+            }
+            for owner in 0..shards as u32 {
+                let entries: Vec<HalfEdge> = (0..(source + owner) * 3)
+                    .map(|i| (i, NodeId(i), NodeId(i + 1)))
+                    .collect();
+                frames.extend(mailbox_frames(5, source, owner, &entries, 4));
+            }
+        }
+        let mut asm = MailboxAssembler::for_worker(shards, 1, 5, true);
+        for f in &frames {
+            assert_eq!(asm.accept(f), Ok(true), "frame {f:?}");
+        }
+        assert!(asm.is_complete());
+        assert!(asm.missing().is_empty());
+        let mail = asm.into_mail();
+        assert_eq!(mail[0][2].len(), 6);
+        assert_eq!(mail[2][1].len(), 9);
+        assert!(mail[1].iter().all(Vec::is_empty), "own source row empty");
+    }
+
+    #[test]
+    fn strict_assembler_rejects_disorder_and_duplicates() {
+        let shards = 2;
+        let entries: Vec<HalfEdge> = (0..10u32).map(|i| (i, NodeId(i), NodeId(i + 1))).collect();
+        let frames = mailbox_frames(1, 1, 0, &entries, 4); // 3 frames
+        let mut asm = MailboxAssembler::for_worker(shards, 0, 1, true);
+        assert_eq!(
+            asm.accept(&frames[1]),
+            Err(AssembleError::OutOfOrder {
+                source: 1,
+                owner: 0,
+                seq: 1
+            })
+        );
+        assert_eq!(asm.accept(&frames[0]), Ok(true));
+        assert_eq!(
+            asm.accept(&frames[0]),
+            Err(AssembleError::Duplicate {
+                source: 1,
+                owner: 0,
+                seq: 0
+            })
+        );
+        assert_eq!(asm.next_expected(), Some((1, 0, 1)));
+        // Wrong round and unexpected stream are typed errors too.
+        let mut wrong = frames[1].clone();
+        wrong.round = 2;
+        assert!(matches!(
+            asm.accept(&wrong),
+            Err(AssembleError::WrongRound { got: 2, want: 1 })
+        ));
+        let mut own = frames[1].clone();
+        own.source = 0;
+        assert!(matches!(
+            asm.accept(&own),
+            Err(AssembleError::UnexpectedStream { .. })
+        ));
+    }
+
+    #[test]
+    fn lossy_assembler_recovers_from_disorder_dup_and_loss() {
+        let shards = 2;
+        let entries: Vec<HalfEdge> = (0..20u32).map(|i| (i, NodeId(i), NodeId(i + 1))).collect();
+        let frames = mailbox_frames(3, 1, 1, &entries, 4); // 5 frames
+        let mut asm = MailboxAssembler::for_worker(shards, 0, 3, false);
+        // Deliver out of order, duplicated, with frame 2 missing; the
+        // other stream (1 -> 0) never arrives at all.
+        for f in [&frames[4], &frames[0], &frames[0], &frames[3], &frames[1]] {
+            asm.accept(f).unwrap();
+        }
+        assert!(!asm.is_complete());
+        let naks = asm.missing();
+        assert_eq!(naks.len(), 2);
+        let by_owner = |o: u32| naks.iter().find(|n| n.owner == o).unwrap();
+        assert_eq!(by_owner(1).known_total, Some(5));
+        assert_eq!(by_owner(1).missing, vec![2]);
+        assert_eq!(by_owner(0).known_total, None, "fully lost stream");
+        // Retransmit the gaps: completeness and canonical reassembly.
+        asm.accept(&frames[2]).unwrap();
+        for f in mailbox_frames(3, 1, 0, &[], 4) {
+            asm.accept(&f).unwrap();
+        }
+        assert!(asm.is_complete());
+        let mail = asm.into_mail();
+        assert_eq!(mail[1][1], entries, "seq-order concatenation");
+        assert!(mail[1][0].is_empty());
+    }
+
+    #[test]
+    fn supervisor_side_assembler_expects_one_source() {
+        let shards = 3;
+        let mut asm = MailboxAssembler::for_source(shards, 2, 4);
+        for owner in 0..shards as u32 {
+            for f in mailbox_frames(4, 2, owner, &[(0, NodeId(2048), NodeId(1))], 8) {
+                asm.accept(&f).unwrap();
+            }
+        }
+        assert!(asm.is_complete());
+        let mut other = mailbox_frames(4, 0, 1, &[], 8);
+        assert!(matches!(
+            asm.accept(&other.remove(0)),
+            Err(AssembleError::UnexpectedStream { .. })
+        ));
+    }
+
+    #[test]
+    fn beyond_last_frames_are_rejected() {
+        let shards = 2;
+        let mut asm = MailboxAssembler::for_worker(shards, 0, 1, false);
+        let frames = mailbox_frames(1, 1, 0, &[(0, NodeId(1), NodeId(2))], 1);
+        assert_eq!(frames.len(), 1);
+        asm.accept(&frames[0]).unwrap();
+        let mut beyond = frames[0].clone();
+        beyond.seq = 3;
+        beyond.last = false;
+        assert!(matches!(
+            asm.accept(&beyond),
+            Err(AssembleError::BeyondLast { .. })
+        ));
+    }
+}

@@ -6,10 +6,19 @@
 //! typically a handful of nodes and one round.
 
 use gossip_core::rng::stream_rng;
-use gossip_core::{ChurnBursts, Engine, MembershipPlan, Parallelism, Pull, Push};
-use gossip_graph::{generators, ArenaGraph, ShardedArenaGraph};
+use gossip_core::{ChurnBursts, Engine, MembershipPlan, Parallelism, Pull, Push, RuleId};
+use gossip_graph::{generators, ArenaGraph, ShardedArenaGraph, UndirectedGraph};
+use gossip_shard::transport::{LossyConfig, TransportBuilder};
 use gossip_shard::ShardedEngine;
 use proptest::prelude::*;
+
+/// Sparse starting graph with `target_m` edges, capped at the complete
+/// graph — sampled and shrunken `n` can drop below 5, where a tree plus
+/// one extra edge per node no longer fits.
+fn sparse(n: usize, target_m: u64, seed: u64, stream: u64) -> UndirectedGraph {
+    let cap = n as u64 * (n as u64 - 1) / 2;
+    generators::tree_plus_random_edges(n, target_m.min(cap), &mut stream_rng(seed, stream, 0))
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -20,7 +29,7 @@ proptest! {
         shards in 1usize..9,
         rounds in 1usize..5,
     ) {
-        let und = generators::tree_plus_random_edges(n, n as u64, &mut stream_rng(seed, 0, 0));
+        let und = sparse(n, n as u64, seed, 0);
         let arena = ArenaGraph::from_undirected(&und);
         let sharded = ShardedArenaGraph::from_undirected(&und, shards);
 
@@ -42,7 +51,7 @@ proptest! {
         n in 2usize..300,
         shards in 1usize..9,
     ) {
-        let und = generators::tree_plus_random_edges(n, 2 * n as u64, &mut stream_rng(seed, 1, 0));
+        let und = sparse(n, 2 * n as u64, seed, 1);
         let g = ShardedArenaGraph::from_undirected(&und, shards);
         let mut e = ShardedEngine::new(g, Pull, seed);
         for _ in 0..3 {
@@ -64,7 +73,7 @@ proptest! {
         // Randomized membership plans on top of the headline contract: the
         // sharded engine under ANY (n, S, plan) must replay the sequential
         // arena engine bit-for-bit, leaves/rejoins included.
-        let und = generators::tree_plus_random_edges(n, 2 * n as u64, &mut stream_rng(seed, 0, 0));
+        let und = sparse(n, 2 * n as u64, seed, 0);
         let arena = ArenaGraph::from_undirected(&und);
         let plan = MembershipPlan::bursts(&ChurnBursts {
             n,
@@ -95,5 +104,51 @@ proptest! {
             prop_assert_eq!(seq.graph().neighbors(u), shd.graph().neighbors(u));
         }
         shd.graph().validate().map_err(proptest::test_runner::TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn transport_trajectory_equals_sequential(
+        seed in any::<u64>(),
+        n in 2usize..300,
+        shards in 1usize..6,
+        rounds in 1usize..4,
+        lossy in any::<bool>(),
+    ) {
+        // The serialized seam under ANY (n, S, mode): thread-hosted workers
+        // exchanging length-prefixed frames over socketpairs must replay
+        // the sequential oracle bit-for-bit — in deterministic mode by
+        // canonical delivery, in lossy mode through nak/retransmit.
+        let und = sparse(n, n as u64, seed, 0);
+        let arena = ArenaGraph::from_undirected(&und);
+        let mut seq = Engine::new(arena, Push, seed).with_parallelism(Parallelism::Sequential);
+        let mut builder = TransportBuilder::new(
+            ShardedArenaGraph::from_undirected(&und, shards),
+            RuleId::Push,
+            seed,
+        );
+        if lossy {
+            builder = builder.with_lossy(LossyConfig {
+                seed,
+                drop_per_mille: 200,
+                dup_per_mille: 150,
+                reorder: true,
+            });
+        }
+        let mut wire = builder
+            .spawn()
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        for _ in 0..rounds {
+            let expect = seq.step();
+            let got = wire
+                .try_step(None)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(expect, got);
+        }
+        prop_assert_eq!(seq.graph().m(), wire.graph().m());
+        for u in seq.graph().nodes() {
+            prop_assert_eq!(seq.graph().neighbors(u), wire.graph().neighbors(u));
+        }
+        wire.graph().validate().map_err(proptest::test_runner::TestCaseError::fail)?;
+        wire.shutdown().map_err(|e| TestCaseError::fail(e.to_string()))?;
     }
 }

@@ -58,14 +58,26 @@ BASELINE="${2:-ratchet}"
 # closure bench is quick and runs whole; round_throughput is ratcheted on
 # its 4096-node rows (AdjSet seq/pool + arena) — the 16k/64k rows' working
 # sets straddle cache capacity and flip layout modes 20% between process
-# instances, which no same-runner comparison survives.
-BENCHES=(closure round_throughput:4096)
+# instances, which no same-runner comparison survives. frame_codec (the
+# transport's mailbox encode/decode hot path) is quick and runs whole.
+BENCHES=(closure round_throughput:4096 frame_codec)
 export CRITERION_BASELINE_DIR="${CRITERION_BASELINE_DIR:-target/criterion-baselines}"
 
 one_bench() {
     local bench="${1%%:*}" filter=""
     case "$1" in *:*) filter="${1#*:}" ;; esac
     CRITERION_FILTER="$filter" cargo bench -p gossip-bench --bench "$bench"
+}
+
+# Glob matching the baseline record files a bench's ids sanitize to
+# (<group>_<name>_<param>.json). Group names usually share the bench
+# target's name as a prefix; round_throughput's groups are round/
+# round_arena/round_sharded/round_listened.
+baseline_glob() {
+    case "${1%%:*}" in
+        round_throughput) echo "round_*" ;;
+        *) echo "${1%%:*}*" ;;
+    esac
 }
 
 # A gated pass, retried in a fresh process on failure (3 attempts).
@@ -143,7 +155,17 @@ case "$MODE" in
             exit 0
         fi
         echo "[bench-ratchet] cross-commit ratchet vs '$BASELINE': a regression verdict fails"
+        # Skip-on-missing is per bench, not per run: a baseline cached
+        # before a bench existed (e.g. frame_codec landing after the base
+        # branch's run) has records for the other benches but none for the
+        # new one, and the shim's missing-record gate would fail it. That
+        # is cache staleness, not a regression — skip that bench loudly
+        # and still ratchet the benches the baseline does cover.
         for bench in "${BENCHES[@]}"; do
+            if ! ls "$CRITERION_BASELINE_DIR/$BASELINE"/$(baseline_glob "$bench").json >/dev/null 2>&1; then
+                echo "[bench-ratchet] no cross-commit baseline records for '${bench%%:*}' — skipping this bench (stale cache)"
+                continue
+            fi
             CRITERION_NOISE_THRESHOLD="${CRITERION_NOISE_THRESHOLD:-0.40}" \
             CRITERION_BASELINE="$BASELINE" CRITERION_FAIL_ON_REGRESSION=1 gated_pass one_bench "$bench"
         done

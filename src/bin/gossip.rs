@@ -1,6 +1,10 @@
 //! The `gossip` CLI shim; all logic lives in `discovery_gossip::cli`.
 
 fn main() {
+    // `serve --transport uds|lossy` re-execs this binary once per shard;
+    // a worker copy connects to its socket here and never reaches the CLI.
+    discovery_gossip::shard::maybe_run_worker();
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     match discovery_gossip::cli::Command::parse(&args)
         .and_then(|c| discovery_gossip::cli::execute(&c))

@@ -15,6 +15,7 @@ use gossip_graph::{
     generators, io as gio, ArenaGraph, DirectedGraph, ShardedArenaGraph, UndirectedGraph,
 };
 use gossip_serve::{GossipService, GraphQuery, MetricsCounters, ServeConfig};
+use gossip_shard::transport::{LossyConfig, TransportBuilder, TransportMode};
 use gossip_shard::BuildSharded;
 use std::fmt::Write as _;
 
@@ -106,9 +107,38 @@ pub enum Command {
         param: Option<u64>,
         /// Churn bursts to schedule (0 = static membership).
         churn: usize,
+        /// Shard transport: `inproc` (shared memory), `uds` (one OS
+        /// process per shard over Unix domain sockets), or `lossy`
+        /// (uds plus seeded drop/duplicate/reorder fault injection).
+        transport: Transport,
     },
     /// `gossip help`
     Help,
+}
+
+/// How `serve` hosts its shards. All three replay the same trajectory;
+/// see [`TransportBuilder`] for the wire protocol behind `uds`/`lossy`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// Shared-memory sharding in this process (the default).
+    Inproc,
+    /// One worker process per shard, mailboxes serialized over UDS.
+    Uds,
+    /// `uds` with seeded loss/duplication/reordering plus retransmit.
+    Lossy,
+}
+
+impl Transport {
+    fn parse(s: &str) -> Result<Transport, String> {
+        match s {
+            "inproc" => Ok(Transport::Inproc),
+            "uds" => Ok(Transport::Uds),
+            "lossy" => Ok(Transport::Lossy),
+            other => Err(format!(
+                "unknown transport {other}; expected inproc, uds, or lossy"
+            )),
+        }
+    }
 }
 
 /// Usage text.
@@ -125,13 +155,20 @@ USAGE:
   gossip directed --family cycle|thm14|thm15|gnp --n N [--seed S]
                                                             directed two-hop walk
   gossip serve --protocol P --family F --n N [--rounds R] [--shards K]
-               [--snapshot-every E] [--seed S] [--churn B]  resident engine behind
+               [--snapshot-every E] [--seed S] [--churn B]
+               [--transport inproc|uds|lossy]               resident engine behind
                                                             epoch snapshots
   gossip help
 
 CHURN: --churn B schedules B bursts of n/16 departures (rejoining two rounds
        later with 3 bootstrap contacts) through the membership seam; the
        run reports the applied join/leave totals.
+
+TRANSPORT: --transport uds runs each shard as its own OS process and
+       exchanges mailboxes as length-prefixed frames over Unix domain
+       sockets; --transport lossy adds seeded drop/duplicate/reorder fault
+       injection with nak-driven retransmit. Both replay the in-process
+       trajectory bit-for-bit and need --shards K > 1.
 
 PROTOCOLS: resolved through the gossip-core registry (push, pull, hybrid);
            --process is accepted as an alias of --protocol.
@@ -159,6 +196,7 @@ impl Command {
         let mut shards = 1usize;
         let mut snapshot_every = 1u64;
         let mut churn = 0usize;
+        let mut transport = Transport::Inproc;
 
         while let Some(flag) = it.next() {
             let mut take = || -> Result<&String, String> {
@@ -189,9 +227,14 @@ impl Command {
                 "--churn" => {
                     churn = take()?.parse().map_err(|_| "--churn needs an integer")?;
                 }
+                "--transport" => transport = Transport::parse(take()?)?,
                 "--trace" => trace = true,
                 other => return Err(format!("unknown flag {other}")),
             }
+        }
+
+        if transport != Transport::Inproc && sub != "serve" {
+            return Err("--transport only applies to serve".into());
         }
 
         match sub {
@@ -234,17 +277,23 @@ impl Command {
                 n: n.ok_or("directed needs --n")?,
                 seed,
             }),
-            "serve" => Ok(Command::Serve {
-                process: process.ok_or("serve needs --protocol")?,
-                family: family.ok_or("serve needs --family")?,
-                n: n.ok_or("serve needs --n")?,
-                rounds,
-                shards,
-                snapshot_every,
-                seed,
-                param,
-                churn,
-            }),
+            "serve" => {
+                if transport != Transport::Inproc && shards < 2 {
+                    return Err("--transport uds|lossy needs --shards K > 1".into());
+                }
+                Ok(Command::Serve {
+                    process: process.ok_or("serve needs --protocol")?,
+                    family: family.ok_or("serve needs --family")?,
+                    n: n.ok_or("serve needs --n")?,
+                    rounds,
+                    shards,
+                    snapshot_every,
+                    seed,
+                    param,
+                    churn,
+                    transport,
+                })
+            }
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(format!("unknown subcommand {other}")),
         }
@@ -493,6 +542,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             seed,
             param,
             churn,
+            transport,
         } => {
             let g = make_graph(family, *n, *seed, *param)?;
             let cfg = ServeConfig {
@@ -501,7 +551,27 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             };
             let id = RuleId::parse(process)?;
             let plan = (*churn > 0).then(|| churn_plan(g.n(), *churn, *seed));
-            let line = if *shards > 1 {
+            let line = if *transport != Transport::Inproc {
+                // Serialized seam: one OS process per shard, framed
+                // mailboxes over UDS. Worker copies of this binary never
+                // reach the CLI — `maybe_run_worker` diverts them at the
+                // top of `main`.
+                let g = ShardedArenaGraph::from_undirected(&g, *shards);
+                let mut b = TransportBuilder::new(g, id, *seed).with_mode(TransportMode::Process);
+                if let Some(plan) = plan.clone() {
+                    b = b.with_membership(plan);
+                }
+                if *transport == Transport::Lossy {
+                    b = b.with_lossy(LossyConfig {
+                        seed: seed ^ 0x1055,
+                        drop_per_mille: 50,
+                        dup_per_mille: 30,
+                        reorder: true,
+                    });
+                }
+                let engine = b.spawn().map_err(|e| format!("transport spawn: {e}"))?;
+                serve_report(engine, cfg)
+            } else if *shards > 1 {
                 let g = ShardedArenaGraph::from_undirected(&g, *shards);
                 with_rule!(id, |rule| {
                     let mut b = EngineBuilder::new(g, rule, *seed);
@@ -525,9 +595,14 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             } else {
                 String::new()
             };
+            let transport_note = match transport {
+                Transport::Inproc => String::new(),
+                Transport::Uds => ", transport=uds".into(),
+                Transport::Lossy => ", transport=lossy".into(),
+            };
             let _ = writeln!(
                 out,
-                "serve {process} on {family}(n={n}, shards={shards}{churn_note}): {line}"
+                "serve {process} on {family}(n={n}, shards={shards}{churn_note}{transport_note}): {line}"
             );
         }
 
@@ -704,6 +779,7 @@ mod tests {
                 seed: 11,
                 param: None,
                 churn: 0,
+                transport: Transport::Inproc,
             })
             .unwrap();
             assert!(out.contains("rounds = 4"), "{out}");
@@ -734,6 +810,41 @@ mod tests {
             other => panic!("wrong parse: {other:?}"),
         }
         assert!(Command::parse(&argv("serve --family star --n 8")).is_err());
+    }
+
+    #[test]
+    fn parse_transport_flag() {
+        for (word, want) in [
+            ("inproc", Transport::Inproc),
+            ("uds", Transport::Uds),
+            ("lossy", Transport::Lossy),
+        ] {
+            let cmd = Command::parse(&argv(&format!(
+                "serve --protocol push --family star --n 32 --shards 2 --transport {word}"
+            )))
+            .unwrap();
+            match cmd {
+                Command::Serve { transport, .. } => assert_eq!(transport, want),
+                other => panic!("wrong parse: {other:?}"),
+            }
+        }
+        // Unknown mode, serialized transport without real shards, and
+        // --transport on a non-serve subcommand are all clean errors.
+        assert!(Command::parse(&argv(
+            "serve --protocol push --family star --n 32 --shards 2 --transport tcp"
+        ))
+        .unwrap_err()
+        .contains("unknown transport"));
+        assert!(Command::parse(&argv(
+            "serve --protocol push --family star --n 32 --transport uds"
+        ))
+        .unwrap_err()
+        .contains("--shards"));
+        assert!(Command::parse(&argv(
+            "run --protocol push --family star --n 32 --transport uds"
+        ))
+        .unwrap_err()
+        .contains("only applies to serve"));
     }
 
     #[test]
@@ -796,6 +907,7 @@ mod tests {
                 seed: 13,
                 param: None,
                 churn: 1,
+                transport: Transport::Inproc,
             })
             .unwrap();
             assert!(out.contains("churn=1"), "{out}");

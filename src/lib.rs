@@ -13,7 +13,7 @@
 //! |-------|----------|
 //! | [`graph`] (`gossip-graph`) | dynamic graphs with O(1) neighbor sampling, generators incl. the paper's lower-bound constructions, traversal/SCC/closure |
 //! | [`core`] (`gossip-core`) | the push/pull/directed processes, deterministic parallel engine, engine builder, unified round-listener seam, membership lifecycle seam (join/leave between rounds), Monte Carlo trials, robustness variants |
-//! | [`shard`] (`gossip-shard`) | deterministic multi-shard round engine: shard-parallel propose/apply over owner-partitioned arena segments |
+//! | [`shard`] (`gossip-shard`) | deterministic multi-shard round engine: shard-parallel propose/apply over owner-partitioned arena segments, plus the cross-process transport (framed mailboxes over Unix domain sockets, deterministic and lossy modes) |
 //! | [`serve`] (`gossip-serve`) | resident service: a live engine behind cheap epoch snapshots, a concurrent query surface, and pluggable listeners |
 //! | [`baselines`] (`gossip-baselines`) | Name Dropper, Random Pointer Jump, throttled ND, flooding — with message-bit accounting |
 //! | [`net`] (`gossip-net`) | byte-accurate message-passing simulator: loss, churn, coverage/staleness metrics |
@@ -60,7 +60,8 @@ pub mod prelude {
         ChurnBursts, ClosureReached, ComponentwiseComplete, ConvergenceCheck, DirectedPull,
         DiscoveryTrace, Engine, EngineBuilder, Faulty, HybridPushPull, ListenerSet,
         MembershipEvent, MembershipPlan, MembershipStats, MinDegreeAtLeast, Never, OnlySubset,
-        Parallelism, Partial, Pull, Push, RoundEngine, RoundListener, SubsetComplete, TrialConfig,
+        Parallelism, Partial, Pull, Push, RoundEngine, RoundListener, RuleId, SubsetComplete,
+        TrialConfig,
     };
     pub use gossip_graph::{
         generators, ArenaGraph, Csr, DirectedGraph, NodeId, ShardedArenaGraph, UndirectedGraph,
@@ -73,5 +74,7 @@ pub mod prelude {
         GossipService, GraphQuery, MetricsCounters, ReplayLog, ServeConfig, Snapshot,
         TrajectoryRecorder,
     };
-    pub use gossip_shard::{BuildSharded, ShardedEngine};
+    pub use gossip_shard::{
+        BuildSharded, LossyConfig, ShardedEngine, TransportBuilder, TransportEngine, TransportMode,
+    };
 }

@@ -1,0 +1,124 @@
+//! End-to-end `--transport` CLI runs against the real `gossip` binary.
+//!
+//! Process-mode workers re-exec the serving binary, so the serialized
+//! transport can only be exercised through the actual executable (whose
+//! `main` starts with `maybe_run_worker`) — not through `cli::execute`
+//! inside this libtest harness. `CARGO_BIN_EXE_gossip` points at the
+//! binary cargo built for this test run.
+
+use std::process::Command;
+
+fn gossip(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_gossip"))
+        .args(args)
+        .output()
+        .expect("run gossip binary");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// The report payload after the `serve ... : ` prefix, so runs that
+/// differ only in their transport note can be compared.
+fn payload(stdout: &str) -> String {
+    stdout
+        .split_once("): ")
+        .unwrap_or_else(|| panic!("unexpected serve output: {stdout}"))
+        .1
+        .trim()
+        .to_string()
+}
+
+#[test]
+fn serve_over_uds_processes_matches_inproc() {
+    let base = [
+        "serve",
+        "--protocol",
+        "push",
+        "--family",
+        "sparse",
+        "--n",
+        "600",
+        "--rounds",
+        "5",
+        "--shards",
+        "3",
+        "--snapshot-every",
+        "2",
+        "--seed",
+        "23",
+    ];
+    let (inproc, err, ok) = gossip(&base);
+    assert!(ok, "inproc serve failed: {err}");
+    let mut uds_args: Vec<&str> = base.to_vec();
+    uds_args.extend(["--transport", "uds"]);
+    let (uds, err, ok) = gossip(&uds_args);
+    assert!(ok, "uds serve failed: {err}");
+    assert!(uds.contains("transport=uds"), "{uds}");
+    // Same trajectory whether the shards share memory or live in their
+    // own OS processes behind the framed UDS seam.
+    assert_eq!(payload(&inproc), payload(&uds));
+}
+
+#[test]
+fn serve_over_lossy_transport_still_replays_the_trajectory() {
+    let base = [
+        "serve",
+        "--protocol",
+        "pull",
+        "--family",
+        "sparse",
+        "--n",
+        "400",
+        "--rounds",
+        "4",
+        "--shards",
+        "2",
+        "--seed",
+        "31",
+        "--churn",
+        "1",
+    ];
+    let (inproc, err, ok) = gossip(&base);
+    assert!(ok, "inproc serve failed: {err}");
+    let mut lossy_args: Vec<&str> = base.to_vec();
+    lossy_args.extend(["--transport", "lossy"]);
+    let (lossy, err, ok) = gossip(&lossy_args);
+    assert!(ok, "lossy serve failed: {err}");
+    assert!(lossy.contains("transport=lossy"), "{lossy}");
+    // Fault injection changes delivery, not the result: nak/retransmit
+    // restores the canonical mailboxes before every apply.
+    assert_eq!(payload(&inproc), payload(&lossy));
+}
+
+#[test]
+fn transport_flag_misuse_is_a_clean_error() {
+    let (_, err, ok) = gossip(&[
+        "serve",
+        "--protocol",
+        "push",
+        "--family",
+        "star",
+        "--n",
+        "32",
+        "--transport",
+        "uds",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("--shards"), "{err}");
+    let (_, err, ok) = gossip(&[
+        "run",
+        "--protocol",
+        "push",
+        "--family",
+        "star",
+        "--n",
+        "32",
+        "--transport",
+        "uds",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("only applies to serve"), "{err}");
+}

@@ -69,6 +69,32 @@ fn quickstart_churn_applies_membership_bursts() {
     assert_eq!(engine.membership_stats().leaves, 32);
 }
 
+/// The README's transport snippet, verbatim: the sharded round across a
+/// serialized seam — thread-hosted shard workers exchanging framed
+/// mailboxes over Unix-domain socketpairs, lossy mode repairing injected
+/// faults through nak-driven retransmit (process mode and the 10^7 run
+/// are `exp_transport` in CI; libtest harnesses must not re-exec).
+#[test]
+fn quickstart_transport_runs_shard_workers_over_framed_sockets() {
+    let und = generators::star(512);
+    let mut engine =
+        TransportBuilder::new(ShardedArenaGraph::from_undirected(&und, 4), RuleId::Pull, 7)
+            .with_mode(TransportMode::Thread)
+            .with_lossy(LossyConfig {
+                seed: 9,
+                drop_per_mille: 100,
+                dup_per_mille: 50,
+                reorder: true,
+            })
+            .spawn()
+            .unwrap();
+    engine.run_until(&mut Never, 6);
+    let stats = engine.stats().clone();
+    assert!(stats.wire.frames_dropped > 0 && stats.wire.retransmitted_frames > 0);
+    engine.shutdown().unwrap();
+    assert!(engine.graph().m() > 511);
+}
+
 /// The README's serving snippet, verbatim: any engine behind the resident
 /// service, queried live through epoch snapshots, engine returned on join
 /// (the full 2^20 run under concurrent query load is `exp_serve` in CI).

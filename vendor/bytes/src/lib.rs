@@ -90,6 +90,16 @@ impl BytesMut {
             data: self.data.into(),
         }
     }
+
+    /// Empties the buffer, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Reserves room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
 }
 
 impl Deref for BytesMut {
@@ -97,6 +107,12 @@ impl Deref for BytesMut {
 
     fn deref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 
@@ -130,6 +146,37 @@ pub trait Buf {
         let v = u64::from_le_bytes(self.chunk()[..8].try_into().expect("8 bytes"));
         self.advance(8);
         v
+    }
+
+    /// Reads one byte, or `None` if the cursor is empty — the checked
+    /// form decoders use to reject truncated input without panicking.
+    fn try_get_u8(&mut self) -> Option<u8> {
+        if self.remaining() < 1 {
+            return None;
+        }
+        Some(self.get_u8())
+    }
+
+    /// Reads a little-endian `u32`, or `None` if fewer than 4 bytes remain.
+    fn try_get_u32_le(&mut self) -> Option<u32> {
+        if self.remaining() < 4 {
+            return None;
+        }
+        Some(self.get_u32_le())
+    }
+
+    /// Reads a little-endian `u64`, or `None` if fewer than 8 bytes remain.
+    fn try_get_u64_le(&mut self) -> Option<u64> {
+        if self.remaining() < 8 {
+            return None;
+        }
+        Some(self.get_u64_le())
+    }
+
+    /// Copies `dst.len()` bytes into `dst`. Panics if fewer remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
     }
 }
 
@@ -205,5 +252,43 @@ mod tests {
         let mut cursor: &[u8] = &data;
         cursor.advance(2);
         assert_eq!(cursor.chunk(), &[3, 4]);
+    }
+
+    #[test]
+    fn try_getters_refuse_truncated_input() {
+        let data = [9u8, 1, 2, 3, 4, 5];
+        let mut cursor: &[u8] = &data;
+        assert_eq!(cursor.try_get_u8(), Some(9));
+        assert_eq!(
+            cursor.try_get_u32_le(),
+            Some(u32::from_le_bytes([1, 2, 3, 4]))
+        );
+        // One byte left: every wider getter declines and consumes nothing.
+        assert_eq!(cursor.try_get_u32_le(), None);
+        assert_eq!(cursor.try_get_u64_le(), None);
+        assert_eq!(cursor.remaining(), 1);
+        assert_eq!(cursor.try_get_u8(), Some(5));
+        assert_eq!(cursor.try_get_u8(), None);
+    }
+
+    #[test]
+    fn copy_to_slice_consumes_exactly() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut cursor: &[u8] = &data;
+        let mut dst = [0u8; 3];
+        cursor.copy_to_slice(&mut dst);
+        assert_eq!(dst, [1, 2, 3]);
+        assert_eq!(cursor.chunk(), &[4, 5]);
+    }
+
+    #[test]
+    fn clear_and_reserve_keep_the_allocation() {
+        let mut buf = BytesMut::with_capacity(4);
+        buf.put_u32_le(42);
+        buf.clear();
+        assert!(buf.is_empty());
+        buf.reserve(64);
+        buf.put_u8(1);
+        assert_eq!(buf.len(), 1);
     }
 }
