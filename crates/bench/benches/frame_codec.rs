@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gossip_graph::{HalfEdge, NodeId};
-use gossip_shard::wire::{mailbox_frames, Frame};
+use gossip_shard::wire::{fragment_frames, mailbox_frames, Defragmenter, Frame};
 use gossip_shard::MAX_FRAME_ENTRIES;
 use std::time::Duration;
 
@@ -64,6 +64,44 @@ fn bench_codec(c: &mut Criterion) {
                 }
             })
         });
+    }
+
+    // The datagram path (gossip-cluster) splits every oversized frame
+    // into MTU-sized fragments and reassembles them on receipt; under
+    // loss each retransmitted fragment crosses the reassembler again, so
+    // both directions sit on the cluster transport's hot path.
+    let payload = entries(MAX_FRAME_ENTRIES);
+    let mut buf = bytes::BytesMut::new();
+    for f in mailbox_frames(3, 1, 2, &payload, MAX_FRAME_ENTRIES) {
+        Frame::Mail(f).encode(&mut buf);
+    }
+    let frame_bytes = buf.to_vec();
+    for mtu in [256usize, 1400] {
+        group.throughput(Throughput::Elements(MAX_FRAME_ENTRIES as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("fragment_encode", mtu),
+            &frame_bytes,
+            |b, bytes| b.iter(|| std::hint::black_box(fragment_frames(7, bytes, mtu).len())),
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("fragment_reassemble", mtu),
+            &frame_bytes,
+            |b, bytes| {
+                let frags = fragment_frames(7, bytes, mtu);
+                b.iter(|| {
+                    let mut d = Defragmenter::new();
+                    let mut out = None;
+                    for f in &frags {
+                        if let Some(whole) = d.accept(f).unwrap() {
+                            out = Some(whole);
+                        }
+                    }
+                    std::hint::black_box(out.unwrap().len())
+                })
+            },
+        );
     }
 
     group.finish();

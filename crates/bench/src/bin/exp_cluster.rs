@@ -1,0 +1,19 @@
+//! E20: the sharded round peer-to-peer over UDP across loopback "hosts".
+//!
+//! `--quick` runs the full loss grid and both bootstrap modes at
+//! `n = 2^17`; the full run's `n = 2^20` grid — 2 loopback hosts × 2
+//! shard processes each — is the acceptance workload. Per-shard peak
+//! RSS, retransmit traffic, and the streamed-vs-blocking bootstrap
+//! savings go to the report's wall-clock appendix.
+
+use gossip_bench::experiments::cluster;
+use gossip_bench::parse_args;
+
+fn main() {
+    // Cluster shard workers are re-execed copies of this binary: divert
+    // them to the shard loop before any experiment code runs.
+    gossip_cluster::maybe_run_cluster_shard();
+
+    let args = parse_args();
+    cluster::run(&args).finish(&args);
+}

@@ -1,4 +1,4 @@
-//! Runs the full experiment battery (E1–E19) and writes every report to the
+//! Runs the full experiment battery (E1–E20) and writes every report to the
 //! results directory. `--quick` keeps the whole thing under a couple of
 //! minutes; the full run is sized for a coffee break.
 //!
@@ -35,13 +35,15 @@ fn battery() -> Vec<(&'static str, fn(&Args) -> Report)> {
         ("E17", exp::serve_load::run),
         ("E18", exp::churn::run),
         ("E19", exp::transport::run),
+        ("E20", exp::cluster::run),
     ]
 }
 
 fn main() {
-    // E19 spawns one re-execed copy of this binary per shard; divert
+    // E19/E20 spawn one re-execed copy of this binary per shard; divert
     // worker copies before they can start a second battery.
     gossip_shard::maybe_run_worker();
+    gossip_cluster::maybe_run_cluster_shard();
 
     let args = parse_args();
     if args.report {

@@ -18,10 +18,12 @@
 //! | [`serve_load`] | serving extension (E17): live engine under sustained query load |
 //! | [`churn`] | dynamics extension (E18): re-discovery and staleness under membership bursts |
 //! | [`transport`] | distribution extension (E19): framed mailbox exchange across shard processes over UDS |
+//! | [`cluster`] | distribution extension (E20): datagram shard cluster over UDP with static peer tables |
 
 pub mod asynchrony;
 pub mod baselines;
 pub mod churn;
+pub mod cluster;
 pub mod dense;
 pub mod directed;
 pub mod evolution;

@@ -580,6 +580,81 @@ fn lossy_transport_replays_a_pinned_trajectory() {
 }
 
 #[test]
+fn cluster_datagram_transport_is_bit_identical_across_loss_rates() {
+    // The datagram cluster's centerpiece pin: a two-"host" loopback grid
+    // (shards 0–1 on 127.0.0.1, shards 2–3 on 127.0.0.2, explicit static
+    // peer table) must replay the sequential engine bit-for-bit at every
+    // seeded loss rate — drop rates of 0%, 5%, and 20% all repair to the
+    // same trajectory and the same adjacency rows.
+    //
+    // Default n = 2^12; GOSSIP_CLUSTER_BIG=1 raises it to 2^17 for the
+    // release-mode CI leg.
+    use gossip_cluster::{ClusterBuilder, DatagramLoss};
+    use gossip_core::RuleId;
+
+    let n: usize = if std::env::var("GOSSIP_CLUSTER_BIG").is_ok() {
+        1 << 17
+    } else {
+        1 << 12
+    };
+    let rounds = 5u64;
+    let und = generators::tree_plus_random_edges(n, 2 * n as u64, &mut stream_rng(12, 0, 0));
+    let arena = ArenaGraph::from_undirected(&und);
+    let mut seq =
+        Engine::new(arena.clone(), Pull, 20260807).with_parallelism(Parallelism::Sequential);
+    let stats_ref: Vec<_> = (0..rounds).map(|_| seq.step()).collect();
+
+    // Second loopback host; fall back to single-host on platforms that
+    // only bind 127.0.0.1.
+    let host_b = if std::net::UdpSocket::bind("127.0.0.2:0").is_ok() {
+        "127.0.0.2"
+    } else {
+        "127.0.0.1"
+    };
+    // Probe-bind to reserve a concrete port, release it for the builder.
+    let reserve = |host: &str| {
+        let s = std::net::UdpSocket::bind(format!("{host}:0")).expect("reserve port");
+        s.local_addr().unwrap()
+    };
+
+    for drop_per_mille in [0u16, 50, 200] {
+        let g = ShardedArenaGraph::from_arena(&arena, 4);
+        let mut b = ClusterBuilder::new(g, RuleId::Pull, 20260807)
+            .with_bind("127.0.0.1:0".parse().unwrap())
+            .with_peers(vec![reserve("127.0.0.1"), reserve(host_b), reserve(host_b)]);
+        if drop_per_mille > 0 {
+            b = b.with_loss(DatagramLoss {
+                seed: 0xC1_05 ^ drop_per_mille as u64,
+                drop_per_mille,
+                dup_per_mille: drop_per_mille / 2,
+            });
+        }
+        let mut cluster = b.spawn().expect("spawn cluster");
+        let stats: Vec<_> = (0..rounds).map(|_| cluster.step()).collect();
+        assert_eq!(
+            stats, stats_ref,
+            "drop={drop_per_mille}‰: cluster stats diverged from sequential"
+        );
+        assert_sharded_matches_arena(
+            seq.graph(),
+            cluster.graph(),
+            &format!("cluster at drop={drop_per_mille}‰"),
+        );
+        let cs = cluster.stats();
+        if drop_per_mille > 0 {
+            assert!(
+                cs.endpoint.injected_drops > 0,
+                "drop={drop_per_mille}‰ never injected: {cs:?}"
+            );
+        } else {
+            assert_eq!(cs.endpoint.injected_drops, 0);
+        }
+        cluster.graph().validate().unwrap();
+        cluster.shutdown().unwrap();
+    }
+}
+
+#[test]
 fn trial_batches_agree_under_pool_parallelism() {
     // Trial-level fan-out (the imbalanced workload the chunk-claiming pool
     // exists for) must return identical per-trial results either way.

@@ -53,6 +53,7 @@ pub use csr::Csr;
 pub use directed::DirectedGraph;
 pub use node::{Arc, Edge, NodeId};
 pub use sharded::{
-    HalfEdge, ShardPlan, ShardSeg, ShardSegSnapshot, ShardedArenaGraph, SHARD_ALIGN,
+    HalfEdge, SegSnapshotAssembler, SegSnapshotChunk, ShardPlan, ShardSeg, ShardSegSnapshot,
+    ShardedArenaGraph, SnapshotChunks, SHARD_ALIGN,
 };
 pub use undirected::UndirectedGraph;

@@ -277,6 +277,181 @@ pub struct ShardSegSnapshot {
     pub adj: crate::arena::ArenaSnapshot,
 }
 
+impl ShardSegSnapshot {
+    /// Splits this snapshot into a stream of row-contiguous chunks, each
+    /// carrying at most `max_entries` adjacency entries (a chunk always
+    /// carries at least one row, so a single row larger than the budget
+    /// still ships — as one oversized chunk). Streaming the chunks in
+    /// order and feeding them to a [`SegSnapshotAssembler`] reproduces
+    /// `self` exactly; the datagram transport uses this so worker
+    /// bootstrap can overlap the tail of the transfer instead of waiting
+    /// for a monolithic per-segment frame.
+    pub fn chunks(&self, max_entries: usize) -> SnapshotChunks<'_> {
+        assert!(max_entries > 0, "max_entries must be positive");
+        SnapshotChunks {
+            snap: self,
+            row: 0,
+            entry_off: 0,
+            max_entries,
+            done: false,
+        }
+    }
+}
+
+/// One row-contiguous piece of a [`ShardSegSnapshot`] stream. Every chunk
+/// repeats the segment's `base` (so a receiver can sanity-check that all
+/// chunks belong to the same segment); `m_canonical` is carried on the
+/// `last` chunk, where the full count is finally known to be complete.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SegSnapshotChunk {
+    /// First global node id of the segment (same in every chunk).
+    pub base: u64,
+    /// Local index of the first row in this chunk.
+    pub row_start: u32,
+    /// Whether this is the stream's final chunk.
+    pub last: bool,
+    /// Canonical edges owned by the segment — meaningful on the `last`
+    /// chunk only (zero elsewhere).
+    pub m_canonical: u64,
+    /// `(len, cap)` for the rows in this chunk, in row order.
+    pub len_cap: Vec<(u32, u32)>,
+    /// The chunk's rows' live entries, concatenated in row order.
+    pub entries: Vec<NodeId>,
+}
+
+/// Iterator over a snapshot's chunk stream — see
+/// [`ShardSegSnapshot::chunks`].
+#[derive(Debug)]
+pub struct SnapshotChunks<'a> {
+    snap: &'a ShardSegSnapshot,
+    row: usize,
+    entry_off: usize,
+    max_entries: usize,
+    done: bool,
+}
+
+impl Iterator for SnapshotChunks<'_> {
+    type Item = SegSnapshotChunk;
+
+    fn next(&mut self) -> Option<SegSnapshotChunk> {
+        if self.done {
+            return None;
+        }
+        let row_start = self.row;
+        let entry_start = self.entry_off;
+        let all = &self.snap.adj.len_cap;
+        let mut taken = 0usize;
+        while self.row < all.len() {
+            let len = all[self.row].0 as usize;
+            // First row always fits; later rows stop at the budget.
+            if self.row > row_start && taken + len > self.max_entries {
+                break;
+            }
+            taken += len;
+            self.entry_off += len;
+            self.row += 1;
+        }
+        let last = self.row >= all.len();
+        self.done = last;
+        Some(SegSnapshotChunk {
+            base: self.snap.base as u64,
+            row_start: row_start as u32,
+            last,
+            m_canonical: if last { self.snap.m_canonical } else { 0 },
+            len_cap: all[row_start..self.row].to_vec(),
+            entries: self.snap.adj.entries[entry_start..self.entry_off].to_vec(),
+        })
+    }
+}
+
+/// Incrementally rebuilds a [`ShardSegSnapshot`] from its chunk stream.
+///
+/// Chunks must arrive in row order, exactly once (the datagram transport's
+/// per-peer windows guarantee both); every structural violation — base
+/// drift, a row gap, a chunk after the final one — is a typed error so a
+/// corrupted stream can never silently assemble into a wrong segment.
+#[derive(Debug, Default)]
+pub struct SegSnapshotAssembler {
+    base: Option<u64>,
+    m_canonical: u64,
+    len_cap: Vec<(u32, u32)>,
+    entries: Vec<NodeId>,
+    complete: bool,
+}
+
+impl SegSnapshotAssembler {
+    /// An empty assembler awaiting the chunk with `row_start == 0`.
+    pub fn new() -> Self {
+        SegSnapshotAssembler::default()
+    }
+
+    /// Feeds the next chunk. Returns `Ok(true)` once the stream is
+    /// complete (the `last` chunk was absorbed).
+    pub fn accept(&mut self, chunk: &SegSnapshotChunk) -> Result<bool, String> {
+        if self.complete {
+            return Err(format!(
+                "snapshot chunk (row_start {}) after the final chunk",
+                chunk.row_start
+            ));
+        }
+        match self.base {
+            None => self.base = Some(chunk.base),
+            Some(base) if base != chunk.base => {
+                return Err(format!(
+                    "snapshot chunk base drifted: {} then {}",
+                    base, chunk.base
+                ));
+            }
+            Some(_) => {}
+        }
+        if chunk.row_start as usize != self.len_cap.len() {
+            return Err(format!(
+                "snapshot chunk row_start {} but {} rows assembled",
+                chunk.row_start,
+                self.len_cap.len()
+            ));
+        }
+        let live: usize = chunk.len_cap.iter().map(|&(l, _)| l as usize).sum();
+        if live != chunk.entries.len() {
+            return Err(format!(
+                "snapshot chunk promises {live} entries but carries {}",
+                chunk.entries.len()
+            ));
+        }
+        self.len_cap.extend_from_slice(&chunk.len_cap);
+        self.entries.extend_from_slice(&chunk.entries);
+        if chunk.last {
+            self.m_canonical = chunk.m_canonical;
+            self.complete = true;
+        }
+        Ok(self.complete)
+    }
+
+    /// Whether the `last` chunk has been absorbed.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Live adjacency entries absorbed so far (progress reporting).
+    pub fn entries_so_far(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Hands back the reassembled snapshot. Panics if called before
+    /// [`SegSnapshotAssembler::is_complete`].
+    pub fn finish(self) -> ShardSegSnapshot {
+        assert!(self.complete, "finish on incomplete snapshot assembly");
+        ShardSegSnapshot {
+            base: self.base.unwrap_or(0) as usize,
+            m_canonical: self.m_canonical,
+            adj: crate::arena::ArenaSnapshot {
+                len_cap: self.len_cap,
+                entries: self.entries,
+            },
+        }
+    }
+}
+
 /// An undirected graph whose sorted adjacency rows are partitioned into
 /// owner-local arena segments — the storage backend of the `gossip-shard`
 /// round engine.
@@ -658,6 +833,63 @@ mod tests {
         // Wrong tiling is rejected.
         assert!(ShardedArenaGraph::from_segment_snapshots(n, 3, &snaps).is_err());
         assert!(ShardedArenaGraph::from_segment_snapshots(n + 1024, 4, &snaps).is_err());
+    }
+
+    #[test]
+    fn snapshot_chunk_stream_roundtrips_and_rejects_corruption() {
+        // Streamed-bootstrap contract: chunking a segment snapshot at any
+        // budget and reassembling reproduces it exactly, and the
+        // assembler rejects every structural violation instead of
+        // assembling a wrong segment.
+        let mut rng = SmallRng::seed_from_u64(97);
+        let n = 4096;
+        let mut g = ShardedArenaGraph::new(n, 4);
+        for _ in 0..3 * n {
+            let a = rng.random_range(0..n as u32);
+            let b = rng.random_range(0..n as u32);
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+        for _ in 0..16 {
+            g.remove_member(NodeId(rng.random_range(0..n as u32)));
+        }
+        let snap = g.segment(2).snapshot();
+        for budget in [1, 7, 100, 1 << 20] {
+            let chunks: Vec<SegSnapshotChunk> = snap.chunks(budget).collect();
+            assert!(chunks.last().unwrap().last);
+            assert!(chunks[..chunks.len() - 1].iter().all(|c| !c.last));
+            if budget >= snap.adj.entries.len() {
+                assert_eq!(chunks.len(), 1, "whole snapshot fits one chunk");
+            }
+            let mut asm = SegSnapshotAssembler::new();
+            for (i, c) in chunks.iter().enumerate() {
+                let done = asm.accept(c).unwrap();
+                assert_eq!(done, i + 1 == chunks.len());
+            }
+            assert_eq!(asm.finish(), snap, "budget {budget}");
+        }
+        // Rejections: out-of-order, base drift, after-final, bad counts.
+        let chunks: Vec<SegSnapshotChunk> = snap.chunks(64).collect();
+        assert!(chunks.len() > 2, "test needs a multi-chunk stream");
+        let mut asm = SegSnapshotAssembler::new();
+        assert!(asm.accept(&chunks[1]).unwrap_err().contains("row_start"));
+        asm.accept(&chunks[0]).unwrap();
+        assert!(asm.accept(&chunks[0]).unwrap_err().contains("row_start"));
+        let mut drift = chunks[1].clone();
+        drift.base += 1024;
+        assert!(asm.accept(&drift).unwrap_err().contains("base drifted"));
+        let mut short = chunks[1].clone();
+        short.entries.pop();
+        assert!(asm.accept(&short).unwrap_err().contains("entries"));
+        let mut asm = SegSnapshotAssembler::new();
+        for c in &chunks {
+            asm.accept(c).unwrap();
+        }
+        assert!(
+            asm.accept(chunks.last().unwrap())
+                .unwrap_err()
+                .contains("final"),
+            "duplicate final chunk must be rejected"
+        );
     }
 
     #[test]

@@ -79,13 +79,18 @@ use std::time::Instant;
 
 pub use gossip_core::listener::PhaseNanos;
 
+pub mod framed;
 pub mod transport;
 pub mod wire;
 
+pub use framed::{parse_framed, FramedConn};
 pub use transport::{
     maybe_run_worker, LossyConfig, TransportBuilder, TransportEngine, TransportMode, TransportStats,
 };
-pub use wire::{Frame, MailboxAssembler, WireError, WireStats, MAX_FRAME_ENTRIES};
+pub use wire::{
+    fragment_frames, AckFrame, Defragmenter, FragmentError, FragmentFrame, Frame, MailboxAssembler,
+    WireError, WireStats, MAX_FRAME_BYTES, MAX_FRAME_ENTRIES,
+};
 
 // Shard spans are aligned to propose chunks so that a chunk never straddles
 // two source shards — the mailbox ordering proof in the module docs leans

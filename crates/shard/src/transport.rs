@@ -58,6 +58,7 @@
 //! libtest harness** — the re-execed child would be the test harness
 //! itself and would run the whole test suite instead of a worker.
 
+use crate::framed::FramedConn;
 use crate::wire::{
     mailbox_frames, Frame, MailboxAssembler, NakFrame, WireStats, MAX_FRAME_ENTRIES,
 };
@@ -73,7 +74,7 @@ use gossip_core::{
 use gossip_graph::{HalfEdge, ShardSeg, ShardSegSnapshot, ShardedArenaGraph};
 use rand::Rng;
 use rayon::prelude::*;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::process::{Child, Command};
@@ -84,10 +85,6 @@ use std::time::Instant;
 /// Environment variable carrying the supervisor's socket path to a
 /// re-execed worker process. Set only by [`TransportMode::Process`].
 pub const WORKER_SOCKET_ENV: &str = "GOSSIP_TRANSPORT_SOCKET";
-
-/// Upper bound on a single frame body; a corrupted length prefix fails
-/// fast instead of attempting a absurd allocation.
-const MAX_FRAME_BYTES: usize = 1 << 30;
 
 /// One shard's slice of the parallel apply: `(shard index, owned segment,
 /// merge scratch, added-count slot)`.
@@ -213,13 +210,10 @@ impl TransportBuilder {
 }
 
 struct WorkerLink {
-    writer: BufWriter<UnixStream>,
-    reader: BufReader<UnixStream>,
+    conn: FramedConn,
     thread: Option<JoinHandle<io::Result<()>>>,
     child: Option<Child>,
     socket_path: Option<PathBuf>,
-    /// Frame-body read scratch, reused across reads.
-    scratch: Vec<u8>,
 }
 
 /// One `(source, owner)` mail frame, encoded once and broadcast to every
@@ -274,36 +268,9 @@ fn socket_path_for(shard: usize) -> PathBuf {
     ))
 }
 
-fn write_frame(
-    w: &mut BufWriter<UnixStream>,
-    enc: &mut BytesMut,
-    frame: &Frame,
-) -> io::Result<u64> {
-    enc.clear();
-    frame.encode(enc);
-    w.write_all(enc)?;
-    Ok(enc.len() as u64)
-}
-
-fn read_frame(r: &mut BufReader<UnixStream>, scratch: &mut Vec<u8>) -> io::Result<Frame> {
-    let mut len = [0u8; 4];
-    r.read_exact(&mut len)?;
-    let len = u32::from_le_bytes(len) as usize;
-    if len == 0 || len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} out of range"),
-        ));
-    }
-    scratch.clear();
-    scratch.resize(len, 0);
-    r.read_exact(scratch)?;
-    Frame::decode(scratch).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
-}
-
 /// Linux peak-RSS (`VmHWM`) of the calling process, in bytes; 0 where
 /// unavailable.
-fn peak_rss_bytes() -> u64 {
+pub(crate) fn peak_rss_bytes() -> u64 {
     std::fs::read_to_string("/proc/self/status")
         .ok()
         .and_then(|s| {
@@ -355,12 +322,10 @@ impl TransportEngine {
                         .name(format!("gossip-worker-{s}"))
                         .spawn(move || run_worker(wrk))?;
                     WorkerLink {
-                        writer: BufWriter::new(sup.try_clone()?),
-                        reader: BufReader::new(sup),
+                        conn: FramedConn::from_stream(sup)?,
                         thread: Some(thread),
                         child: None,
                         socket_path: None,
-                        scratch: Vec::new(),
                     }
                 }
                 TransportMode::Process => {
@@ -372,12 +337,10 @@ impl TransportEngine {
                         .spawn()?;
                     let (sup, _addr) = listener.accept()?;
                     WorkerLink {
-                        writer: BufWriter::new(sup.try_clone()?),
-                        reader: BufReader::new(sup),
+                        conn: FramedConn::from_stream(sup)?,
                         thread: None,
                         child: Some(child),
                         socket_path: Some(path),
-                        scratch: Vec::new(),
                     }
                 }
             };
@@ -417,14 +380,15 @@ impl TransportEngine {
                 parallel,
                 strict,
                 events: events.clone(),
+                peers: Vec::new(),
             });
             engine.send(s, &cfg)?;
             for bytes in &seg_frames {
-                engine.links[s].writer.write_all(bytes)?;
+                engine.links[s].conn.send_raw(bytes)?;
                 engine.stats.wire.frames_sent += 1;
                 engine.stats.wire.bytes_sent += bytes.len() as u64;
             }
-            engine.links[s].writer.flush()?;
+            engine.links[s].conn.flush()?;
         }
         for s in 0..shards {
             match engine.recv(s)? {
@@ -441,7 +405,7 @@ impl TransportEngine {
     }
 
     fn send(&mut self, s: usize, frame: &Frame) -> io::Result<()> {
-        let bytes = write_frame(&mut self.links[s].writer, &mut self.enc, frame)?;
+        let bytes = self.links[s].conn.send(frame)?;
         self.stats.wire.frames_sent += 1;
         self.stats.wire.bytes_sent += bytes;
         Ok(())
@@ -449,9 +413,9 @@ impl TransportEngine {
 
     fn recv(&mut self, s: usize) -> io::Result<Frame> {
         let link = &mut self.links[s];
-        let frame = read_frame(&mut link.reader, &mut link.scratch)?;
+        let frame = link.conn.recv()?;
         self.stats.wire.frames_received += 1;
-        self.stats.wire.bytes_received += 4 + link.scratch.len() as u64;
+        self.stats.wire.bytes_received += link.conn.last_recv_bytes();
         Ok(frame)
     }
 
@@ -530,7 +494,7 @@ impl TransportEngine {
         let t = Instant::now();
         for s in 0..shards {
             self.send(s, &Frame::Start { round: r })?;
-            self.links[s].writer.flush()?;
+            self.links[s].conn.flush()?;
         }
         flush_ns += t.elapsed().as_nanos() as u64;
         self.round += 1;
@@ -632,12 +596,12 @@ impl TransportEngine {
             }
             for i in deliver {
                 let bytes = &encoded[i].bytes;
-                self.links[d].writer.write_all(bytes)?;
+                self.links[d].conn.send_raw(bytes)?;
                 self.stats.wire.frames_sent += 1;
                 self.stats.wire.bytes_sent += bytes.len() as u64;
             }
             self.send(d, &Frame::EndMail { round: r })?;
-            self.links[d].writer.flush()?;
+            self.links[d].conn.flush()?;
         }
         flush_ns += t.elapsed().as_nanos() as u64;
 
@@ -669,7 +633,7 @@ impl TransportEngine {
                         // End of this nak batch: close the retransmit
                         // cycle so the worker re-checks completeness.
                         self.send(d, &Frame::EndMail { round: r })?;
-                        self.links[d].writer.flush()?;
+                        self.links[d].conn.flush()?;
                     }
                     other => {
                         return Err(protocol_err(format!(
@@ -780,7 +744,7 @@ impl TransportEngine {
             )));
         }
         for e in wanted {
-            self.links[d].writer.write_all(&e.bytes)?;
+            self.links[d].conn.send_raw(&e.bytes)?;
             self.stats.wire.frames_sent += 1;
             self.stats.wire.bytes_sent += e.bytes.len() as u64;
             self.stats.wire.retransmitted_frames += 1;
@@ -797,7 +761,7 @@ impl TransportEngine {
         self.shut_down = true;
         for s in 0..self.links.len() {
             let _ = self.send(s, &Frame::Shutdown);
-            let _ = self.links[s].writer.flush();
+            let _ = self.links[s].conn.flush();
         }
         let mut first_err: Option<io::Error> = None;
         for link in &mut self.links {
@@ -911,20 +875,17 @@ struct WorkerState {
 /// The worker loop, shared verbatim by thread mode and process mode: the
 /// only difference between the two is who owns the other end of `stream`.
 pub fn run_worker(stream: UnixStream) -> io::Result<()> {
-    let mut writer = BufWriter::new(stream.try_clone()?);
-    let mut reader = BufReader::new(stream);
-    let mut scratch = Vec::new();
-    let mut enc = BytesMut::new();
+    let mut conn = FramedConn::from_stream(stream)?;
 
     // Bootstrap: Config, then one Segment per shard, then ack.
-    let cfg = match read_frame(&mut reader, &mut scratch)? {
+    let cfg = match conn.recv()? {
         Frame::Config(c) => c,
         other => return Err(protocol_err(format!("expected Config, got {other:?}"))),
     };
     let shards = cfg.shards as usize;
     let mut snaps: Vec<ShardSegSnapshot> = Vec::with_capacity(shards);
     for i in 0..shards {
-        match read_frame(&mut reader, &mut scratch)? {
+        match conn.recv()? {
             Frame::Segment { index, snapshot } if index as usize == i => snaps.push(snapshot),
             other => return Err(protocol_err(format!("expected Segment {i}, got {other:?}"))),
         }
@@ -946,33 +907,19 @@ pub fn run_worker(stream: UnixStream) -> io::Result<()> {
         scratch: vec![Vec::new(); shards],
         added: vec![0; shards],
     };
-    write_frame(&mut writer, &mut enc, &Frame::Hello { shard: cfg.shard })?;
-    writer.flush()?;
+    conn.send(&Frame::Hello { shard: cfg.shard })?;
+    conn.flush()?;
 
     loop {
-        match read_frame(&mut reader, &mut scratch)? {
-            Frame::Start { round } => worker_round(
-                round,
-                &mut state,
-                &mut reader,
-                &mut writer,
-                &mut scratch,
-                &mut enc,
-            )?,
+        match conn.recv()? {
+            Frame::Start { round } => worker_round(round, &mut state, &mut conn)?,
             Frame::Shutdown => return Ok(()),
             other => return Err(protocol_err(format!("expected Start, got {other:?}"))),
         }
     }
 }
 
-fn worker_round(
-    r: u64,
-    state: &mut WorkerState,
-    reader: &mut BufReader<UnixStream>,
-    writer: &mut BufWriter<UnixStream>,
-    scratch: &mut Vec<u8>,
-    enc: &mut BytesMut,
-) -> io::Result<()> {
+fn worker_round(r: u64, state: &mut WorkerState, conn: &mut FramedConn) -> io::Result<()> {
     let plan = *state.graph.plan();
     let shards = state.shards;
     let shard = state.shard;
@@ -1031,29 +978,25 @@ fn worker_round(
             &state.mail_out[owner],
             MAX_FRAME_ENTRIES,
         ) {
-            write_frame(writer, enc, &Frame::Mail(f))?;
+            conn.send(&Frame::Mail(f))?;
         }
     }
     let serialize_ns = t.elapsed().as_nanos() as u64;
-    write_frame(
-        writer,
-        enc,
-        &Frame::Proposed(crate::wire::ProposedBarrier {
-            round: r,
-            source: shard as u32,
-            proposed,
-            propose_ns,
-            route_ns,
-            serialize_ns,
-        }),
-    )?;
-    writer.flush()?;
+    conn.send(&Frame::Proposed(crate::wire::ProposedBarrier {
+        round: r,
+        source: shard as u32,
+        proposed,
+        propose_ns,
+        route_ns,
+        serialize_ns,
+    }))?;
+    conn.flush()?;
 
     // Drain the broadcast; nak gaps until the round's mail is complete.
     let t = Instant::now();
     let mut asm = MailboxAssembler::for_worker(shards, shard, r, state.strict);
     loop {
-        match read_frame(reader, scratch)? {
+        match conn.recv()? {
             Frame::Mail(f) => {
                 asm.accept(&f).map_err(protocol_err)?;
             }
@@ -1062,10 +1005,10 @@ fn worker_round(
                     break;
                 }
                 for nak in asm.missing() {
-                    write_frame(writer, enc, &Frame::Nak(nak))?;
+                    conn.send(&Frame::Nak(nak))?;
                 }
-                write_frame(writer, enc, &Frame::EndMail { round: r })?;
-                writer.flush()?;
+                conn.send(&Frame::EndMail { round: r })?;
+                conn.flush()?;
             }
             other => {
                 return Err(protocol_err(format!(
@@ -1117,19 +1060,15 @@ fn worker_round(
     }
     let apply_ns = t.elapsed().as_nanos() as u64;
 
-    write_frame(
-        writer,
-        enc,
-        &Frame::Done(crate::wire::DoneBarrier {
-            round: r,
-            source: shard as u32,
-            added: state.added[shard],
-            apply_ns,
-            drain_ns,
-            peak_rss_bytes: peak_rss_bytes(),
-        }),
-    )?;
-    writer.flush()?;
+    conn.send(&Frame::Done(crate::wire::DoneBarrier {
+        round: r,
+        source: shard as u32,
+        added: state.added[shard],
+        apply_ns,
+        drain_ns,
+        peak_rss_bytes: peak_rss_bytes(),
+    }))?;
+    conn.flush()?;
     Ok(())
 }
 

@@ -4,13 +4,13 @@
 //! # Frame layout
 //!
 //! Every frame is `[u32 len][u8 kind][body]`, all integers little-endian;
-//! `len` counts the kind byte plus the body. Ten kinds cover the whole
-//! protocol (bootstrap, round data, barriers, recovery):
+//! `len` counts the kind byte plus the body. Fourteen kinds cover both
+//! transports (bootstrap, round data, barriers, recovery, datagrams):
 //!
 //! | kind | frame        | direction           | body |
 //! |------|--------------|---------------------|------|
 //! | 1    | `Hello`      | worker → supervisor | shard id |
-//! | 2    | `Config`     | supervisor → worker | version, shard grid, seed, rule, membership events |
+//! | 2    | `Config`     | supervisor → worker | version, shard grid, seed, rule, membership events, peer table |
 //! | 3    | `Segment`    | supervisor → worker | one [`ShardSegSnapshot`] (rows + caps + tombstones) |
 //! | 4    | `Start`      | supervisor → worker | round number |
 //! | 5    | `Mail`       | both                | one chunk of a `(source, owner)` mailbox |
@@ -19,6 +19,16 @@
 //! | 8    | `Nak`        | worker → supervisor | missing-frame report for one stream |
 //! | 9    | `Done`       | worker → supervisor | apply barrier: added count, timings, peak RSS |
 //! | 10   | `Shutdown`   | supervisor → worker | end of run |
+//! | 11   | `Ack`        | datagram peer ↔ peer | cumulative + selective datagram-seq acknowledgment |
+//! | 12   | `NakRange`   | datagram peer ↔ peer | receiver-driven retransmit request for a seq range |
+//! | 13   | `Fragment`   | datagram peer ↔ peer | one MTU-sized piece of an oversized frame |
+//! | 14   | `SnapshotChunk` | coordinator → peer | one [`SegSnapshotChunk`] of a streamed bootstrap segment |
+//!
+//! Kinds 1–10 are the stream (UDS) transport's vocabulary; kinds 11–14
+//! belong to the datagram (`gossip-cluster`) reliability layer, which
+//! wraps *any* frame in per-peer sequenced datagrams — see
+//! [`fragment_frames`] and [`Defragmenter`] for how frames larger than
+//! one datagram ride kind 13.
 //!
 //! A `(source, owner)` mailbox is split into [`MailFrame`]s of at most
 //! [`MAX_FRAME_ENTRIES`] half-edges, numbered `seq = 0, 1, …` with the
@@ -48,15 +58,22 @@
 
 use bytes::{Buf, BufMut, BytesMut};
 use gossip_core::{MembershipEvent, RuleId};
-use gossip_graph::{ArenaSnapshot, HalfEdge, NodeId, ShardSegSnapshot};
+use gossip_graph::{ArenaSnapshot, HalfEdge, NodeId, SegSnapshotChunk, ShardSegSnapshot};
 use serde::Serialize;
 
 /// Wire protocol version, checked during the `Config` handshake.
-pub const WIRE_VERSION: u32 = 1;
+/// Version 2 added the static peer table to `Config` and frame kinds
+/// 11–14 for the datagram transport.
+pub const WIRE_VERSION: u32 = 2;
 
 /// Maximum half-edges per [`MailFrame`] (12 KiB of entry payload) — one
 /// propose chunk's worth, so frame `seq` numbers track chunk granularity.
 pub const MAX_FRAME_ENTRIES: usize = 1024;
+
+/// Upper bound on a single frame body (including after fragment
+/// reassembly); a corrupted length prefix or a runaway fragment stream
+/// fails fast instead of attempting an absurd allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 30;
 
 /// A decoding failure. Every malformed input maps to a typed error —
 /// the decoder never panics and never trusts a length it has not checked
@@ -115,6 +132,11 @@ pub struct WorkerConfig {
     /// The membership plan's `(round, event)` schedule, applied by the
     /// worker at the same pre-increment round points as the supervisor.
     pub events: Vec<(u64, MembershipEvent)>,
+    /// The datagram transport's static peer table — socket address per
+    /// shard, in shard order (empty for the stream transport). Shipped in
+    /// `Config` so every peer can cross-check the table it was launched
+    /// with against the coordinator's.
+    pub peers: Vec<String>,
 }
 
 /// One chunk of a `(source, owner)` mailbox.
@@ -188,6 +210,36 @@ pub struct DoneBarrier {
     pub peak_rss_bytes: u64,
 }
 
+/// Datagram-sequence acknowledgment for one peer link: everything at or
+/// below `cumulative` has been received, plus the listed out-of-order
+/// seqs beyond it (strictly ascending). Acks are idempotent and ride
+/// unsequenced datagrams — a lost ack just means the data is resent and
+/// re-acknowledged.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AckFrame {
+    /// Highest seq such that every seq `1..=cumulative` was received.
+    pub cumulative: u64,
+    /// Received seqs beyond `cumulative`, strictly ascending.
+    pub selective: Vec<u64>,
+}
+
+/// One MTU-sized piece of a frame too large for a single datagram. The
+/// payloads of `index = 0, 1, …` concatenate back into the original
+/// length-prefixed frame bytes; the final piece is flagged `last`. See
+/// [`fragment_frames`] / [`Defragmenter`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FragmentFrame {
+    /// Identifies the fragmented message on its link (monotonic per
+    /// sender).
+    pub msg_id: u64,
+    /// Piece index within the message.
+    pub index: u32,
+    /// Whether this is the final piece.
+    pub last: bool,
+    /// The piece's bytes.
+    pub payload: Vec<u8>,
+}
+
 /// One protocol frame. See the [module docs](self) for the layout table.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
@@ -225,6 +277,25 @@ pub enum Frame {
     Done(DoneBarrier),
     /// End of run.
     Shutdown,
+    /// Datagram-seq acknowledgment (datagram transport).
+    Ack(AckFrame),
+    /// Receiver-driven retransmit request for the datagram seqs
+    /// `from..=to` on this link (datagram transport).
+    NakRange {
+        /// First missing seq (inclusive).
+        from: u64,
+        /// Last missing seq (inclusive).
+        to: u64,
+    },
+    /// One piece of an oversized frame (datagram transport).
+    Fragment(FragmentFrame),
+    /// One chunk of a streamed bootstrap segment (datagram transport).
+    SnapshotChunk {
+        /// Segment index (shard order).
+        segment: u32,
+        /// The row-contiguous piece.
+        chunk: SegSnapshotChunk,
+    },
 }
 
 const KIND_HELLO: u8 = 1;
@@ -237,6 +308,10 @@ const KIND_ENDMAIL: u8 = 7;
 const KIND_NAK: u8 = 8;
 const KIND_DONE: u8 = 9;
 const KIND_SHUTDOWN: u8 = 10;
+const KIND_ACK: u8 = 11;
+const KIND_NAK_RANGE: u8 = 12;
+const KIND_FRAGMENT: u8 = 13;
+const KIND_SNAPSHOT_CHUNK: u8 = 14;
 
 fn rule_index(rule: RuleId) -> u8 {
     RuleId::ALL
@@ -291,6 +366,11 @@ impl Frame {
                             buf.put_u32_le(node.0);
                         }
                     }
+                }
+                buf.put_u32_le(c.peers.len() as u32);
+                for p in &c.peers {
+                    buf.put_u32_le(p.len() as u32);
+                    buf.put_slice(p.as_bytes());
                 }
             }
             Frame::Segment { index, snapshot } => {
@@ -360,6 +440,43 @@ impl Frame {
                 buf.put_u64_le(b.peak_rss_bytes);
             }
             Frame::Shutdown => buf.put_u8(KIND_SHUTDOWN),
+            Frame::Ack(a) => {
+                buf.put_u8(KIND_ACK);
+                buf.put_u64_le(a.cumulative);
+                buf.put_u32_le(a.selective.len() as u32);
+                for &seq in &a.selective {
+                    buf.put_u64_le(seq);
+                }
+            }
+            Frame::NakRange { from, to } => {
+                buf.put_u8(KIND_NAK_RANGE);
+                buf.put_u64_le(*from);
+                buf.put_u64_le(*to);
+            }
+            Frame::Fragment(f) => {
+                buf.put_u8(KIND_FRAGMENT);
+                buf.put_u64_le(f.msg_id);
+                buf.put_u32_le(f.index);
+                buf.put_u8(f.last as u8);
+                buf.put_u32_le(f.payload.len() as u32);
+                buf.put_slice(&f.payload);
+            }
+            Frame::SnapshotChunk { segment, chunk } => {
+                buf.put_u8(KIND_SNAPSHOT_CHUNK);
+                buf.put_u32_le(*segment);
+                buf.put_u64_le(chunk.base);
+                buf.put_u32_le(chunk.row_start);
+                buf.put_u8(chunk.last as u8);
+                buf.put_u64_le(chunk.m_canonical);
+                buf.put_u32_le(chunk.len_cap.len() as u32);
+                for &(l, c) in &chunk.len_cap {
+                    buf.put_u32_le(l);
+                    buf.put_u32_le(c);
+                }
+                for id in &chunk.entries {
+                    buf.put_u32_le(id.0);
+                }
+            }
         }
         let body = (buf.len() - len_at - 4) as u32;
         buf[len_at..len_at + 4].copy_from_slice(&body.to_le_bytes());
@@ -420,6 +537,23 @@ impl Frame {
                     };
                     events.push((round, ev));
                 }
+                let peer_count = cur.try_get_u32_le().ok_or(WireError::Truncated)? as usize;
+                // Each peer costs at least its 4-byte length prefix.
+                if peer_count > cur.remaining() / 4 {
+                    return Err(WireError::Bad("peer count exceeds frame size"));
+                }
+                let mut peers = Vec::with_capacity(peer_count);
+                for _ in 0..peer_count {
+                    let len = cur.try_get_u32_le().ok_or(WireError::Truncated)? as usize;
+                    if len > cur.remaining() {
+                        return Err(WireError::Truncated);
+                    }
+                    let addr = std::str::from_utf8(&cur.chunk()[..len])
+                        .map_err(|_| WireError::Bad("peer address not utf-8"))?
+                        .to_string();
+                    cur.advance(len);
+                    peers.push(addr);
+                }
                 Frame::Config(WorkerConfig {
                     shard,
                     shards,
@@ -429,6 +563,7 @@ impl Frame {
                     parallel,
                     strict,
                     events,
+                    peers,
                 })
             }
             KIND_SEGMENT => {
@@ -546,6 +681,101 @@ impl Frame {
                 peak_rss_bytes: cur.try_get_u64_le().ok_or(WireError::Truncated)?,
             }),
             KIND_SHUTDOWN => Frame::Shutdown,
+            KIND_ACK => {
+                let cumulative = cur.try_get_u64_le().ok_or(WireError::Truncated)?;
+                let k = cur.try_get_u32_le().ok_or(WireError::Truncated)? as usize;
+                if k > cur.remaining() / 8 {
+                    return Err(WireError::Bad("selective ack count exceeds frame size"));
+                }
+                let mut selective = Vec::with_capacity(k);
+                let mut floor = cumulative;
+                for _ in 0..k {
+                    let seq = cur.try_get_u64_le().ok_or(WireError::Truncated)?;
+                    if seq <= floor {
+                        return Err(WireError::Bad("selective acks not ascending"));
+                    }
+                    floor = seq;
+                    selective.push(seq);
+                }
+                Frame::Ack(AckFrame {
+                    cumulative,
+                    selective,
+                })
+            }
+            KIND_NAK_RANGE => {
+                let from = cur.try_get_u64_le().ok_or(WireError::Truncated)?;
+                let to = cur.try_get_u64_le().ok_or(WireError::Truncated)?;
+                if from > to || from == 0 {
+                    return Err(WireError::Bad("nak range empty or starts at seq 0"));
+                }
+                Frame::NakRange { from, to }
+            }
+            KIND_FRAGMENT => {
+                let msg_id = cur.try_get_u64_le().ok_or(WireError::Truncated)?;
+                let index = cur.try_get_u32_le().ok_or(WireError::Truncated)?;
+                let last = match cur.try_get_u8().ok_or(WireError::Truncated)? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Bad("last flag not a boolean")),
+                };
+                let len = cur.try_get_u32_le().ok_or(WireError::Truncated)? as usize;
+                if cur.remaining() != len {
+                    return Err(WireError::Bad("fragment payload bytes mismatch"));
+                }
+                let payload = cur.chunk()[..len].to_vec();
+                cur.advance(len);
+                Frame::Fragment(FragmentFrame {
+                    msg_id,
+                    index,
+                    last,
+                    payload,
+                })
+            }
+            KIND_SNAPSHOT_CHUNK => {
+                let segment = cur.try_get_u32_le().ok_or(WireError::Truncated)?;
+                let base = cur.try_get_u64_le().ok_or(WireError::Truncated)?;
+                let row_start = cur.try_get_u32_le().ok_or(WireError::Truncated)?;
+                let last = match cur.try_get_u8().ok_or(WireError::Truncated)? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Bad("last flag not a boolean")),
+                };
+                let m_canonical = cur.try_get_u64_le().ok_or(WireError::Truncated)?;
+                let rows = cur.try_get_u32_le().ok_or(WireError::Truncated)? as usize;
+                if rows > cur.remaining() / 8 {
+                    return Err(WireError::Bad("row count exceeds frame size"));
+                }
+                let mut len_cap = Vec::with_capacity(rows);
+                let mut total = 0usize;
+                for _ in 0..rows {
+                    let l = cur.try_get_u32_le().ok_or(WireError::Truncated)?;
+                    let c = cur.try_get_u32_le().ok_or(WireError::Truncated)?;
+                    if l > c {
+                        return Err(WireError::Bad("row len exceeds cap"));
+                    }
+                    total += l as usize;
+                    len_cap.push((l, c));
+                }
+                if cur.remaining() != total * 4 {
+                    return Err(WireError::Bad("snapshot chunk entry bytes mismatch"));
+                }
+                let mut entries = Vec::with_capacity(total);
+                for chunk in cur.chunk().chunks_exact(4) {
+                    entries.push(NodeId(u32::from_le_bytes(chunk.try_into().unwrap())));
+                }
+                cur.advance(total * 4);
+                Frame::SnapshotChunk {
+                    segment,
+                    chunk: SegSnapshotChunk {
+                        base,
+                        row_start,
+                        last,
+                        m_canonical,
+                        len_cap,
+                        entries,
+                    },
+                }
+            }
             other => return Err(WireError::UnknownKind(other)),
         };
         if cur.remaining() != 0 {
@@ -584,6 +814,158 @@ pub fn mailbox_frames(
             }
         })
         .collect()
+}
+
+/// Splits one encoded frame (its full length-prefixed bytes) into
+/// [`FragmentFrame`]s of at most `max_payload` bytes each, `index`-numbered
+/// with the final piece flagged `last`. The datagram transport calls this
+/// for any frame whose encoding exceeds one datagram; [`Defragmenter`]
+/// inverts it.
+pub fn fragment_frames(msg_id: u64, frame_bytes: &[u8], max_payload: usize) -> Vec<FragmentFrame> {
+    assert!(max_payload > 0, "max_payload must be positive");
+    let pieces = frame_bytes.len().div_ceil(max_payload).max(1);
+    (0..pieces)
+        .map(|i| {
+            let lo = i * max_payload;
+            let hi = (lo + max_payload).min(frame_bytes.len());
+            FragmentFrame {
+                msg_id,
+                index: i as u32,
+                last: i + 1 == pieces,
+                payload: frame_bytes[lo..hi].to_vec(),
+            }
+        })
+        .collect()
+}
+
+/// A structural violation in a fragment stream. The datagram transport's
+/// per-peer windows deliver datagrams exactly once and in order, so any
+/// of these means a corrupted or hostile stream — never a retransmit
+/// artifact — and the connection is torn down rather than repaired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FragmentError {
+    /// A fragment of a different message arrived mid-reassembly.
+    MsgIdMismatch {
+        /// The arriving fragment's message id.
+        got: u64,
+        /// The in-progress message id.
+        want: u64,
+    },
+    /// Fragment index out of order within its message.
+    IndexMismatch {
+        /// The arriving fragment's index.
+        got: u32,
+        /// The expected next index.
+        want: u32,
+    },
+    /// A fragment for a message that already completed — e.g. a
+    /// duplicated final fragment.
+    AfterFinal {
+        /// The completed message's id.
+        msg_id: u64,
+    },
+    /// The reassembled message exceeds [`MAX_FRAME_BYTES`].
+    TooLarge {
+        /// Bytes accumulated when the cap tripped.
+        bytes: usize,
+    },
+}
+
+impl std::fmt::Display for FragmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FragmentError::MsgIdMismatch { got, want } => {
+                write!(f, "fragment of message {got} inside message {want}")
+            }
+            FragmentError::IndexMismatch { got, want } => {
+                write!(f, "fragment index {got}, expected {want}")
+            }
+            FragmentError::AfterFinal { msg_id } => {
+                write!(f, "fragment after the final fragment of message {msg_id}")
+            }
+            FragmentError::TooLarge { bytes } => {
+                write!(f, "reassembled message exceeds frame cap at {bytes} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FragmentError {}
+
+/// Reassembles one link's fragment stream back into whole frame bytes.
+///
+/// One instance per peer link: the link's windows guarantee in-order
+/// exactly-once delivery, so fragments of one message arrive contiguously
+/// and each message's pieces arrive `0, 1, …, last` — anything else is a
+/// [`FragmentError`].
+#[derive(Debug, Default)]
+pub struct Defragmenter {
+    /// `(msg_id, next expected index)` of the in-progress message.
+    current: Option<(u64, u32)>,
+    buf: Vec<u8>,
+    /// The most recently completed message, to name duplicated finals.
+    completed: Option<u64>,
+}
+
+impl Defragmenter {
+    /// An empty defragmenter awaiting a fragment with `index == 0`.
+    pub fn new() -> Self {
+        Defragmenter::default()
+    }
+
+    /// Feeds the next fragment. Returns the reassembled frame bytes once
+    /// the `last` fragment of a message arrives, `None` while in
+    /// progress.
+    pub fn accept(&mut self, f: &FragmentFrame) -> Result<Option<Vec<u8>>, FragmentError> {
+        match self.current {
+            None => {
+                if self.completed == Some(f.msg_id) {
+                    return Err(FragmentError::AfterFinal { msg_id: f.msg_id });
+                }
+                if f.index != 0 {
+                    return Err(FragmentError::IndexMismatch {
+                        got: f.index,
+                        want: 0,
+                    });
+                }
+                self.current = Some((f.msg_id, 0));
+                self.buf.clear();
+            }
+            Some((msg_id, next)) => {
+                if f.msg_id != msg_id {
+                    return Err(FragmentError::MsgIdMismatch {
+                        got: f.msg_id,
+                        want: msg_id,
+                    });
+                }
+                if f.index != next {
+                    return Err(FragmentError::IndexMismatch {
+                        got: f.index,
+                        want: next,
+                    });
+                }
+            }
+        }
+        if self.buf.len() + f.payload.len() > MAX_FRAME_BYTES {
+            return Err(FragmentError::TooLarge {
+                bytes: self.buf.len() + f.payload.len(),
+            });
+        }
+        self.buf.extend_from_slice(&f.payload);
+        if f.last {
+            self.completed = Some(f.msg_id);
+            self.current = None;
+            Ok(Some(std::mem::take(&mut self.buf)))
+        } else {
+            self.current = Some((f.msg_id, f.index + 1));
+            Ok(None)
+        }
+    }
+
+    /// Whether a message is mid-reassembly.
+    pub fn in_progress(&self) -> bool {
+        self.current.is_some()
+    }
 }
 
 /// Reassembles the mail of one round at one destination.
@@ -937,6 +1319,7 @@ mod tests {
                         },
                     ),
                 ],
+                peers: vec!["127.0.0.1:9000".to_string(), "127.0.0.2:9001".to_string()],
             }),
             Frame::Segment {
                 index: 2,
@@ -990,6 +1373,38 @@ mod tests {
                 peak_rss_bytes: 1 << 20,
             }),
             Frame::Shutdown,
+            Frame::Ack(AckFrame {
+                cumulative: 41,
+                selective: vec![43, 44, 50],
+            }),
+            Frame::Ack(AckFrame {
+                cumulative: 0,
+                selective: vec![],
+            }),
+            Frame::NakRange { from: 42, to: 49 },
+            Frame::Fragment(FragmentFrame {
+                msg_id: 3,
+                index: 2,
+                last: true,
+                payload: vec![0xDE, 0xAD, 0xBE, 0xEF],
+            }),
+            Frame::Fragment(FragmentFrame {
+                msg_id: 4,
+                index: 0,
+                last: false,
+                payload: vec![],
+            }),
+            Frame::SnapshotChunk {
+                segment: 1,
+                chunk: SegSnapshotChunk {
+                    base: 1024,
+                    row_start: 16,
+                    last: true,
+                    m_canonical: 9,
+                    len_cap: vec![(1, 2), (0, 4), (2, 2)],
+                    entries: vec![NodeId(3), NodeId(8), NodeId(2049)],
+                },
+            },
         ]
     }
 
@@ -1180,6 +1595,99 @@ mod tests {
             asm.accept(&other.remove(0)),
             Err(AssembleError::UnexpectedStream { .. })
         ));
+    }
+
+    #[test]
+    fn fragments_roundtrip_any_frame_and_reject_stream_corruption() {
+        // A big mail frame fragments at a small MTU and reassembles to
+        // the identical bytes (and the identical decoded frame).
+        let frame = Frame::Mail(MailFrame {
+            round: 4,
+            source: 1,
+            owner: 0,
+            seq: 0,
+            last: true,
+            entries: (0..500u32).map(|i| (i, NodeId(i), NodeId(i + 1))).collect(),
+        });
+        let bytes = encode_one(&frame);
+        for mtu in [1, 13, 100, bytes.len(), 4 * bytes.len()] {
+            let frags = fragment_frames(7, &bytes, mtu);
+            assert_eq!(frags.len(), bytes.len().div_ceil(mtu));
+            assert!(frags.last().unwrap().last);
+            let mut d = Defragmenter::new();
+            let mut out = None;
+            for (i, f) in frags.iter().enumerate() {
+                let got = d.accept(f).unwrap();
+                assert_eq!(got.is_some(), i + 1 == frags.len());
+                out = got;
+            }
+            let out = out.unwrap();
+            assert_eq!(out, bytes, "mtu {mtu}");
+            assert_eq!(Frame::decode(&out[4..]).unwrap(), frame);
+            assert!(!d.in_progress());
+        }
+        // Stream corruption: skipped index, foreign msg_id, start not at
+        // zero, and a duplicated final fragment are all typed errors.
+        let frags = fragment_frames(9, &bytes, 64);
+        assert!(frags.len() > 2);
+        let mut d = Defragmenter::new();
+        assert_eq!(
+            d.accept(&frags[1]),
+            Err(FragmentError::IndexMismatch { got: 1, want: 0 })
+        );
+        d.accept(&frags[0]).unwrap();
+        assert_eq!(
+            d.accept(&frags[2]),
+            Err(FragmentError::IndexMismatch { got: 2, want: 1 })
+        );
+        let mut foreign = frags[1].clone();
+        foreign.msg_id = 10;
+        assert_eq!(
+            d.accept(&foreign),
+            Err(FragmentError::MsgIdMismatch { got: 10, want: 9 })
+        );
+        let mut d = Defragmenter::new();
+        for f in &frags {
+            d.accept(f).unwrap();
+        }
+        assert_eq!(
+            d.accept(frags.last().unwrap()),
+            Err(FragmentError::AfterFinal { msg_id: 9 }),
+            "duplicate final fragment must be rejected"
+        );
+    }
+
+    #[test]
+    fn ack_and_nak_range_validate_structure() {
+        // Non-ascending selective acks are rejected at decode time.
+        let mut buf = BytesMut::new();
+        Frame::Ack(AckFrame {
+            cumulative: 10,
+            selective: vec![12, 12],
+        })
+        .encode(&mut buf);
+        assert_eq!(
+            Frame::decode(&buf[4..]),
+            Err(WireError::Bad("selective acks not ascending"))
+        );
+        // A selective ack at or below the cumulative floor is redundant
+        // and rejected.
+        buf.clear();
+        Frame::Ack(AckFrame {
+            cumulative: 10,
+            selective: vec![10],
+        })
+        .encode(&mut buf);
+        assert!(Frame::decode(&buf[4..]).is_err());
+        // Inverted or zero-start nak ranges are rejected.
+        for (from, to) in [(5u64, 4u64), (0, 3)] {
+            buf.clear();
+            Frame::NakRange { from, to }.encode(&mut buf);
+            assert_eq!(
+                Frame::decode(&buf[4..]),
+                Err(WireError::Bad("nak range empty or starts at seq 0"))
+            );
+        }
     }
 
     #[test]

@@ -9,8 +9,12 @@
 //! duplicated, and garbage frames.
 
 use gossip_core::rng::stream_rng;
-use gossip_graph::{generators, HalfEdge, NodeId, ShardedArenaGraph};
-use gossip_shard::wire::{mailbox_frames, Frame, MailFrame, MailboxAssembler};
+use gossip_graph::{generators, HalfEdge, NodeId, SegSnapshotAssembler, ShardedArenaGraph};
+use gossip_shard::framed::parse_framed;
+use gossip_shard::wire::{
+    fragment_frames, mailbox_frames, AckFrame, Defragmenter, FragmentError, Frame, MailFrame,
+    MailboxAssembler,
+};
 use gossip_shard::MAX_FRAME_ENTRIES;
 use proptest::prelude::*;
 use rand::Rng;
@@ -197,6 +201,140 @@ proptest! {
         prop_assert!(asm.is_complete());
         let mail = asm.into_mail();
         prop_assert_eq!(&mail[1][0], &entries);
+    }
+
+    /// Ack frames round-trip for any cumulative floor and any valid
+    /// selective set, and the decoder rejects non-ascending selective
+    /// lists and empty/zero-based nak ranges.
+    #[test]
+    fn ack_and_nak_range_frames_roundtrip_and_validate(
+        cumulative in any::<u64>(),
+        deltas in proptest::collection::vec(1u64..1000, 0..64),
+        from_raw in any::<u64>(),
+        span in 0u64..10_000,
+        cut_fraction in 0u32..1000,
+    ) {
+        // Selective acks are strictly ascending and above the cumulative
+        // floor by construction: a running sum of positive deltas.
+        let mut selective = Vec::new();
+        let mut at = cumulative;
+        for d in &deltas {
+            at = at.saturating_add(*d);
+            if at > cumulative && selective.last() != Some(&at) {
+                selective.push(at);
+            }
+        }
+        let ack = Frame::Ack(AckFrame { cumulative, selective: selective.clone() });
+        let wire = encode_to_vec(&ack);
+        prop_assert_eq!(Frame::decode(&wire[4..]).unwrap(), ack);
+        // Any truncation of the ack body is rejected.
+        let cut = (wire.len() - 5) * cut_fraction as usize / 1000;
+        prop_assert!(Frame::decode(&wire[4..4 + cut]).is_err());
+        // A descending selective list never survives decode.
+        if selective.len() >= 2 {
+            let mut bad = selective.clone();
+            bad.reverse();
+            let evil = encode_to_vec(&Frame::Ack(AckFrame { cumulative, selective: bad }));
+            prop_assert!(Frame::decode(&evil[4..]).is_err());
+        }
+        // Nak ranges: valid spans round-trip; empty spans and ranges
+        // naming the unsequenced seq 0 are rejected.
+        let from = from_raw.max(1);
+        let to = from.saturating_add(span);
+        let nak = Frame::NakRange { from, to };
+        let wire = encode_to_vec(&nak);
+        prop_assert_eq!(Frame::decode(&wire[4..]).unwrap(), nak);
+        let empty = encode_to_vec(&Frame::NakRange { from: to.saturating_add(1), to });
+        prop_assert!(Frame::decode(&empty[4..]).is_err());
+        let zero = encode_to_vec(&Frame::NakRange { from: 0, to: span });
+        prop_assert!(Frame::decode(&zero[4..]).is_err());
+    }
+
+    /// Fragment frames carry any frame across any MTU: each fragment
+    /// round-trips the wire individually, the reassembled bytes parse to
+    /// the original frame, truncated fragments are rejected by the
+    /// decoder, and a duplicated final fragment is rejected by the
+    /// defragmenter.
+    #[test]
+    fn fragment_frames_roundtrip_reassemble_and_reject(
+        raw in proptest::collection::vec(any::<u64>(), 0..600),
+        round in any::<u64>(),
+        msg_id in any::<u64>(),
+        mtu in 1usize..4096,
+        cut_fraction in 0u32..1000,
+    ) {
+        let entries = entries_from(&raw);
+        let inner = encode_to_vec(&Frame::Mail(
+            mailbox_frames(round, 1, 0, &entries, MAX_FRAME_ENTRIES)[0].clone(),
+        ));
+        let frags = fragment_frames(msg_id, &inner, mtu);
+        prop_assert_eq!(frags.len(), (inner.len().div_ceil(mtu)).max(1));
+        let mut d = Defragmenter::new();
+        let mut out = None;
+        for (i, f) in frags.iter().enumerate() {
+            prop_assert_eq!(f.index as usize, i);
+            prop_assert_eq!(f.last, i + 1 == frags.len());
+            let wire = encode_to_vec(&Frame::Fragment(f.clone()));
+            match Frame::decode(&wire[4..]) {
+                Ok(Frame::Fragment(back)) => prop_assert_eq!(&back, f),
+                other => return Err(TestCaseError::fail(format!("bad decode: {other:?}"))),
+            }
+            // Truncating a fragment body is always caught by the decoder.
+            let cut = (wire.len() - 5) * cut_fraction as usize / 1000;
+            prop_assert!(Frame::decode(&wire[4..4 + cut]).is_err());
+            out = d.accept(f).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        }
+        prop_assert_eq!(parse_framed(&out.unwrap()).unwrap(), parse_framed(&inner).unwrap());
+        // Replaying the final fragment (the classic datagram duplicate)
+        // is refused — the message cannot be delivered twice.
+        let last = frags.last().unwrap();
+        match d.accept(last) {
+            Err(FragmentError::AfterFinal { msg_id: id }) => prop_assert_eq!(id, msg_id),
+            other => return Err(TestCaseError::fail(format!("duplicate final accepted: {other:?}"))),
+        }
+    }
+
+    /// Snapshot-chunk frames round-trip any segment chunking — including
+    /// tombstoned rows — the assembler reconstructs the exact snapshot,
+    /// and truncations are rejected.
+    #[test]
+    fn snapshot_chunk_frames_roundtrip_and_reassemble(
+        seed in any::<u64>(),
+        n in 2usize..400,
+        shards in 1usize..5,
+        removals in 0usize..16,
+        budget in 1usize..2000,
+        cut_fraction in 0u32..1000,
+    ) {
+        let cap = n as u64 * (n as u64 - 1) / 2;
+        let und =
+            generators::tree_plus_random_edges(n, (n as u64).min(cap), &mut stream_rng(seed, 0, 0));
+        let mut g = ShardedArenaGraph::from_undirected(&und, shards);
+        let mut rng = stream_rng(seed, 1, 0);
+        for _ in 0..removals {
+            let u = NodeId(rng.random_range(0..n as u32));
+            g.remove_member(u);
+        }
+        for s in 0..shards {
+            let snap = g.segment(s).snapshot();
+            let mut asm = SegSnapshotAssembler::new();
+            for chunk in snap.chunks(budget) {
+                let frame = Frame::SnapshotChunk { segment: s as u32, chunk: chunk.clone() };
+                let wire = encode_to_vec(&frame);
+                match Frame::decode(&wire[4..]) {
+                    Ok(Frame::SnapshotChunk { segment, chunk: back }) => {
+                        prop_assert_eq!(segment as usize, s);
+                        prop_assert_eq!(&back, &chunk);
+                    }
+                    other => return Err(TestCaseError::fail(format!("bad decode: {other:?}"))),
+                }
+                let cut = (wire.len() - 5) * cut_fraction as usize / 1000;
+                prop_assert!(Frame::decode(&wire[4..4 + cut]).is_err());
+                asm.accept(&chunk).map_err(TestCaseError::fail)?;
+            }
+            prop_assert!(asm.is_complete());
+            prop_assert_eq!(asm.finish(), snap);
+        }
     }
 
     /// The strict assembler accepts exactly the canonical order — any

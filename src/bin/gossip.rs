@@ -4,6 +4,9 @@ fn main() {
     // `serve --transport uds|lossy` re-execs this binary once per shard;
     // a worker copy connects to its socket here and never reaches the CLI.
     discovery_gossip::shard::maybe_run_worker();
+    // Likewise `serve --transport udp` re-execs one datagram shard
+    // worker per peer-table slot.
+    discovery_gossip::cluster::maybe_run_cluster_shard();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     match discovery_gossip::cli::Command::parse(&args)

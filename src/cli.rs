@@ -6,6 +6,7 @@
 //! grammar.
 
 use gossip_analysis::{exact_expected_rounds, ProcessKind, Summary};
+use gossip_cluster::ClusterBuilder;
 use gossip_core::{
     convergence_rounds, with_rule, ChurnBursts, ClosureReached, ComponentwiseComplete,
     DirectedPull, DiscoveryTrace, Engine, EngineBuilder, ListenerSet, MembershipPlan, RoundEngine,
@@ -108,16 +109,24 @@ pub enum Command {
         /// Churn bursts to schedule (0 = static membership).
         churn: usize,
         /// Shard transport: `inproc` (shared memory), `uds` (one OS
-        /// process per shard over Unix domain sockets), or `lossy`
-        /// (uds plus seeded drop/duplicate/reorder fault injection).
+        /// process per shard over Unix domain sockets), `lossy`
+        /// (uds plus seeded drop/duplicate/reorder fault injection), or
+        /// `udp` (datagram cluster with a static peer table).
         transport: Transport,
+        /// `--transport udp` only: address the coordinator binds
+        /// (default `127.0.0.1:0`).
+        bind: Option<String>,
+        /// `--transport udp` only: comma-separated worker addresses
+        /// (shards 1..K; default auto-assigned loopback ports).
+        peers: Option<String>,
     },
     /// `gossip help`
     Help,
 }
 
-/// How `serve` hosts its shards. All three replay the same trajectory;
-/// see [`TransportBuilder`] for the wire protocol behind `uds`/`lossy`.
+/// How `serve` hosts its shards. All four replay the same trajectory;
+/// see [`TransportBuilder`] for the wire protocol behind `uds`/`lossy`
+/// and [`ClusterBuilder`] for `udp`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Transport {
     /// Shared-memory sharding in this process (the default).
@@ -126,18 +135,34 @@ pub enum Transport {
     Uds,
     /// `uds` with seeded loss/duplication/reordering plus retransmit.
     Lossy,
+    /// One worker process per shard, frames exchanged peer-to-peer over
+    /// UDP sockets from a static peer table (`--bind`/`--peers`).
+    Udp,
 }
 
 impl Transport {
+    /// Every accepted `--transport` spelling, in usage order. The parse
+    /// error enumerates exactly this list, so a stale error message is a
+    /// test failure rather than stale documentation.
+    pub const NAMES: [(&'static str, Transport); 4] = [
+        ("inproc", Transport::Inproc),
+        ("uds", Transport::Uds),
+        ("lossy", Transport::Lossy),
+        ("udp", Transport::Udp),
+    ];
+
     fn parse(s: &str) -> Result<Transport, String> {
-        match s {
-            "inproc" => Ok(Transport::Inproc),
-            "uds" => Ok(Transport::Uds),
-            "lossy" => Ok(Transport::Lossy),
-            other => Err(format!(
-                "unknown transport {other}; expected inproc, uds, or lossy"
-            )),
-        }
+        Transport::NAMES
+            .iter()
+            .find(|(name, _)| *name == s)
+            .map(|&(_, t)| t)
+            .ok_or_else(|| {
+                let valid: Vec<&str> = Transport::NAMES.iter().map(|&(name, _)| name).collect();
+                format!(
+                    "unknown transport {s}; expected one of: {}",
+                    valid.join(", ")
+                )
+            })
     }
 }
 
@@ -156,8 +181,8 @@ USAGE:
                                                             directed two-hop walk
   gossip serve --protocol P --family F --n N [--rounds R] [--shards K]
                [--snapshot-every E] [--seed S] [--churn B]
-               [--transport inproc|uds|lossy]               resident engine behind
-                                                            epoch snapshots
+               [--transport inproc|uds|lossy|udp]           resident engine behind
+               [--bind ADDR] [--peers A1,A2,...]            epoch snapshots
   gossip help
 
 CHURN: --churn B schedules B bursts of n/16 departures (rejoining two rounds
@@ -167,8 +192,12 @@ CHURN: --churn B schedules B bursts of n/16 departures (rejoining two rounds
 TRANSPORT: --transport uds runs each shard as its own OS process and
        exchanges mailboxes as length-prefixed frames over Unix domain
        sockets; --transport lossy adds seeded drop/duplicate/reorder fault
-       injection with nak-driven retransmit. Both replay the in-process
-       trajectory bit-for-bit and need --shards K > 1.
+       injection with nak-driven retransmit. --transport udp runs the
+       datagram cluster: shard processes exchange frames peer-to-peer over
+       UDP sockets from a static peer table (--bind sets the coordinator
+       address, --peers the K-1 worker addresses; both default to
+       auto-assigned loopback ports). All replay the in-process trajectory
+       bit-for-bit and need --shards K > 1.
 
 PROTOCOLS: resolved through the gossip-core registry (push, pull, hybrid);
            --process is accepted as an alias of --protocol.
@@ -197,6 +226,8 @@ impl Command {
         let mut snapshot_every = 1u64;
         let mut churn = 0usize;
         let mut transport = Transport::Inproc;
+        let mut bind: Option<String> = None;
+        let mut peers: Option<String> = None;
 
         while let Some(flag) = it.next() {
             let mut take = || -> Result<&String, String> {
@@ -228,6 +259,8 @@ impl Command {
                     churn = take()?.parse().map_err(|_| "--churn needs an integer")?;
                 }
                 "--transport" => transport = Transport::parse(take()?)?,
+                "--bind" => bind = Some(take()?.clone()),
+                "--peers" => peers = Some(take()?.clone()),
                 "--trace" => trace = true,
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -235,6 +268,9 @@ impl Command {
 
         if transport != Transport::Inproc && sub != "serve" {
             return Err("--transport only applies to serve".into());
+        }
+        if (bind.is_some() || peers.is_some()) && transport != Transport::Udp {
+            return Err("--bind/--peers only apply to serve --transport udp".into());
         }
 
         match sub {
@@ -279,7 +315,7 @@ impl Command {
             }),
             "serve" => {
                 if transport != Transport::Inproc && shards < 2 {
-                    return Err("--transport uds|lossy needs --shards K > 1".into());
+                    return Err("--transport uds|lossy|udp needs --shards K > 1".into());
                 }
                 Ok(Command::Serve {
                     process: process.ok_or("serve needs --protocol")?,
@@ -292,6 +328,8 @@ impl Command {
                     param,
                     churn,
                     transport,
+                    bind,
+                    peers,
                 })
             }
             "help" | "--help" | "-h" => Ok(Command::Help),
@@ -543,6 +581,8 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             param,
             churn,
             transport,
+            bind,
+            peers,
         } => {
             let g = make_graph(family, *n, *seed, *param)?;
             let cfg = ServeConfig {
@@ -551,7 +591,28 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             };
             let id = RuleId::parse(process)?;
             let plan = (*churn > 0).then(|| churn_plan(g.n(), *churn, *seed));
-            let line = if *transport != Transport::Inproc {
+            let line = if *transport == Transport::Udp {
+                // Datagram cluster: coordinator in this process, one
+                // re-execed worker process per remaining peer-table slot
+                // (`maybe_run_cluster_shard` diverts the copies).
+                let g = ShardedArenaGraph::from_undirected(&g, *shards);
+                let mut b = ClusterBuilder::new(g, id, *seed).with_mode(TransportMode::Process);
+                if let Some(plan) = plan.clone() {
+                    b = b.with_membership(plan);
+                }
+                if let Some(addr) = bind {
+                    b = b.with_bind(addr.parse().map_err(|e| format!("--bind {addr}: {e}"))?);
+                }
+                if let Some(list) = peers {
+                    let table = list
+                        .split(',')
+                        .map(|a| a.parse().map_err(|e| format!("--peers {a}: {e}")))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    b = b.with_peers(table);
+                }
+                let engine = b.spawn().map_err(|e| format!("cluster spawn: {e}"))?;
+                serve_report(engine, cfg)
+            } else if *transport != Transport::Inproc {
                 // Serialized seam: one OS process per shard, framed
                 // mailboxes over UDS. Worker copies of this binary never
                 // reach the CLI — `maybe_run_worker` diverts them at the
@@ -599,6 +660,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 Transport::Inproc => String::new(),
                 Transport::Uds => ", transport=uds".into(),
                 Transport::Lossy => ", transport=lossy".into(),
+                Transport::Udp => ", transport=udp".into(),
             };
             let _ = writeln!(
                 out,
@@ -780,6 +842,8 @@ mod tests {
                 param: None,
                 churn: 0,
                 transport: Transport::Inproc,
+                bind: None,
+                peers: None,
             })
             .unwrap();
             assert!(out.contains("rounds = 4"), "{out}");
@@ -814,11 +878,7 @@ mod tests {
 
     #[test]
     fn parse_transport_flag() {
-        for (word, want) in [
-            ("inproc", Transport::Inproc),
-            ("uds", Transport::Uds),
-            ("lossy", Transport::Lossy),
-        ] {
+        for (word, want) in Transport::NAMES {
             let cmd = Command::parse(&argv(&format!(
                 "serve --protocol push --family star --n 32 --shards 2 --transport {word}"
             )))
@@ -830,11 +890,16 @@ mod tests {
         }
         // Unknown mode, serialized transport without real shards, and
         // --transport on a non-serve subcommand are all clean errors.
-        assert!(Command::parse(&argv(
-            "serve --protocol push --family star --n 32 --shards 2 --transport tcp"
+        // The unknown-mode error must enumerate every valid spelling —
+        // it used to trail behind the enum as transports were added.
+        let err = Command::parse(&argv(
+            "serve --protocol push --family star --n 32 --shards 2 --transport tcp",
         ))
-        .unwrap_err()
-        .contains("unknown transport"));
+        .unwrap_err();
+        assert!(err.contains("unknown transport"), "{err}");
+        for (word, _) in Transport::NAMES {
+            assert!(err.contains(word), "error does not list {word}: {err}");
+        }
         assert!(Command::parse(&argv(
             "serve --protocol push --family star --n 32 --transport uds"
         ))
@@ -845,6 +910,40 @@ mod tests {
         ))
         .unwrap_err()
         .contains("only applies to serve"));
+    }
+
+    #[test]
+    fn parse_peer_table_flags() {
+        let cmd = Command::parse(&argv(
+            "serve --protocol push --family star --n 32 --shards 2 --transport udp \
+             --bind 127.0.0.1:7000 --peers 127.0.0.1:7001",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                transport,
+                bind,
+                peers,
+                ..
+            } => {
+                assert_eq!(transport, Transport::Udp);
+                assert_eq!(bind.as_deref(), Some("127.0.0.1:7000"));
+                assert_eq!(peers.as_deref(), Some("127.0.0.1:7001"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // The peer-table flags are meaningless off the datagram path.
+        assert!(Command::parse(&argv(
+            "serve --protocol push --family star --n 32 --shards 2 --transport uds \
+             --bind 127.0.0.1:7000"
+        ))
+        .unwrap_err()
+        .contains("--transport udp"));
+        assert!(Command::parse(&argv(
+            "run --protocol push --family star --n 32 --peers 127.0.0.1:7001"
+        ))
+        .unwrap_err()
+        .contains("--transport udp"));
     }
 
     #[test]
@@ -908,6 +1007,8 @@ mod tests {
                 param: None,
                 churn: 1,
                 transport: Transport::Inproc,
+                bind: None,
+                peers: None,
             })
             .unwrap();
             assert!(out.contains("churn=1"), "{out}");

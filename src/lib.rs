@@ -6,7 +6,7 @@
 //! self-rewiring networks, with everything needed to re-derive the paper's
 //! results on a laptop.
 //!
-//! This crate is the facade: it re-exports the seven member library crates
+//! This crate is the facade: it re-exports the eight member library crates
 //! and a [`prelude`]. See the individual crates for the real APIs:
 //!
 //! | Crate | Contents |
@@ -14,6 +14,7 @@
 //! | [`graph`] (`gossip-graph`) | dynamic graphs with O(1) neighbor sampling, generators incl. the paper's lower-bound constructions, traversal/SCC/closure |
 //! | [`core`] (`gossip-core`) | the push/pull/directed processes, deterministic parallel engine, engine builder, unified round-listener seam, membership lifecycle seam (join/leave between rounds), Monte Carlo trials, robustness variants |
 //! | [`shard`] (`gossip-shard`) | deterministic multi-shard round engine: shard-parallel propose/apply over owner-partitioned arena segments, plus the cross-process transport (framed mailboxes over Unix domain sockets, deterministic and lossy modes) |
+//! | [`cluster`] (`gossip-cluster`) | datagram shard transport for cross-host runs: static peer tables, per-peer ack/timeout/backoff windows with fragmentation, streamed bootstrap snapshots, shard-0 round coordinator |
 //! | [`serve`] (`gossip-serve`) | resident service: a live engine behind cheap epoch snapshots, a concurrent query surface, and pluggable listeners |
 //! | [`baselines`] (`gossip-baselines`) | Name Dropper, Random Pointer Jump, throttled ND, flooding — with message-bit accounting |
 //! | [`net`] (`gossip-net`) | byte-accurate message-passing simulator: loss, churn, coverage/staleness metrics |
@@ -40,6 +41,7 @@ pub mod cli;
 
 pub use gossip_analysis as analysis;
 pub use gossip_baselines as baselines;
+pub use gossip_cluster as cluster;
 pub use gossip_core as core;
 pub use gossip_graph as graph;
 pub use gossip_net as net;
@@ -55,6 +57,7 @@ pub mod prelude {
     pub use gossip_baselines::{
         DiscoveryAlgorithm, Flooding, Knowledge, NameDropper, PointerJump, ThrottledNameDropper,
     };
+    pub use gossip_cluster::{ClusterBuilder, ClusterEngine, ClusterStats, DatagramLoss};
     pub use gossip_core::{
         convergence_rounds, run_engine_listened, run_engine_until, run_trials, stream_trials,
         ChurnBursts, ClosureReached, ComponentwiseComplete, ConvergenceCheck, DirectedPull,

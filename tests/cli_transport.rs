@@ -94,6 +94,73 @@ fn serve_over_lossy_transport_still_replays_the_trajectory() {
 }
 
 #[test]
+fn serve_over_udp_cluster_matches_inproc() {
+    let base = [
+        "serve",
+        "--protocol",
+        "push",
+        "--family",
+        "sparse",
+        "--n",
+        "600",
+        "--rounds",
+        "5",
+        "--shards",
+        "3",
+        "--snapshot-every",
+        "2",
+        "--seed",
+        "23",
+    ];
+    let (inproc, err, ok) = gossip(&base);
+    assert!(ok, "inproc serve failed: {err}");
+    let mut udp_args: Vec<&str> = base.to_vec();
+    udp_args.extend(["--transport", "udp"]);
+    let (udp, err, ok) = gossip(&udp_args);
+    assert!(ok, "udp serve failed: {err}");
+    assert!(udp.contains("transport=udp"), "{udp}");
+    // Same trajectory when the shards exchange datagrams peer-to-peer
+    // from a static (here auto-assigned loopback) peer table.
+    assert_eq!(payload(&inproc), payload(&udp));
+}
+
+#[test]
+fn serve_over_udp_accepts_an_explicit_peer_table() {
+    // Reserve two concrete loopback ports, then hand them to --peers.
+    let reserve = || {
+        let s = std::net::UdpSocket::bind("127.0.0.1:0").expect("reserve port");
+        let addr = s.local_addr().unwrap();
+        drop(s);
+        addr.to_string()
+    };
+    let (p1, p2) = (reserve(), reserve());
+    let peers = format!("{p1},{p2}");
+    let (out, err, ok) = gossip(&[
+        "serve",
+        "--protocol",
+        "pull",
+        "--family",
+        "star",
+        "--n",
+        "256",
+        "--rounds",
+        "3",
+        "--shards",
+        "3",
+        "--seed",
+        "7",
+        "--transport",
+        "udp",
+        "--bind",
+        "127.0.0.1:0",
+        "--peers",
+        &peers,
+    ]);
+    assert!(ok, "udp serve with peer table failed: {err}");
+    assert!(out.contains("transport=udp"), "{out}");
+}
+
+#[test]
 fn transport_flag_misuse_is_a_clean_error() {
     let (_, err, ok) = gossip(&[
         "serve",
@@ -121,4 +188,41 @@ fn transport_flag_misuse_is_a_clean_error() {
     ]);
     assert!(!ok);
     assert!(err.contains("only applies to serve"), "{err}");
+    // An unknown transport names every valid one (this error once
+    // lagged the enum, which is why it is pinned end-to-end too).
+    let (_, err, ok) = gossip(&[
+        "serve",
+        "--protocol",
+        "push",
+        "--family",
+        "star",
+        "--n",
+        "32",
+        "--shards",
+        "2",
+        "--transport",
+        "tcp",
+    ]);
+    assert!(!ok);
+    for word in ["inproc", "uds", "lossy", "udp"] {
+        assert!(err.contains(word), "error does not list {word}: {err}");
+    }
+    // And the peer-table flags reject non-udp transports up front.
+    let (_, err, ok) = gossip(&[
+        "serve",
+        "--protocol",
+        "push",
+        "--family",
+        "star",
+        "--n",
+        "32",
+        "--shards",
+        "2",
+        "--transport",
+        "uds",
+        "--bind",
+        "127.0.0.1:7000",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("--transport udp"), "{err}");
 }

@@ -95,6 +95,31 @@ fn quickstart_transport_runs_shard_workers_over_framed_sockets() {
     assert!(engine.graph().m() > 511);
 }
 
+/// The README's cluster snippet, verbatim: the sharded round peer-to-peer
+/// over UDP — thread-hosted shard peers on real datagram sockets resolved
+/// from an auto-reserved loopback peer table, seeded drop/duplication
+/// repaired by the ack/timeout/backoff windows (process mode, the
+/// two-host grid, and the 2^20 run are `exp_cluster` in CI; libtest
+/// harnesses must not re-exec).
+#[test]
+fn quickstart_cluster_runs_shard_peers_over_udp() {
+    let und = generators::star(512);
+    let mut engine =
+        ClusterBuilder::new(ShardedArenaGraph::from_undirected(&und, 4), RuleId::Pull, 7)
+            .with_loss(DatagramLoss {
+                seed: 9,
+                drop_per_mille: 100,
+                dup_per_mille: 50,
+            })
+            .spawn()
+            .unwrap();
+    engine.run_until(&mut Never, 6);
+    let stats = engine.stats();
+    assert!(stats.endpoint.injected_drops > 0 && stats.endpoint.retransmitted > 0);
+    engine.shutdown().unwrap();
+    assert!(engine.graph().m() > 511);
+}
+
 /// The README's serving snippet, verbatim: any engine behind the resident
 /// service, queried live through epoch snapshots, engine returned on join
 /// (the full 2^20 run under concurrent query load is `exp_serve` in CI).
